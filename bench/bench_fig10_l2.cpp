@@ -1,0 +1,32 @@
+// Fig. 10: L2 switching packet rate over MAC tables of 1/10/100/1K entries as
+// the active flow set grows from 1 to 100K — ESWITCH (hash template) vs the
+// OVS-model flow-cache hierarchy.
+//
+// Expected shape: ES flat and high across all flow counts; OVS decays as
+// flows outgrow the microflow cache.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace esw;
+
+void BM_Fig10_L2(benchmark::State& state) {
+  const size_t table_size = static_cast<size_t>(state.range(0));
+  const size_t n_flows = static_cast<size_t>(state.range(1));
+  const bool use_es = state.range(2) == 1;
+  const auto uc = uc::make_l2(table_size);
+  bench::throughput_point(state, uc, n_flows, use_es);
+}
+
+void l2_args(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"size", "flows", "es"});
+  for (const int64_t size : {1, 10, 100, 1000})
+    for (const int64_t flows : {1, 10, 100, 1000, 10000, 100000})
+      for (const int64_t es : {1, 0}) b->Args({size, flows, es});
+  b->Iterations(1);
+}
+BENCHMARK(BM_Fig10_L2)->Apply(l2_args);
+
+}  // namespace

@@ -1,0 +1,28 @@
+// Fig. 11: L3 routing packet rate over RIBs of 1/10/1K prefixes as the
+// active flow set grows — ESWITCH (LPM template, DIR-24-8) vs the OVS model.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace esw;
+
+void BM_Fig11_L3(benchmark::State& state) {
+  const size_t n_prefixes = static_cast<size_t>(state.range(0));
+  const size_t n_flows = static_cast<size_t>(state.range(1));
+  const bool use_es = state.range(2) == 1;
+  const auto uc = uc::make_l3(n_prefixes);
+  bench::throughput_point(state, uc, n_flows, use_es);
+}
+
+void l3_args(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"prefixes", "flows", "es"});
+  for (const int64_t prefixes : {1, 10, 1000})
+    for (const int64_t flows : {1, 10, 100, 1000, 10000, 100000})
+      for (const int64_t es : {1, 0}) b->Args({prefixes, flows, es});
+  b->Iterations(1);
+}
+BENCHMARK(BM_Fig11_L3)->Apply(l3_args);
+
+}  // namespace

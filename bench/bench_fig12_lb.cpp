@@ -1,0 +1,35 @@
+// Fig. 12: load balancer packet rate over 1/10/100 web services as the active
+// flow set grows.  ESWITCH runs with table decomposition enabled — the naive
+// single-stage table would compile to the linked list; decomposition promotes
+// it to hash/direct-code stages (§4.1).  The extra "es=2" series is the
+// ablation: ESWITCH with decomposition disabled.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace esw;
+
+void BM_Fig12_LoadBalancer(benchmark::State& state) {
+  const size_t n_services = static_cast<size_t>(state.range(0));
+  const size_t n_flows = static_cast<size_t>(state.range(1));
+  const int impl = static_cast<int>(state.range(2));
+  const auto uc = uc::make_load_balancer(n_services);
+
+  core::CompilerConfig cfg;
+  cfg.enable_decomposition = impl == 1;
+  bench::throughput_point(state, uc, n_flows, impl >= 1, cfg);
+}
+
+void lb_args(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"services", "flows", "es"});
+  for (const int64_t services : {1, 10, 100})
+    for (const int64_t flows : {1, 10, 100, 1000, 10000, 100000})
+      for (const int64_t impl : {1, 2, 0})  // 1=ES+decompose, 2=ES naive, 0=OVS
+        b->Args({services, flows, impl});
+  b->Iterations(1);
+}
+BENCHMARK(BM_Fig12_LoadBalancer)->Apply(lb_args);
+
+}  // namespace

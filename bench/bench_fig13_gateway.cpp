@@ -1,0 +1,41 @@
+// Fig. 13: access-gateway packet rate (10 CEs × 20 users/CE, 10K prefixes) as
+// the active flow set grows to 1M, with the §4.4 performance-model upper and
+// lower bounds alongside the measurement.
+//
+// Expected shape: ES roughly flat (between the model bounds, scaled by this
+// host's clock), OVS collapsing by orders of magnitude at high flow counts —
+// the paper's "full-blown denial of service" scenario.
+#include <benchmark/benchmark.h>
+
+#include "perf/costmodel.hpp"
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace esw;
+
+void BM_Fig13_Gateway(benchmark::State& state) {
+  const size_t n_flows = static_cast<size_t>(state.range(0));
+  const bool use_es = state.range(1) == 1;
+  const auto uc = uc::make_gateway(10, 20, 10000);
+  bench::throughput_point(state, uc, n_flows, use_es);
+
+  if (use_es) {
+    // Model bounds at this host's measured TSC frequency.
+    const auto model = perf::CostModel::gateway_model();
+    const double ghz = tsc_ghz();
+    state.counters["model_ub_pps"] = model.pps(ghz, 4);
+    state.counters["model_lb_pps"] = model.pps(ghz, 29);
+  }
+}
+
+void gw_args(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"flows", "es"});
+  for (const int64_t flows : {1, 10, 100, 1000, 10000, 100000, 1000000})
+    for (const int64_t es : {1, 0}) b->Args({flows, es});
+  b->Iterations(1);
+}
+BENCHMARK(BM_Fig13_Gateway)->Apply(gw_args);
+
+}  // namespace

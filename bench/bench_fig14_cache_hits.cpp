@@ -1,0 +1,49 @@
+// Fig. 14: fraction of packets served at each level of the OVS cache
+// hierarchy (microflow / megaflow / vswitchd slow path) on the gateway use
+// case as the active flow set grows — the mechanism behind Fig. 13's decay:
+// processing shifts level by level away from the fast microflow cache.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace esw;
+
+void BM_Fig14_OvsCacheHits(benchmark::State& state) {
+  const size_t n_flows = static_cast<size_t>(state.range(0));
+  const auto uc = uc::make_gateway(10, 20, 10000);
+  const auto ts = net::TrafficSet::from_flows(uc.traffic(n_flows, 42));
+
+  for (auto _ : state) {
+    ovs::OvsSwitch sw;
+    sw.install(uc.pipeline);
+    net::Packet p;
+    const size_t warm = std::min<size_t>(n_flows, 20000);
+    for (size_t i = 0; i < warm; ++i) {
+      ts.load(i, p);
+      sw.process(p);
+    }
+    sw.clear_stats();
+    const size_t n = std::max<size_t>(20000, std::min<size_t>(2 * n_flows, 100000));
+    for (size_t i = 0; i < n; ++i) {
+      ts.load(warm + i, p);
+      sw.process(p);
+    }
+    const auto& st = sw.stats();
+    const double total = static_cast<double>(st.packets);
+    state.counters["microflow"] = static_cast<double>(st.microflow_hits) / total;
+    state.counters["megaflow"] = static_cast<double>(st.megaflow_hits) / total;
+    state.counters["vswitchd"] = static_cast<double>(st.upcalls) / total;
+    state.counters["megaflow_entries"] = static_cast<double>(sw.megaflow().size());
+  }
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  b->ArgName("flows");
+  for (const int64_t flows : {1, 10, 100, 1000, 10000, 100000, 1000000}) b->Arg(flows);
+  b->Iterations(1);
+}
+BENCHMARK(BM_Fig14_OvsCacheHits)->Apply(args);
+
+}  // namespace

@@ -1,0 +1,56 @@
+// Fig. 15: last-level-cache misses per packet (gateway use case) as the
+// active flow set grows, ES vs OVS — measured here by replaying the traced
+// memory accesses of each datapath through the Table 1 cache-hierarchy
+// simulator (the substitution for the paper's hardware `perf` counters).
+//
+// Expected shape: ES near zero across the sweep; OVS exploding once
+// processing leaves the microflow cache.
+#include <benchmark/benchmark.h>
+
+#include "perf/costmodel.hpp"
+#include "perf/replay.hpp"
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace esw;
+
+void BM_Fig15_LlcMisses(benchmark::State& state) {
+  const size_t n_flows = static_cast<size_t>(state.range(0));
+  const bool use_es = state.range(1) == 1;
+  const auto uc = uc::make_gateway(10, 20, 10000);
+  const auto ts = net::TrafficSet::from_flows(uc.traffic(n_flows, 42));
+  // Replay through the cache simulator is ~100x slower than native execution
+  // (every touched line is classified); bound the per-point packet budget.
+  const uint64_t warm = std::min<uint64_t>(n_flows, 10000);
+  const uint64_t pkts = 5000;
+  const uint32_t fixed = perf::CostModel::gateway_model().fixed_cycles();
+
+  for (auto _ : state) {
+    perf::ReplayStats rs;
+    if (use_es) {
+      core::Eswitch sw;
+      sw.install(uc.pipeline);
+      rs = perf::run_cache_replay(
+          [&](net::Packet& p, MemTrace* t) { sw.process(p, t); }, ts, pkts, warm, fixed);
+    } else {
+      ovs::OvsSwitch sw;
+      sw.install(uc.pipeline);
+      rs = perf::run_cache_replay(
+          [&](net::Packet& p, MemTrace* t) { sw.process(p, t); }, ts, pkts, warm, fixed);
+    }
+    state.counters["llc_misses_per_pkt"] = rs.llc_misses_per_pkt;
+    state.counters["l1_hit_frac"] = rs.l1_hit_fraction;
+  }
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"flows", "es"});
+  for (const int64_t flows : {1, 10, 100, 1000, 10000, 100000, 1000000})
+    for (const int64_t es : {1, 0}) b->Args({flows, es});
+  b->Iterations(1);
+}
+BENCHMARK(BM_Fig15_LlcMisses)->Apply(args);
+
+}  // namespace

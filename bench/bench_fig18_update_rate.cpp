@@ -1,0 +1,167 @@
+// Fig. 18: packet rate (normalized to the unloaded case) on the gateway use
+// case at 1K active flows while the last-level routing table (Table 110) is
+// updated 1…100K times per second.
+//
+// Expected shape: ESWITCH retains most of its rate even at 100K updates/sec
+// (non-destructive per-table LPM updates); OVS collapses already at ~100
+// updates/sec because every update invalidates the entire megaflow cache.
+// A second series replays the paper's batched-update experiment (periodic
+// bursts of 20 adds + 20 deletes).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace esw;
+
+flow::FlowMod route_mod(uint32_t i, bool del) {
+  flow::FlowMod fm;
+  fm.command = del ? flow::FlowMod::Cmd::kDelete : flow::FlowMod::Cmd::kAdd;
+  fm.table_id = uc::kGatewayRoutingTable;
+  // Low priority: consistent with LPM ordering (no overlapping RIB rules
+  // under 240/8) and cheap to insert near the rule vector's tail.
+  fm.priority = 1;
+  // Churn /24s under 240/8 (outside the generated RIB).
+  fm.match.set(flow::FieldId::kIpDst, 0xF0000000u | ((i % 4096) << 8), 0xFFFFFF00u);
+  if (!del) fm.actions = {flow::Action::output(3)};
+  return fm;
+}
+
+template <typename ApplyFn, typename ProcessFn>
+double loaded_pps(double updates_per_sec, ApplyFn&& apply, ProcessFn&& process,
+                  const net::TrafficSet& ts) {
+  // Interleave packet processing with the prescribed update schedule.
+  net::Packet p;
+  // One warm pass first: the loaded period must measure steady state plus
+  // update disruption, not the initial cold-cache population.
+  for (size_t i = 0; i < ts.size(); ++i) {
+    ts.load(i, p);
+    process(p);
+  }
+  uint64_t pkts = 0;
+  uint32_t upd = 0;
+  double issued = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  double elapsed = 0;
+  while (elapsed < 0.15) {
+    for (int b = 0; b < 256; ++b) {
+      ts.load(pkts, p);
+      process(p);
+      ++pkts;
+    }
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    while (issued < elapsed * updates_per_sec) {
+      // Add a route, then delete that same route on the next tick, so the
+      // table size stays bounded and deletes always hit.
+      apply(route_mod(upd / 2, (upd & 1) != 0));
+      ++upd;
+      issued += 1;
+    }
+  }
+  return static_cast<double>(pkts) / elapsed;
+}
+
+void BM_Fig18_UpdateRate(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0));
+  const bool use_es = state.range(1) == 1;
+  const auto uc = uc::make_gateway(10, 20, 10000);
+  const auto ts = net::TrafficSet::from_flows(uc.traffic(1000, 42));
+
+  for (auto _ : state) {
+    double unloaded = 0, loaded = 0;
+    if (use_es) {
+      core::Eswitch sw;
+      sw.install(uc.pipeline);
+      unloaded = bench::measure([&](net::Packet& p) { sw.process(p); }, ts, 1000).pps;
+      loaded = loaded_pps(
+          rate, [&](const flow::FlowMod& fm) { sw.apply(fm); },
+          [&](net::Packet& p) { sw.process(p); }, ts);
+      state.counters["incremental_updates"] =
+          static_cast<double>(sw.update_stats().incremental);
+    } else {
+      ovs::OvsSwitch sw;
+      sw.install(uc.pipeline);
+      auto apply = [&](const flow::FlowMod& fm) {
+        if (fm.command == flow::FlowMod::Cmd::kDelete) {
+          sw.remove_flow(fm.table_id, fm.match, fm.priority);
+        } else {
+          flow::FlowEntry e;
+          e.match = fm.match;
+          e.priority = fm.priority;
+          e.actions = fm.actions;
+          sw.add_flow(fm.table_id, e);
+        }
+      };
+      unloaded = bench::measure([&](net::Packet& p) { sw.process(p); }, ts, 1000).pps;
+      loaded = loaded_pps(rate, apply, [&](net::Packet& p) { sw.process(p); }, ts);
+    }
+    state.counters["normed_rate"] = loaded / unloaded;
+    state.counters["pps"] = loaded;
+  }
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"updates_per_sec", "es"});
+  for (const int64_t rate : {1, 10, 100, 1000, 10000, 100000})
+    for (const int64_t es : {1, 0}) b->Args({rate, es});
+  b->Iterations(1);
+}
+BENCHMARK(BM_Fig18_UpdateRate)->Apply(args);
+
+// Batched updates: periodic bursts of 20 adds and 20 deletes (paper: at most
+// 3% rate change for ESWITCH, 23% for OVS).
+void BM_Fig18_BatchedUpdates(benchmark::State& state) {
+  const bool use_es = state.range(0) == 1;
+  const auto uc = uc::make_gateway(10, 20, 10000);
+  const auto ts = net::TrafficSet::from_flows(uc.traffic(1000, 42));
+
+  for (auto _ : state) {
+    double unloaded = 0, loaded = 0;
+    if (use_es) {
+      core::Eswitch sw;
+      sw.install(uc.pipeline);
+      unloaded = bench::measure([&](net::Packet& p) { sw.process(p); }, ts, 1000).pps;
+      uint32_t i = 0;
+      loaded = loaded_pps(
+          50.0,  // 50 bursts/sec...
+          [&](const flow::FlowMod&) {
+            std::vector<flow::FlowMod> batch;
+            for (int k = 0; k < 20; ++k) batch.push_back(route_mod(i + k, false));
+            for (int k = 0; k < 20; ++k) batch.push_back(route_mod(i + k, true));
+            sw.apply_batch(batch);
+            i += 20;
+          },
+          [&](net::Packet& p) { sw.process(p); }, ts);
+    } else {
+      ovs::OvsSwitch sw;
+      sw.install(uc.pipeline);
+      unloaded = bench::measure([&](net::Packet& p) { sw.process(p); }, ts, 1000).pps;
+      uint32_t i = 0;
+      loaded = loaded_pps(
+          50.0,
+          [&](const flow::FlowMod&) {
+            for (int k = 0; k < 20; ++k) {
+              flow::FlowEntry e;
+              const auto fm = route_mod(i + k, false);
+              e.match = fm.match;
+              e.priority = fm.priority;
+              e.actions = fm.actions;
+              sw.add_flow(fm.table_id, e);
+            }
+            for (int k = 0; k < 20; ++k) {
+              const auto fm = route_mod(i + k, true);
+              sw.remove_flow(fm.table_id, fm.match, fm.priority);
+            }
+            i += 20;
+          },
+          [&](net::Packet& p) { sw.process(p); }, ts);
+    }
+    state.counters["normed_rate"] = loaded / unloaded;
+  }
+}
+BENCHMARK(BM_Fig18_BatchedUpdates)->Arg(1)->Arg(0)->ArgName("es")->Iterations(1);
+
+}  // namespace

@@ -1,0 +1,42 @@
+// Fig. 20 (table): the per-stage cycle atoms of the gateway pipeline's
+// performance model and the composed best/typical/worst-case estimates
+// (§4.4: 166 + 3·Lx -> 178/202/253 cycles; 11.2/9.9/7.9 Mpps at 2 GHz).
+//
+// The model itself is platform-independent; counters report both the paper's
+// 2 GHz testbed numbers and this host's TSC-frequency-scaled equivalents.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/tsc.hpp"
+#include "perf/costmodel.hpp"
+
+namespace {
+
+using namespace esw;
+
+void BM_Fig20_GatewayModel(benchmark::State& state) {
+  const auto model = perf::CostModel::gateway_model();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.cycles(4));
+  }
+  std::printf("\n  %-28s %10s %10s\n", "pipeline stage", "cycles", "Lx loads");
+  for (const auto& s : model.stages())
+    std::printf("  %-28s %10u %10u\n", s.name.c_str(), s.fixed_cycles,
+                s.variable_accesses);
+
+  state.counters["fixed_cycles"] = model.fixed_cycles();
+  state.counters["variable_accesses"] = model.variable_accesses();
+  state.counters["cycles_all_L1"] = model.cycles(4);
+  state.counters["cycles_all_L2"] = model.cycles(12);
+  state.counters["cycles_all_L3"] = model.cycles(29);
+  state.counters["paper_2GHz_ub_mpps"] = model.pps(2.0, 4) / 1e6;
+  state.counters["paper_2GHz_mid_mpps"] = model.pps(2.0, 12) / 1e6;
+  state.counters["paper_2GHz_lb_mpps"] = model.pps(2.0, 29) / 1e6;
+  const double ghz = tsc_ghz();
+  state.counters["host_ub_mpps"] = model.pps(ghz, 4) / 1e6;
+  state.counters["host_lb_mpps"] = model.pps(ghz, 29) / 1e6;
+}
+BENCHMARK(BM_Fig20_GatewayModel)->Iterations(1);
+
+}  // namespace

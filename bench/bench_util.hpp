@@ -1,0 +1,57 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Throughput points use a fixed measurement window (run_loop) inside a single
+// google-benchmark iteration and report packets/second as a counter, so every
+// series point costs a bounded, predictable amount of wall time.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "core/eswitch.hpp"
+#include "netio/nfpa.hpp"
+#include "ovs/ovs_switch.hpp"
+#include "usecases/usecases.hpp"
+
+namespace esw::bench {
+
+inline net::RunOpts measure_opts(size_t n_flows) {
+  net::RunOpts opts;
+  opts.min_seconds = 0.05;
+  opts.min_packets = 4000;
+  // One pass over the active flows warms the flow caches (bounded so the
+  // slow-path-bound baseline finishes in reasonable time; steady-state
+  // thrashing shows regardless once flows exceed the cache sizes).
+  opts.warmup_packets = std::min<uint64_t>(n_flows, 20000);
+  return opts;
+}
+
+inline net::RunStats measure(const std::function<void(net::Packet&)>& fn,
+                             const net::TrafficSet& ts, size_t n_flows) {
+  return net::run_loop(ts, fn, measure_opts(n_flows));
+}
+
+/// Standard ES-vs-OVS throughput point for a use case.
+inline void throughput_point(benchmark::State& state, const uc::UseCase& uc,
+                             size_t n_flows, bool use_eswitch,
+                             const core::CompilerConfig& cfg = {},
+                             const ovs::OvsSwitch::Config& ocfg = {}) {
+  const auto ts = net::TrafficSet::from_flows(uc.traffic(n_flows, 42));
+  for (auto _ : state) {
+    net::RunStats st;
+    if (use_eswitch) {
+      core::Eswitch sw(cfg);
+      sw.install(uc.pipeline);
+      st = measure([&](net::Packet& p) { sw.process(p); }, ts, n_flows);
+    } else {
+      ovs::OvsSwitch sw(ocfg);
+      sw.install(uc.pipeline);
+      st = measure([&](net::Packet& p) { sw.process(p); }, ts, n_flows);
+    }
+    state.counters["pps"] = st.pps;
+    state.counters["cycles_per_pkt"] = st.cycles_per_pkt;
+  }
+}
+
+}  // namespace esw::bench

@@ -1,0 +1,82 @@
+// The paper's Fig. 8 access gateway (vPE): VLAN-tagged users behind customer
+// endpoints, per-CE NAT tables, an LPM routing stage — with the reactive
+// controller loop: unknown users are punted, admitted, and a NAT rule is
+// installed via flow-mod, after which their traffic takes the fast path.
+//
+//   $ ./access_gateway
+#include <cstdio>
+
+#include "core/eswitch.hpp"
+#include "flow/dsl.hpp"
+#include "proto/build.hpp"
+#include "usecases/usecases.hpp"
+
+using namespace esw;
+
+namespace {
+
+net::Packet user_packet(uint32_t ce, uint32_t user, uint16_t dport) {
+  proto::PacketSpec s;
+  s.kind = proto::PacketKind::kUdp;
+  s.vlan_vid = static_cast<uint16_t>(100 + ce);
+  s.ip_src = 0x0A000002u + user;
+  s.ip_dst = flow::parse_ipv4("93.184.216.34");
+  s.sport = 5555;
+  s.dport = dport;
+  net::Packet p;
+  p.set_len(proto::build_packet(s, p.data(), net::Packet::kMaxFrame));
+  p.set_in_port(1 + ce);
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  const auto uc = uc::make_gateway(10, 20, 10000);
+  core::Eswitch sw;
+  sw.install(uc.pipeline);
+
+  std::printf("gateway pipeline compiled:\n");
+  for (const auto& t : sw.pipeline().tables())
+    std::printf("  table %3u: %5zu rules -> %s\n", t.id(), t.size(),
+                core::to_string(sw.table_template(t.id())));
+
+  // A provisioned user: NAT + route on the fast path.
+  net::Packet p = user_packet(/*ce=*/2, /*user=*/3, 53);
+  flow::Verdict v = sw.process(p);
+  proto::ParseInfo pi;
+  proto::parse(p.data(), p.len(), proto::ParserPlan::full(), pi);
+  std::printf("user 3 @ CE 2 -> port %u, src rewritten to %s (VLAN stripped: %s)\n",
+              v.port,
+              flow::format_ipv4(static_cast<uint32_t>(
+                                    flow::extract_field(flow::FieldId::kIpSrc, p.data(), pi)))
+                  .c_str(),
+              pi.has(proto::kProtoVlan) ? "no" : "yes");
+
+  // An unknown user: admission control through the controller.
+  net::Packet unknown = user_packet(2, /*user=*/77, 53);
+  v = sw.process(unknown);
+  std::printf("user 77 @ CE 2 -> %s\n",
+              v.kind == flow::Verdict::Kind::kController ? "punted to controller"
+                                                         : "unexpected");
+
+  // The controller admits the user and installs its NAT rule reactively.
+  flow::FlowMod fm;
+  fm.table_id = 3;  // per-CE table for CE 2
+  fm.priority = 10;
+  fm.match.set(flow::FieldId::kIpSrc, 0x0A000002u + 77);
+  fm.actions = {flow::Action::pop_vlan(),
+                flow::Action::set_field(flow::FieldId::kIpSrc,
+                                        0x64400000u | (2u << 8) | 77u)};
+  fm.goto_table = uc::kGatewayRoutingTable;
+  sw.apply(fm);
+  std::printf("controller installed NAT rule for user 77 (incremental updates: %llu)\n",
+              static_cast<unsigned long long>(sw.update_stats().incremental));
+
+  net::Packet retry = user_packet(2, 77, 53);
+  v = sw.process(retry);
+  std::printf("user 77 retry -> %s port %u\n",
+              v.kind == flow::Verdict::Kind::kOutput ? "forwarded" : "not forwarded",
+              v.port);
+  return 0;
+}

@@ -1,0 +1,137 @@
+#include "cls/exact_match.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace esw::cls {
+
+ExactMatchTable::ExactMatchTable(const Config& cfg) : cfg_(cfg) { slots_.resize(16); }
+
+const ExactMatchTable::Slot* ExactMatchTable::find_slot(const uint8_t* key,
+                                                        uint32_t key_len,
+                                                        MemTrace* trace) const {
+  const uint64_t h = hash_bytes(key, key_len, seed_);
+  const uint32_t mask = capacity() - 1;
+  for (uint32_t i = 0; i < capacity(); ++i) {
+    const Slot& s = slots_[(h + i) & mask];
+    if (trace) trace->touch(&s, sizeof(Slot));
+    if (s.key_pos == Slot::kEmpty) return nullptr;
+    if (s.key_pos == Slot::kTomb) continue;
+    if (s.hash == h && s.key_len == key_len &&
+        std::memcmp(arena_.data() + s.key_pos, key, key_len) == 0) {
+      if (trace) trace->touch(arena_.data() + s.key_pos, key_len);
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<uint32_t> ExactMatchTable::lookup(const uint8_t* key, uint32_t key_len,
+                                                MemTrace* trace) const {
+  const Slot* s = find_slot(key, key_len, trace);
+  if (s == nullptr) return std::nullopt;
+  return s->value;
+}
+
+void ExactMatchTable::insert(const uint8_t* key, uint32_t key_len, uint32_t value) {
+  ESW_CHECK(key_len > 0 && key_len <= 0xFFFF);
+  // Overwrite in place when present.
+  if (const Slot* s = find_slot(key, key_len, nullptr)) {
+    const_cast<Slot*>(s)->value = value;
+    for (Item& it : items_)
+      if (it.key_pos == s->key_pos) it.value = value;
+    return;
+  }
+
+  const uint32_t key_pos = static_cast<uint32_t>(arena_.size());
+  arena_.insert(arena_.end(), key, key + key_len);
+  items_.push_back({key_pos, static_cast<uint16_t>(key_len), value});
+  ++size_;
+
+  if (static_cast<double>(size_) > cfg_.max_load * capacity()) {
+    rebuild(capacity() * 2);
+    return;
+  }
+
+  // Probe for a free slot; rebuild with a fresh seed if the chain gets long
+  // (the "perfect hash" construction from the paper).
+  const uint64_t h = hash_bytes(key, key_len, seed_);
+  const uint32_t mask = capacity() - 1;
+  for (uint32_t i = 0; i < capacity(); ++i) {
+    Slot& s = slots_[(h + i) & mask];
+    if (s.key_pos == Slot::kEmpty || s.key_pos == Slot::kTomb) {
+      if (i >= cfg_.max_probe) break;  // chain too long: rebuild below
+      s = {key_pos, static_cast<uint16_t>(key_len), value, h};
+      return;
+    }
+  }
+  rebuild(capacity());
+}
+
+bool ExactMatchTable::erase(const uint8_t* key, uint32_t key_len) {
+  const Slot* s = find_slot(key, key_len, nullptr);
+  if (s == nullptr) return false;
+  const uint32_t pos = s->key_pos;
+  const_cast<Slot*>(s)->key_pos = Slot::kTomb;
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].key_pos == pos) {
+      items_[i] = items_.back();
+      items_.pop_back();
+      break;
+    }
+  }
+  --size_;
+  return true;
+}
+
+bool ExactMatchTable::try_insert_all(uint32_t cap, uint64_t seed) {
+  std::vector<Slot> fresh(cap);
+  const uint32_t mask = cap - 1;
+  for (const Item& it : items_) {
+    const uint64_t h = hash_bytes(arena_.data() + it.key_pos, it.key_len, seed);
+    bool placed = false;
+    for (uint32_t i = 0; i <= cfg_.max_probe; ++i) {
+      Slot& s = fresh[(h + i) & mask];
+      if (s.key_pos == Slot::kEmpty) {
+        s = {it.key_pos, it.key_len, it.value, h};
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return false;
+  }
+  slots_ = std::move(fresh);
+  seed_ = seed;
+  return true;
+}
+
+void ExactMatchTable::rebuild(uint32_t min_cap) {
+  ++rebuilds_;
+  uint32_t cap = min_cap < 16 ? 16 : min_cap;
+  while (static_cast<double>(size_) > cfg_.max_load * cap) cap *= 2;
+  uint64_t seed = seed_;
+  for (;;) {
+    for (uint32_t attempt = 0; attempt < cfg_.seed_attempts; ++attempt) {
+      seed = mix64(seed + attempt + cap);
+      if (try_insert_all(cap, seed)) return;
+    }
+    cap *= 2;  // couldn't make it collision-light at this size
+  }
+}
+
+uint32_t ExactMatchTable::longest_probe() const {
+  uint32_t longest = 0;
+  const uint32_t mask = capacity() - 1;
+  for (const Slot& s : slots_) {
+    if (s.key_pos >= Slot::kTomb) continue;
+    const uint32_t home = static_cast<uint32_t>(s.hash) & mask;
+    const uint32_t at = static_cast<uint32_t>(&s - slots_.data());
+    longest = std::max(longest, (at - home) & mask);
+  }
+  return longest;
+}
+
+}  // namespace esw::cls

@@ -1,0 +1,74 @@
+// Open-addressing exact-match table over byte-string keys — the engine behind
+// the paper's *compound hash* template (§3.1).
+//
+// Mirrors the paper's "collision free hash": inserts trigger seed/size
+// rebuilds until the longest probe chain is short, trading build time and
+// memory for near-constant lookups ("it requires more memory and more time to
+// build, [but] it supports fast constant time lookups").  Incremental add and
+// remove are supported; rebuilds are internal.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/memtrace.hpp"
+
+namespace esw::cls {
+
+class ExactMatchTable {
+ public:
+  struct Config {
+    uint32_t max_probe = 4;       // rebuild when a chain would exceed this
+    uint32_t seed_attempts = 8;   // reseed tries before growing instead
+    double max_load = 0.7;
+  };
+
+  ExactMatchTable() : ExactMatchTable(Config{}) {}
+  explicit ExactMatchTable(const Config& cfg);
+
+  /// Inserts or overwrites; may rebuild internally.
+  void insert(const uint8_t* key, uint32_t key_len, uint32_t value);
+
+  /// Removes a key; true if it was present.
+  bool erase(const uint8_t* key, uint32_t key_len);
+
+  /// Constant-time lookup.
+  std::optional<uint32_t> lookup(const uint8_t* key, uint32_t key_len,
+                                 MemTrace* trace = nullptr) const;
+
+  size_t size() const { return size_; }
+  uint32_t capacity() const { return static_cast<uint32_t>(slots_.size()); }
+  uint64_t rebuilds() const { return rebuilds_; }
+  uint32_t longest_probe() const;
+
+ private:
+  struct Slot {
+    static constexpr uint32_t kEmpty = 0xFFFFFFFF;
+    static constexpr uint32_t kTomb = 0xFFFFFFFE;
+    uint32_t key_pos = kEmpty;  // offset into arena_, or sentinel
+    uint16_t key_len = 0;
+    uint32_t value = 0;
+    uint64_t hash = 0;
+  };
+
+  bool try_insert_all(uint32_t cap, uint64_t seed);
+  void rebuild(uint32_t min_cap);
+  const Slot* find_slot(const uint8_t* key, uint32_t key_len, MemTrace* trace) const;
+
+  Config cfg_;
+  uint64_t seed_ = 0x9E3779B97F4A7C15ULL;
+  std::vector<Slot> slots_;
+  std::vector<uint8_t> arena_;
+  // Live (key_pos,key_len,value) mirror used for rebuilds.
+  struct Item {
+    uint32_t key_pos;
+    uint16_t key_len;
+    uint32_t value;
+  };
+  std::vector<Item> items_;
+  size_t size_ = 0;
+  uint64_t rebuilds_ = 0;
+};
+
+}  // namespace esw::cls

@@ -1,0 +1,160 @@
+#include "cls/lpm.hpp"
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace esw::cls {
+
+namespace {
+uint32_t prefix_mask32(uint8_t len) {
+  return len == 0 ? 0 : static_cast<uint32_t>(low_bits(len) << (32 - len));
+}
+}  // namespace
+
+LpmTable::LpmTable(uint32_t max_tbl8_groups)
+    : tbl24_(1u << 24, 0), max_tbl8_groups_(max_tbl8_groups) {}
+
+uint32_t LpmTable::alloc_tbl8(uint32_t fill_entry) {
+  uint32_t group;
+  if (!free_tbl8_.empty()) {
+    group = free_tbl8_.back();
+    free_tbl8_.pop_back();
+  } else {
+    ESW_CHECK_MSG(tbl8_used_ < max_tbl8_groups_, "out of tbl8 groups");
+    group = tbl8_used_++;
+    if (tbl8_.size() < size_t{tbl8_used_} * 256) tbl8_.resize(size_t{tbl8_used_} * 256, 0);
+  }
+  for (uint32_t j = 0; j < 256; ++j) tbl8_[size_t{group} * 256 + j] = fill_entry;
+  return group;
+}
+
+void LpmTable::write_range24(uint32_t first, uint32_t last, uint32_t entry,
+                             uint8_t at_depth) {
+  for (uint32_t i = first; i <= last; ++i) {
+    const uint32_t e = tbl24_[i];
+    if (ext(e)) {
+      // Overwrite only the shallower cells of the extension group.
+      const uint32_t g = value(e);
+      for (uint32_t j = 0; j < 256; ++j) {
+        uint32_t& cell = tbl8_[size_t{g} * 256 + j];
+        if (!valid(cell) || depth(cell) <= at_depth) cell = entry;
+      }
+    } else if (!valid(e) || depth(e) <= at_depth) {
+      tbl24_[i] = entry;
+    }
+  }
+}
+
+void LpmTable::write_tbl8_range(uint32_t group, uint32_t first, uint32_t last,
+                                uint32_t entry, uint8_t at_depth) {
+  for (uint32_t j = first; j <= last; ++j) {
+    uint32_t& cell = tbl8_[size_t{group} * 256 + j];
+    if (!valid(cell) || depth(cell) <= at_depth) cell = entry;
+  }
+}
+
+void LpmTable::add(uint32_t prefix, uint8_t len, uint32_t value_in) {
+  ESW_CHECK(len <= 32);
+  ESW_CHECK_MSG(value_in <= kMaxValue, "LPM value exceeds 24 bits");
+  prefix &= prefix_mask32(len);
+  rules_[{len, prefix}] = value_in;
+
+  if (len <= 24) {
+    const uint32_t first = prefix >> 8;
+    const uint32_t last = first + (1u << (24 - len)) - 1;
+    write_range24(first, last, make(value_in, len, false), len);
+    return;
+  }
+
+  const uint32_t i = prefix >> 8;
+  uint32_t e = tbl24_[i];
+  uint32_t group;
+  if (ext(e)) {
+    group = value(e);
+  } else {
+    // Seed a fresh group with whatever covered this /24 before.
+    const uint32_t fill = valid(e) ? e : 0;
+    group = alloc_tbl8(fill);
+    tbl24_[i] = make(group, 0, true);
+  }
+  const uint32_t lo = prefix & 0xFF;
+  const uint32_t hi = lo + (1u << (32 - len)) - 1;
+  write_tbl8_range(group, lo, hi, make(value_in, len, false), len);
+}
+
+bool LpmTable::remove(uint32_t prefix, uint8_t len) {
+  ESW_CHECK(len <= 32);
+  prefix &= prefix_mask32(len);
+  if (rules_.erase({len, prefix}) == 0) return false;
+
+  // Longest covering ancestor takes over the freed range (rte_lpm's delete).
+  uint32_t repl = 0;
+  for (int alen = len - 1; alen >= 0; --alen) {
+    const uint32_t ap = prefix & prefix_mask32(static_cast<uint8_t>(alen));
+    const auto it = rules_.find({static_cast<uint8_t>(alen), ap});
+    if (it != rules_.end()) {
+      repl = make(it->second, static_cast<uint8_t>(alen), false);
+      break;
+    }
+  }
+
+  if (len <= 24) {
+    const uint32_t first = prefix >> 8;
+    const uint32_t last = first + (1u << (24 - len)) - 1;
+    for (uint32_t i = first; i <= last; ++i) {
+      const uint32_t e = tbl24_[i];
+      if (ext(e)) {
+        const uint32_t g = value(e);
+        for (uint32_t j = 0; j < 256; ++j) {
+          uint32_t& cell = tbl8_[size_t{g} * 256 + j];
+          if (valid(cell) && !ext(cell) && depth(cell) == len) cell = repl;
+        }
+      } else if (valid(e) && depth(e) == len) {
+        tbl24_[i] = repl;
+      }
+    }
+    return true;
+  }
+
+  const uint32_t i = prefix >> 8;
+  const uint32_t e = tbl24_[i];
+  if (!ext(e)) return true;  // nothing materialized (shouldn't happen)
+  const uint32_t g = value(e);
+  const uint32_t lo = prefix & 0xFF;
+  const uint32_t hi = lo + (1u << (32 - len)) - 1;
+  for (uint32_t j = lo; j <= hi; ++j) {
+    uint32_t& cell = tbl8_[size_t{g} * 256 + j];
+    if (valid(cell) && depth(cell) == len) cell = repl;
+  }
+
+  // Fold the group back into tbl24 when no >24-depth cell remains.  All
+  // remaining cells are then identical (a ≤ /24 rule always covers the whole
+  // group range).
+  bool has_deep = false;
+  for (uint32_t j = 0; j < 256; ++j) {
+    const uint32_t cell = tbl8_[size_t{g} * 256 + j];
+    if (valid(cell) && depth(cell) > 24) {
+      has_deep = true;
+      break;
+    }
+  }
+  if (!has_deep) {
+    tbl24_[i] = tbl8_[size_t{g} * 256];
+    free_tbl8_.push_back(g);
+  }
+  return true;
+}
+
+std::optional<uint32_t> LpmTable::lookup(uint32_t addr, MemTrace* trace) const {
+  const uint32_t e = tbl24_[addr >> 8];
+  if (trace) trace->touch(&tbl24_[addr >> 8], 4);
+  if (!valid(e)) return std::nullopt;
+  if (!ext(e)) return value(e);
+  const size_t idx = size_t{value(e)} * 256 + (addr & 0xFF);
+  const uint32_t cell = tbl8_[idx];
+  if (trace) trace->touch(&tbl8_[idx], 4);
+  if (!valid(cell)) return std::nullopt;
+  return value(cell);
+}
+
+}  // namespace esw::cls

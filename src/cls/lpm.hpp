@@ -1,0 +1,75 @@
+// Longest-prefix-match table for IPv4 — a reimplementation of DPDK's
+// rte_lpm DIR-24-8 layout, which the paper's LPM template wraps (§3.1,
+// "Our prototype uses the Intel DPDK built-in rte_lpm library").
+//
+// tbl24 resolves the top 24 bits in one access; prefixes longer than /24
+// extend into per-/24 tbl8 groups, giving at most two memory accesses per
+// lookup (the 13 + 2·Lx cycles atom of the paper's Fig. 20 model).
+// Incremental add/delete follow the rte_lpm algorithm: a deleted rule's range
+// is re-covered by its longest covering ancestor.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/memtrace.hpp"
+
+namespace esw::cls {
+
+class LpmTable {
+ public:
+  static constexpr uint32_t kMaxValue = (1u << 24) - 1;
+
+  explicit LpmTable(uint32_t max_tbl8_groups = 256);
+
+  /// Adds/overwrites a route; `len` in [0, 32], `prefix` in host order.
+  /// A /0 entry acts as the default route.  Throws when tbl8 groups run out.
+  void add(uint32_t prefix, uint8_t len, uint32_t value);
+
+  /// Removes a route; true if it existed.  The freed range falls back to the
+  /// longest covering ancestor (or to a miss).
+  bool remove(uint32_t prefix, uint8_t len);
+
+  /// Longest-prefix lookup; nullopt on miss.
+  std::optional<uint32_t> lookup(uint32_t addr, MemTrace* trace = nullptr) const;
+
+  size_t num_rules() const { return rules_.size(); }
+  uint32_t tbl8_groups_used() const { return tbl8_used_; }
+
+  /// Approximate resident bytes of the lookup structure (for working-set and
+  /// cache-model accounting).
+  size_t memory_bytes() const {
+    return tbl24_.size() * 4 + tbl8_.size() * 4;
+  }
+
+ private:
+  // Entry encoding (host integer): bit31 valid, bit30 ext (tbl24 only),
+  // bits 29..24 depth, bits 23..0 value or tbl8 group index.
+  static constexpr uint32_t kValid = 1u << 31;
+  static constexpr uint32_t kExt = 1u << 30;
+  static uint32_t make(uint32_t value, uint8_t depth, bool ext) {
+    return kValid | (ext ? kExt : 0) | (uint32_t{depth} << 24) | (value & kMaxValue);
+  }
+  static bool valid(uint32_t e) { return (e & kValid) != 0; }
+  static bool ext(uint32_t e) { return (e & kExt) != 0; }
+  static uint8_t depth(uint32_t e) { return static_cast<uint8_t>((e >> 24) & 0x3F); }
+  static uint32_t value(uint32_t e) { return e & kMaxValue; }
+
+  uint32_t alloc_tbl8(uint32_t fill_entry);
+  void write_range24(uint32_t first, uint32_t last, uint32_t entry, uint8_t at_depth);
+  void write_tbl8_range(uint32_t group, uint32_t first, uint32_t last, uint32_t entry,
+                        uint8_t at_depth);
+
+  std::vector<uint32_t> tbl24_;  // 2^24 entries
+  std::vector<uint32_t> tbl8_;   // groups of 256
+  uint32_t max_tbl8_groups_;
+  uint32_t tbl8_used_ = 0;
+  std::vector<uint32_t> free_tbl8_;
+
+  // Rule store for ancestor recovery on delete: key = (len, prefix).
+  std::map<std::pair<uint8_t, uint32_t>, uint32_t> rules_;
+};
+
+}  // namespace esw::cls

@@ -1,0 +1,58 @@
+#include "cls/range_tree.hpp"
+
+#include <algorithm>
+
+namespace esw::cls {
+
+void RangeTree::build(std::vector<Rule> rules) {
+  n_rules_ = rules.size();
+  starts_.clear();
+  values_.clear();
+
+  // Boundary sweep: every lo and every hi+1 opens an elementary interval.
+  std::vector<uint64_t> bounds;
+  bounds.reserve(rules.size() * 2 + 1);
+  bounds.push_back(0);
+  for (const Rule& r : rules) {
+    bounds.push_back(r.lo);
+    if (r.hi != ~uint64_t{0}) bounds.push_back(r.hi + 1);
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  // Rank-sort so the first covering rule wins each interval.
+  std::sort(rules.begin(), rules.end(),
+            [](const Rule& a, const Rule& b) { return a.rank < b.rank; });
+
+  starts_.reserve(bounds.size());
+  values_.reserve(bounds.size());
+  for (const uint64_t b : bounds) {
+    int64_t winner = -1;
+    for (const Rule& r : rules) {
+      if (r.lo <= b && b <= r.hi) {
+        winner = static_cast<int64_t>(r.value);
+        break;
+      }
+    }
+    // Merge with the previous interval when the winner is unchanged.
+    if (!values_.empty() && values_.back() == winner) continue;
+    starts_.push_back(b);
+    values_.push_back(winner);
+  }
+}
+
+std::optional<uint32_t> RangeTree::lookup(uint64_t key, MemTrace* trace) const {
+  if (starts_.empty()) return std::nullopt;
+  // Last interval with start <= key.
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), key);
+  const size_t idx = static_cast<size_t>(it - starts_.begin()) - 1;
+  if (trace != nullptr) {
+    trace->touch(&starts_[idx], sizeof(uint64_t));
+    trace->touch(&values_[idx], sizeof(int64_t));
+  }
+  const int64_t v = values_[idx];
+  if (v < 0) return std::nullopt;
+  return static_cast<uint32_t>(v);
+}
+
+}  // namespace esw::cls

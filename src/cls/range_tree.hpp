@@ -1,0 +1,49 @@
+// Flattened interval classifier — the engine behind the *range* table
+// template (§3.1 names "range search for port matches" as the natural next
+// template; this is that extension).
+//
+// Input: possibly-overlapping value ranges with ranks (lower rank wins —
+// priority order).  Build flattens them into disjoint elementary intervals by
+// boundary sweep; lookup is one binary search, O(log n), independent of rule
+// overlap structure.  Unlike the LPM template this imposes *no* ordering
+// prerequisite between overlapping rules: the sweep bakes the winner in.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/memtrace.hpp"
+
+namespace esw::cls {
+
+class RangeTree {
+ public:
+  struct Rule {
+    uint64_t lo;
+    uint64_t hi;  // inclusive
+    uint32_t rank;
+    uint32_t value;
+  };
+
+  /// Builds from `rules`; on overlap the lowest rank wins everywhere.
+  void build(std::vector<Rule> rules);
+
+  /// Value of the winning rule covering `key`, or nullopt.
+  std::optional<uint32_t> lookup(uint64_t key, MemTrace* trace = nullptr) const;
+
+  size_t num_intervals() const { return starts_.size(); }
+  size_t num_rules() const { return n_rules_; }
+  size_t memory_bytes() const {
+    return starts_.size() * (sizeof(uint64_t) + sizeof(int64_t));
+  }
+
+ private:
+  // Parallel arrays: interval i covers [starts_[i], starts_[i+1]) (last one
+  // up to UINT64_MAX); values_[i] < 0 means no rule covers it.
+  std::vector<uint64_t> starts_;
+  std::vector<int64_t> values_;
+  size_t n_rules_ = 0;
+};
+
+}  // namespace esw::cls

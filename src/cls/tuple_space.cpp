@@ -1,0 +1,7 @@
+#include "cls/tuple_space.hpp"
+
+// TupleSpace is a header-only template; this TU type-checks a common
+// instantiation at library build time.
+namespace esw::cls {
+template class TupleSpace<uint64_t>;
+}  // namespace esw::cls

@@ -1,0 +1,46 @@
+// Lightweight invariant checking used on control-plane paths.
+//
+// ESW_CHECK throws on violation (control plane may recover / report);
+// ESW_DCHECK compiles away in release builds and is meant for datapath-adjacent
+// code where a failed invariant is a programming error.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace esw {
+
+/// Error thrown when a control-plane invariant is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "ESW_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace esw
+
+#define ESW_CHECK(expr)                                               \
+  do {                                                                \
+    if (!(expr)) ::esw::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define ESW_CHECK_MSG(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr)) ::esw::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define ESW_DCHECK(expr) ((void)0)
+#else
+#define ESW_DCHECK(expr) ESW_CHECK(expr)
+#endif

@@ -1,0 +1,50 @@
+// Deterministic, seedable PRNG (xoshiro256**) used by traffic generators and
+// property tests so every experiment is reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bits.hpp"
+
+namespace esw {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed) {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      word = mix64(x);
+    }
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound); bound must be nonzero.
+  uint64_t below(uint64_t bound) { return next() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive.
+  uint64_t range(uint64_t lo, uint64_t hi) { return lo + below(hi - lo + 1); }
+
+  /// Bernoulli trial with probability num/den.
+  bool chance(uint64_t num, uint64_t den) { return below(den) < num; }
+
+  double uniform01() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace esw

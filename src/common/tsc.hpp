@@ -1,0 +1,41 @@
+// Cycle counting (rdtsc on x86-64, steady_clock fallback) with one-time
+// calibration of the TSC frequency so results can be reported both in cycles
+// and in wall-clock packet rates.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace esw {
+
+#if defined(__x86_64__)
+inline uint64_t rdtsc() {
+  uint32_t lo, hi;
+  asm volatile("rdtsc" : "=a"(lo), "=d"(hi));
+  return (uint64_t{hi} << 32) | lo;
+}
+#else
+inline uint64_t rdtsc() {
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+#endif
+
+/// Measured TSC ticks per nanosecond (calibrated once, ~10 ms).
+inline double tsc_ghz() {
+  static const double ghz = [] {
+    const auto t0 = std::chrono::steady_clock::now();
+    const uint64_t c0 = rdtsc();
+    // Busy-wait ~10ms for a stable estimate.
+    while (std::chrono::steady_clock::now() - t0 < std::chrono::milliseconds(10)) {
+    }
+    const uint64_t c1 = rdtsc();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    return static_cast<double>(c1 - c0) / ns;
+  }();
+  return ghz;
+}
+
+}  // namespace esw

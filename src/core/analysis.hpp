@@ -1,0 +1,75 @@
+// Flow table analysis (§3.2): decide which template a table compiles into.
+//
+// The compiler "always attempts to compile into the most efficient table
+// template available" and falls back along Fig. 4's chain when a prerequisite
+// fails: direct code (#flows ≤ CONST) → compound hash (global mask, exact
+// match) → LPM (single-field prefix rules, priorities consistent) → linked
+// list (no prerequisite).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/decompose.hpp"
+#include "core/template_kind.hpp"
+#include "flow/table.hpp"
+
+namespace esw::core {
+
+struct CompilerConfig {
+  /// Fig. 9's calibrated constant: tables up to this size compile directly.
+  uint32_t direct_code_max_entries = 4;
+  /// Emit x86-64 machine code for direct-code tables (else the portable
+  /// specialized interpreter over the same lowered IR).
+  bool enable_jit = true;
+  /// Run the Fig. 6 table decomposition pass on linked-list-bound tables.
+  bool enable_decomposition = false;
+  /// Upper bound on tables one decomposition may produce.
+  uint32_t decompose_max_tables = 4096;
+  /// Derive a minimal parser plan from the matched fields (parser templates);
+  /// false = always parse L2–L4 (the paper prototype's combined parser).
+  bool specialize_parser = true;
+  /// Force one template for every table (calibration benches / ablation).
+  std::optional<TableTemplate> force_template;
+  /// tbl8 budget for LPM tables.
+  uint32_t lpm_max_tbl8_groups = 1024;
+  /// Enable the range extension template (binary search over flattened
+  /// intervals) for single-field tables LPM cannot take.
+  bool enable_range_template = true;
+};
+
+/// Analysis input: (match, priority) pairs in priority-descending order —
+/// either a control-plane table or a decomposition-internal one.
+using AnalysisEntries = std::vector<DecomposedPipeline::Entry>;
+
+struct AnalysisResult {
+  TableTemplate chosen = TableTemplate::kLinkedList;
+  std::string reason;
+};
+
+/// Compound-hash prerequisite: all entries share one field set and identical
+/// per-field masks ("every field is matched by exactly the same mask in each
+/// entry"), plus at most one catch-all default with strictly lowest priority.
+/// On success reports the shared mask template via `mask_out` and whether a
+/// catch-all exists.
+bool hash_prerequisite(const AnalysisEntries& entries, flow::Match* mask_out,
+                       bool* has_catch_all);
+
+/// LPM prerequisite: single IPv4 field, prefix masks only, overlapping
+/// prefixes ordered so the more specific has strictly higher priority; at most
+/// one catch-all (the /0 default) with strictly lowest priority.
+bool lpm_prerequisite(const AnalysisEntries& entries, flow::FieldId* field_out);
+
+/// Range prerequisite (extension template): every non-catch-all entry matches
+/// exactly one shared field with a prefix-style mask (each rule = one aligned
+/// value range).  No ordering constraint — the interval flattening bakes
+/// priorities in — so it catches e.g. priority-inverted prefix tables that
+/// LPM must reject.
+bool range_prerequisite(const AnalysisEntries& entries, flow::FieldId* field_out);
+
+/// Template choice under `cfg`.
+AnalysisResult analyze_entries(const AnalysisEntries& entries, const CompilerConfig& cfg);
+AnalysisResult analyze_table(const flow::FlowTable& t, const CompilerConfig& cfg);
+
+}  // namespace esw::core

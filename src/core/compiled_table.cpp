@@ -1,0 +1,395 @@
+#include "core/compiled_table.hpp"
+
+#include <cstring>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace esw::core {
+
+using flow::FieldId;
+using flow::FlowEntry;
+using flow::Match;
+
+std::vector<BuildEntry> to_build_entries(const flow::FlowTable& t) {
+  std::vector<BuildEntry> out;
+  out.reserve(t.size());
+  for (const FlowEntry& e : t.entries())
+    out.push_back({e.match, e.priority, e.actions, e.goto_table, -1});
+  return out;
+}
+
+uint64_t resolve_result(const BuildEntry& e, BuildCtx& ctx) {
+  const int32_t action =
+      e.actions.empty() ? -1 : static_cast<int32_t>(ctx.registry.intern(e.actions));
+  int32_t next = -1;
+  if (e.internal_next >= 0) {
+    next = e.internal_next;
+  } else if (e.logical_goto != flow::kNoGoto) {
+    ESW_CHECK_MSG(static_cast<size_t>(e.logical_goto) < ctx.goto_map.size() &&
+                      ctx.goto_map[e.logical_goto] >= 0,
+                  "goto target not compiled");
+    next = ctx.goto_map[e.logical_goto];
+  }
+  return jit::pack_result(action, next);
+}
+
+// --- direct code -----------------------------------------------------------
+
+std::unique_ptr<DirectCodeTable> DirectCodeTable::build(
+    const std::vector<BuildEntry>& entries, BuildCtx& ctx, bool use_jit) {
+  auto t = std::make_unique<DirectCodeTable>();
+  t->lowered_.reserve(entries.size());
+  for (const BuildEntry& e : entries) {
+    jit::LoweredEntry le;
+    lower_match(e.match, le);
+    le.result = resolve_result(e, ctx);
+    t->lowered_.push_back(std::move(le));
+  }
+  if (use_jit) t->jit_ = jit::DirectCodeFn::compile(t->lowered_);
+  return t;
+}
+
+uint64_t DirectCodeTable::lookup(const uint8_t* pkt, const proto::ParseInfo& pi,
+                                 MemTrace* trace) const {
+  if (trace != nullptr) {
+    // Model the instruction-stream working set: the keys live *in the code*
+    // (§3.3 — "compiling match keys right into the code directs some of this
+    // load to the CPU instruction caches"), entry after entry until the hit.
+    for (const jit::LoweredEntry& e : lowered_) {
+      trace->touch(&e, 16 + e.tests.size() * sizeof(jit::FieldTest));
+      const uint64_t r = jit::interpret(&e, 1, pkt, pi);
+      if (r != jit::kMissResult) return r;
+    }
+    return jit::kMissResult;
+  }
+  if (jit_) return (*jit_)(pkt, pi);
+  return jit::interpret(lowered_.data(), lowered_.size(), pkt, pi);
+}
+
+size_t DirectCodeTable::memory_bytes() const {
+  size_t n = jit_ ? jit_->code_size() : 0;
+  for (const auto& e : lowered_) n += sizeof(e) + e.tests.size() * sizeof(jit::FieldTest);
+  return n;
+}
+
+// --- compound hash -----------------------------------------------------------
+
+std::unique_ptr<HashTemplateTable> HashTemplateTable::build(
+    const std::vector<BuildEntry>& entries, const Match& mask_template, BuildCtx& ctx) {
+  auto t = std::unique_ptr<HashTemplateTable>(new HashTemplateTable());
+  for (FieldId f : flow::MatchFields(mask_template)) {
+    t->fields_.push_back(f);
+    t->field_masks_.push_back(mask_template.mask(f));
+  }
+  t->proto_required_ = mask_template.proto_required();
+
+  // Entries arrive priority-descending: on duplicate keys the first (highest
+  // priority) wins, preserving flow-table semantics.
+  uint8_t key[8 * flow::kNumFields];
+  for (const BuildEntry& e : entries) {
+    if (e.match.is_catch_all()) {
+      if (!t->has_catch_all_) {
+        t->has_catch_all_ = true;
+        t->catch_all_priority_ = e.priority;
+        t->catch_all_result_ = resolve_result(e, ctx);
+        ++t->count_;
+      }
+      continue;
+    }
+    const uint32_t key_len = t->key_from_match(e.match, key);
+    if (t->index_.lookup(key, key_len).has_value()) continue;  // shadowed
+    t->stored_.push_back({resolve_result(e, ctx), e.priority});
+    t->index_.insert(key, key_len, static_cast<uint32_t>(t->stored_.size() - 1));
+    t->min_specific_priority_ = std::min(t->min_specific_priority_, e.priority);
+    ++t->count_;
+  }
+  return t;
+}
+
+uint32_t HashTemplateTable::key_from_match(const Match& m, uint8_t* out) const {
+  uint32_t n = 0;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const uint64_t v = m.value(fields_[i]) & field_masks_[i];
+    std::memcpy(out + n, &v, 8);
+    n += 8;
+  }
+  return n;
+}
+
+uint32_t HashTemplateTable::key_from_packet(const uint8_t* pkt,
+                                            const proto::ParseInfo& pi,
+                                            uint8_t* out) const {
+  uint32_t n = 0;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const uint64_t v = flow::extract_field(fields_[i], pkt, pi) & field_masks_[i];
+    std::memcpy(out + n, &v, 8);
+    n += 8;
+  }
+  return n;
+}
+
+uint64_t HashTemplateTable::lookup(const uint8_t* pkt, const proto::ParseInfo& pi,
+                                   MemTrace* trace) const {
+  if ((pi.proto_mask & proto_required_) == proto_required_) {
+    uint8_t key[8 * flow::kNumFields];
+    const uint32_t key_len = key_from_packet(pkt, pi, key);
+    if (const auto idx = index_.lookup(key, key_len, trace)) {
+      if (trace != nullptr) trace->touch(&stored_[*idx], sizeof(Stored));
+      return stored_[*idx].result;
+    }
+  }
+  return catch_all_result_;  // kMissResult when no default is configured
+}
+
+size_t HashTemplateTable::memory_bytes() const {
+  return index_.capacity() * 24 + stored_.size() * sizeof(Stored);
+}
+
+bool HashTemplateTable::try_add(const FlowEntry& e, BuildCtx& ctx) {
+  if (e.match.is_catch_all()) {
+    if (e.priority >= min_specific_priority_) return false;
+    const BuildEntry be{e.match, e.priority, e.actions, e.goto_table, -1};
+    if (!has_catch_all_) ++count_;
+    has_catch_all_ = true;
+    catch_all_priority_ = e.priority;
+    catch_all_result_ = resolve_result(be, ctx);
+    return true;
+  }
+  // Must share the template's exact mask set and outrank the default.
+  if (static_cast<unsigned>(__builtin_popcount(e.match.present_bits())) !=
+      fields_.size())
+    return false;
+  for (size_t i = 0; i < fields_.size(); ++i)
+    if (!e.match.has(fields_[i]) || e.match.mask(fields_[i]) != field_masks_[i])
+      return false;
+  if (has_catch_all_ && e.priority <= catch_all_priority_) return false;
+
+  uint8_t key[8 * flow::kNumFields];
+  const uint32_t key_len = key_from_match(e.match, key);
+  const BuildEntry be{e.match, e.priority, e.actions, e.goto_table, -1};
+  if (const auto idx = index_.lookup(key, key_len)) {
+    // Same key at another priority: keep whichever outranks (flow-table
+    // semantics); replacing same-priority entries updates in place.
+    if (stored_[*idx].priority > e.priority) return false;  // shadowed: rebuild-free no-op would lose the entry
+    stored_[*idx] = {resolve_result(be, ctx), e.priority};
+    return true;
+  }
+  stored_.push_back({resolve_result(be, ctx), e.priority});
+  index_.insert(key, key_len, static_cast<uint32_t>(stored_.size() - 1));
+  min_specific_priority_ = std::min(min_specific_priority_, e.priority);
+  ++count_;
+  return true;
+}
+
+bool HashTemplateTable::try_remove(const Match& m, uint16_t priority) {
+  if (m.is_catch_all()) {
+    if (!has_catch_all_ || catch_all_priority_ != priority) return false;
+    has_catch_all_ = false;
+    catch_all_result_ = jit::kMissResult;
+    --count_;
+    return true;
+  }
+  uint8_t key[8 * flow::kNumFields];
+  // Shape check (cheap) before the hash probe.
+  if (static_cast<unsigned>(__builtin_popcount(m.present_bits())) != fields_.size())
+    return false;
+  for (size_t i = 0; i < fields_.size(); ++i)
+    if (!m.has(fields_[i]) || m.mask(fields_[i]) != field_masks_[i]) return false;
+  const uint32_t key_len = key_from_match(m, key);
+  const auto idx = index_.lookup(key, key_len);
+  if (!idx || stored_[*idx].priority != priority) return false;
+  index_.erase(key, key_len);
+  --count_;
+  // stored_ slot leaks until the next rebuild; acceptable for update churn.
+  return true;
+}
+
+// --- LPM --------------------------------------------------------------------------
+
+namespace {
+uint32_t pmask32(uint8_t len) {
+  return len == 0 ? 0 : static_cast<uint32_t>(low_bits(len) << (32 - len));
+}
+}  // namespace
+
+std::unique_ptr<LpmTemplateTable> LpmTemplateTable::build(
+    const std::vector<BuildEntry>& entries, FieldId field, BuildCtx& ctx,
+    uint32_t max_tbl8_groups) {
+  auto t = std::unique_ptr<LpmTemplateTable>(new LpmTemplateTable(max_tbl8_groups));
+  t->field_ = field;
+  for (const BuildEntry& e : entries) {
+    uint32_t prefix = 0;
+    uint8_t len = 0;
+    if (!e.match.is_catch_all()) {
+      prefix = static_cast<uint32_t>(e.match.value(field));
+      len = static_cast<uint8_t>(prefix_len(e.match.mask(field), 32));
+    }
+    const uint32_t idx = t->intern_result(resolve_result(e, ctx));
+    t->lpm_.add(prefix, len, idx);
+    t->prefix_prio_[{prefix, len}] = e.priority;
+  }
+  return t;
+}
+
+uint32_t LpmTemplateTable::intern_result(uint64_t packed) {
+  const auto [it, inserted] =
+      result_index_.try_emplace(packed, static_cast<uint32_t>(results_.size()));
+  if (inserted) results_.push_back(packed);
+  return it->second;
+}
+
+uint64_t LpmTemplateTable::lookup(const uint8_t* pkt, const proto::ParseInfo& pi,
+                                  MemTrace* trace) const {
+  if (!pi.has(proto::kProtoIpv4)) return jit::kMissResult;
+  const uint32_t addr =
+      static_cast<uint32_t>(flow::extract_field(field_, pkt, pi));
+  const auto v = lpm_.lookup(addr, trace);
+  if (!v) return jit::kMissResult;
+  return results_[*v];
+}
+
+bool LpmTemplateTable::try_add(const FlowEntry& e, BuildCtx& ctx) {
+  uint32_t prefix = 0;
+  uint8_t len = 0;
+  if (!e.match.is_catch_all()) {
+    if (e.match.num_fields() != 1 || !e.match.has(field_)) return false;
+    const uint64_t mask = e.match.mask(field_);
+    if (!is_prefix_mask(mask, 32)) return false;
+    len = static_cast<uint8_t>(prefix_len(mask, 32));
+    prefix = static_cast<uint32_t>(e.match.value(field_));
+  }
+  if (prefix_prio_.count({prefix, len})) return false;  // replace needs rebuild
+
+  // Priority consistency against ancestors and descendants (the latter form a
+  // contiguous range in prefix order).
+  for (int alen = len - 1; alen >= 0; --alen) {
+    const auto it = prefix_prio_.find({prefix & pmask32(static_cast<uint8_t>(alen)),
+                                       static_cast<uint8_t>(alen)});
+    if (it != prefix_prio_.end() && it->second >= e.priority) return false;
+  }
+  if (len < 32) {
+    const uint32_t hi = prefix | ~pmask32(len);
+    for (auto it = prefix_prio_.lower_bound({prefix, 0});
+         it != prefix_prio_.end() && it->first.first <= hi; ++it) {
+      if (it->first.second > len && it->second <= e.priority) return false;
+    }
+  }
+
+  const BuildEntry be{e.match, e.priority, e.actions, e.goto_table, -1};
+  uint32_t idx;
+  try {
+    idx = intern_result(resolve_result(be, ctx));
+    lpm_.add(prefix, len, idx);
+  } catch (const CheckError&) {
+    return false;  // e.g. out of tbl8 groups: rebuild with a bigger budget
+  }
+  prefix_prio_[{prefix, len}] = e.priority;
+  return true;
+}
+
+bool LpmTemplateTable::try_remove(const Match& m, uint16_t priority) {
+  uint32_t prefix = 0;
+  uint8_t len = 0;
+  if (!m.is_catch_all()) {
+    if (m.num_fields() != 1 || !m.has(field_)) return false;
+    if (!is_prefix_mask(m.mask(field_), 32)) return false;
+    len = static_cast<uint8_t>(prefix_len(m.mask(field_), 32));
+    prefix = static_cast<uint32_t>(m.value(field_));
+  }
+  const auto it = prefix_prio_.find({prefix, len});
+  if (it == prefix_prio_.end() || it->second != priority) return false;
+  lpm_.remove(prefix, len);
+  prefix_prio_.erase(it);
+  return true;
+}
+
+// --- range (extension template) ----------------------------------------------------
+
+std::unique_ptr<RangeTemplateTable> RangeTemplateTable::build(
+    const std::vector<BuildEntry>& entries, FieldId field, BuildCtx& ctx) {
+  auto t = std::unique_ptr<RangeTemplateTable>(new RangeTemplateTable());
+  t->field_ = field;
+  t->proto_required_ = flow::field_info(field).proto_required;
+
+  const unsigned width = flow::field_info(field).width_bits;
+  std::vector<cls::RangeTree::Rule> rules;
+  rules.reserve(entries.size());
+  // Entries arrive priority-descending: the index is the rank.
+  for (uint32_t rank = 0; rank < entries.size(); ++rank) {
+    const BuildEntry& e = entries[rank];
+    cls::RangeTree::Rule r;
+    if (e.match.is_catch_all()) {
+      r.lo = 0;
+      r.hi = low_bits(width);
+    } else {
+      const uint64_t mask = e.match.mask(field);
+      r.lo = e.match.value(field);
+      r.hi = r.lo | (~mask & low_bits(width));
+    }
+    r.rank = rank;
+    r.value = static_cast<uint32_t>(t->results_.size());
+    t->results_.push_back(resolve_result(e, ctx));
+    rules.push_back(r);
+  }
+  t->tree_.build(std::move(rules));
+  return t;
+}
+
+uint64_t RangeTemplateTable::lookup(const uint8_t* pkt, const proto::ParseInfo& pi,
+                                    MemTrace* trace) const {
+  if ((pi.proto_mask & proto_required_) != proto_required_) return jit::kMissResult;
+  const uint64_t key = flow::extract_field(field_, pkt, pi);
+  const auto v = tree_.lookup(key, trace);
+  if (!v) return jit::kMissResult;
+  return results_[*v];
+}
+
+// --- linked list -----------------------------------------------------------------------
+
+std::unique_ptr<LinkedListTable> LinkedListTable::build(
+    const std::vector<BuildEntry>& entries, BuildCtx& ctx) {
+  auto t = std::unique_ptr<LinkedListTable>(new LinkedListTable());
+  for (const BuildEntry& e : entries) {
+    const uint32_t rank = t->rank_of(e.priority);
+    t->ts_.add(e.match, rank, resolve_result(e, ctx));
+    t->mirror_.push_back({e.match, e.priority, rank});
+  }
+  return t;
+}
+
+uint64_t LinkedListTable::lookup(const uint8_t* pkt, const proto::ParseInfo& pi,
+                                 MemTrace* trace) const {
+  const auto* e = ts_.lookup(pkt, pi, nullptr, trace);
+  return e != nullptr ? e->value : jit::kMissResult;
+}
+
+size_t LinkedListTable::memory_bytes() const {
+  // Tuple index slots + entries; coarse but monotone in table size.
+  return ts_.size() * 96 + ts_.num_tuples() * 64;
+}
+
+bool LinkedListTable::try_add(const FlowEntry& e, BuildCtx& ctx) {
+  // Flow-mod replace semantics: an identical (match, priority) entry is
+  // superseded, not duplicated.
+  try_remove(e.match, e.priority);
+  const BuildEntry be{e.match, e.priority, e.actions, e.goto_table, -1};
+  const uint32_t rank = rank_of(e.priority);
+  ts_.add(e.match, rank, resolve_result(be, ctx));
+  mirror_.push_back({e.match, e.priority, rank});
+  return true;
+}
+
+bool LinkedListTable::try_remove(const Match& m, uint16_t priority) {
+  for (size_t i = 0; i < mirror_.size(); ++i) {
+    if (mirror_[i].priority == priority && mirror_[i].match == m) {
+      ts_.remove(m, mirror_[i].rank);
+      mirror_[i] = mirror_.back();
+      mirror_.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace esw::core

@@ -1,0 +1,212 @@
+// Compiled flow tables — the runtime realization of the four templates.
+//
+// Every implementation answers lookups with the packed-result convention of
+// the matcher IR (0 = table miss) so the datapath walk is one indirect call
+// plus integer decode per stage.  Templates that support it implement
+// incremental, non-destructive updates (§3.4: "whenever the controller
+// modifies a flow, ESWITCH simply updates the data structure underlying the
+// template"); the direct-code template always rebuilds, per the paper.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cls/exact_match.hpp"
+#include "cls/lpm.hpp"
+#include "cls/range_tree.hpp"
+#include "cls/tuple_space.hpp"
+#include "core/decompose.hpp"
+#include "core/lowering.hpp"
+#include "core/template_kind.hpp"
+#include "jit/direct_code.hpp"
+
+namespace esw::core {
+
+/// Build-time context: where actions intern and how logical gotos resolve.
+struct BuildCtx {
+  flow::ActionSetRegistry& registry;
+  const GotoMap& goto_map;
+};
+
+/// Neutral per-entry build input (covers plain flow tables and
+/// decomposition-internal tables alike).
+using BuildEntry = DecomposedPipeline::Entry;
+
+/// Converts a control-plane table to build entries.
+std::vector<BuildEntry> to_build_entries(const flow::FlowTable& t);
+
+/// Resolves one entry's packed lookup result.
+uint64_t resolve_result(const BuildEntry& e, BuildCtx& ctx);
+
+class CompiledTable {
+ public:
+  virtual ~CompiledTable() = default;
+
+  /// Packed lookup result (jit::pack_result) or jit::kMissResult.
+  virtual uint64_t lookup(const uint8_t* pkt, const proto::ParseInfo& pi,
+                          MemTrace* trace = nullptr) const = 0;
+
+  virtual TableTemplate kind() const = 0;
+  virtual size_t size() const = 0;
+  virtual size_t memory_bytes() const = 0;
+
+  /// Incremental update hooks; false = prerequisite broken or unsupported,
+  /// caller must rebuild (possibly falling back along Fig. 4's chain).
+  virtual bool try_add(const flow::FlowEntry&, BuildCtx&) { return false; }
+  virtual bool try_remove(const flow::Match&, uint16_t) { return false; }
+};
+
+// --- direct code -------------------------------------------------------------
+
+class DirectCodeTable final : public CompiledTable {
+ public:
+  static std::unique_ptr<DirectCodeTable> build(const std::vector<BuildEntry>& entries,
+                                                BuildCtx& ctx, bool use_jit);
+
+  uint64_t lookup(const uint8_t* pkt, const proto::ParseInfo& pi,
+                  MemTrace* trace) const override;
+  TableTemplate kind() const override { return TableTemplate::kDirectCode; }
+  size_t size() const override { return lowered_.size(); }
+  size_t memory_bytes() const override;
+
+  bool jitted() const { return jit_.has_value(); }
+  size_t code_size() const { return jit_ ? jit_->code_size() : 0; }
+
+ private:
+  std::vector<jit::LoweredEntry> lowered_;
+  std::optional<jit::DirectCodeFn> jit_;
+};
+
+// --- compound hash -------------------------------------------------------------
+
+class HashTemplateTable final : public CompiledTable {
+ public:
+  /// `mask_template` is the shared mask set (values zeroed).  Entries must
+  /// satisfy the hash prerequisite (checked by analysis; re-verified here).
+  static std::unique_ptr<HashTemplateTable> build(const std::vector<BuildEntry>& entries,
+                                                  const flow::Match& mask_template,
+                                                  BuildCtx& ctx);
+
+  uint64_t lookup(const uint8_t* pkt, const proto::ParseInfo& pi,
+                  MemTrace* trace) const override;
+  TableTemplate kind() const override { return TableTemplate::kCompoundHash; }
+  size_t size() const override { return count_; }
+  size_t memory_bytes() const override;
+
+  bool try_add(const flow::FlowEntry& e, BuildCtx& ctx) override;
+  bool try_remove(const flow::Match& m, uint16_t priority) override;
+
+  uint64_t hash_rebuilds() const { return index_.rebuilds(); }
+
+ private:
+  uint32_t key_from_match(const flow::Match& m, uint8_t* out) const;
+  uint32_t key_from_packet(const uint8_t* pkt, const proto::ParseInfo& pi,
+                           uint8_t* out) const;
+
+  std::vector<flow::FieldId> fields_;
+  std::vector<uint64_t> field_masks_;
+  uint32_t proto_required_ = 0;
+  cls::ExactMatchTable index_;
+  struct Stored {
+    uint64_t result;
+    uint16_t priority;
+  };
+  std::vector<Stored> stored_;
+  uint64_t catch_all_result_ = jit::kMissResult;
+  uint16_t catch_all_priority_ = 0;
+  bool has_catch_all_ = false;
+  uint16_t min_specific_priority_ = 0xFFFF;
+  size_t count_ = 0;
+};
+
+// --- LPM ---------------------------------------------------------------------------
+
+class LpmTemplateTable final : public CompiledTable {
+ public:
+  static std::unique_ptr<LpmTemplateTable> build(const std::vector<BuildEntry>& entries,
+                                                 flow::FieldId field, BuildCtx& ctx,
+                                                 uint32_t max_tbl8_groups);
+
+  uint64_t lookup(const uint8_t* pkt, const proto::ParseInfo& pi,
+                  MemTrace* trace) const override;
+  TableTemplate kind() const override { return TableTemplate::kLpm; }
+  size_t size() const override { return prefix_prio_.size(); }
+  size_t memory_bytes() const override { return lpm_.memory_bytes(); }
+
+  bool try_add(const flow::FlowEntry& e, BuildCtx& ctx) override;
+  bool try_remove(const flow::Match& m, uint16_t priority) override;
+
+ private:
+  uint32_t intern_result(uint64_t packed);
+
+  flow::FieldId field_ = flow::FieldId::kIpDst;
+  cls::LpmTable lpm_;
+  std::vector<uint64_t> results_;
+  std::map<uint64_t, uint32_t> result_index_;
+  // (prefix, len) -> priority mirror for incremental prerequisite checks,
+  // ordered by prefix so descendants form a contiguous range.
+  std::map<std::pair<uint32_t, uint8_t>, uint16_t> prefix_prio_;
+
+  LpmTemplateTable(uint32_t max_tbl8) : lpm_(max_tbl8) {}
+};
+
+// --- range (extension template) ---------------------------------------------------
+
+class RangeTemplateTable final : public CompiledTable {
+ public:
+  static std::unique_ptr<RangeTemplateTable> build(const std::vector<BuildEntry>& entries,
+                                                   flow::FieldId field, BuildCtx& ctx);
+
+  uint64_t lookup(const uint8_t* pkt, const proto::ParseInfo& pi,
+                  MemTrace* trace) const override;
+  TableTemplate kind() const override { return TableTemplate::kRange; }
+  size_t size() const override { return tree_.num_rules(); }
+  size_t memory_bytes() const override { return tree_.memory_bytes(); }
+  size_t num_intervals() const { return tree_.num_intervals(); }
+
+  // No incremental updates: the flattening is rebuilt on change, like the
+  // direct-code template.
+
+ private:
+  flow::FieldId field_ = flow::FieldId::kTcpDst;
+  uint32_t proto_required_ = 0;
+  cls::RangeTree tree_;
+  std::vector<uint64_t> results_;
+};
+
+// --- linked list ----------------------------------------------------------------------
+
+class LinkedListTable final : public CompiledTable {
+ public:
+  static std::unique_ptr<LinkedListTable> build(const std::vector<BuildEntry>& entries,
+                                                BuildCtx& ctx);
+
+  uint64_t lookup(const uint8_t* pkt, const proto::ParseInfo& pi,
+                  MemTrace* trace) const override;
+  TableTemplate kind() const override { return TableTemplate::kLinkedList; }
+  size_t size() const override { return ts_.size(); }
+  size_t memory_bytes() const override;
+
+  bool try_add(const flow::FlowEntry& e, BuildCtx& ctx) override;
+  bool try_remove(const flow::Match& m, uint16_t priority) override;
+
+  size_t num_tuples() const { return ts_.num_tuples(); }
+
+ private:
+  uint32_t rank_of(uint16_t priority) {
+    return (static_cast<uint32_t>(0xFFFF - priority) << 16) | seq_++;
+  }
+
+  cls::TupleSpace<uint64_t> ts_;
+  struct Mirror {
+    flow::Match match;
+    uint16_t priority;
+    uint32_t rank;
+  };
+  std::vector<Mirror> mirror_;
+  uint16_t seq_ = 0;
+};
+
+}  // namespace esw::core

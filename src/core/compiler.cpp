@@ -1,0 +1,98 @@
+#include "core/compiler.hpp"
+
+#include "proto/headers.hpp"
+
+namespace esw::core {
+
+using flow::FieldId;
+
+std::unique_ptr<CompiledTable> build_table_impl(const std::vector<BuildEntry>& entries,
+                                                const CompilerConfig& cfg, BuildCtx& ctx,
+                                                TableTemplate* chosen_out) {
+  AnalysisResult ar = analyze_entries(entries, cfg);
+
+  // A forced template only sticks when its prerequisite actually holds.
+  flow::Match mask_template;
+  bool has_catch_all = false;
+  FieldId lpm_field = FieldId::kCount;
+  FieldId range_field = FieldId::kCount;
+  switch (ar.chosen) {
+    case TableTemplate::kCompoundHash:
+      if (!hash_prerequisite(entries, &mask_template, &has_catch_all))
+        ar.chosen = TableTemplate::kLinkedList;
+      break;
+    case TableTemplate::kLpm:
+      if (!lpm_prerequisite(entries, &lpm_field))
+        ar.chosen = TableTemplate::kLinkedList;
+      break;
+    case TableTemplate::kRange:
+      if (!range_prerequisite(entries, &range_field))
+        ar.chosen = TableTemplate::kLinkedList;
+      break;
+    default:
+      break;
+  }
+
+  std::unique_ptr<CompiledTable> impl;
+  switch (ar.chosen) {
+    case TableTemplate::kDirectCode:
+      impl = DirectCodeTable::build(entries, ctx, cfg.enable_jit);
+      break;
+    case TableTemplate::kCompoundHash:
+      impl = HashTemplateTable::build(entries, mask_template, ctx);
+      break;
+    case TableTemplate::kLpm:
+      impl = LpmTemplateTable::build(entries, lpm_field, ctx, cfg.lpm_max_tbl8_groups);
+      break;
+    case TableTemplate::kRange:
+      impl = RangeTemplateTable::build(entries, range_field, ctx);
+      break;
+    case TableTemplate::kLinkedList:
+      impl = LinkedListTable::build(entries, ctx);
+      break;
+  }
+  if (chosen_out != nullptr) *chosen_out = ar.chosen;
+  return impl;
+}
+
+proto::ParserPlan plan_for_requirements(uint32_t required) {
+  using namespace esw::proto;
+  constexpr uint32_t kL3Bits = kProtoIpv4 | kProtoArp | kProtoTcp | kProtoUdp | kProtoIcmp;
+  constexpr uint32_t kL4Bits = kProtoTcp | kProtoUdp | kProtoIcmp;
+  proto::ParserPlan plan;
+  plan.need_l4 = (required & kL4Bits) != 0;
+  plan.need_l3 = plan.need_l4 || (required & kL3Bits) != 0;
+  return plan;
+}
+
+uint32_t action_proto_requirements(const flow::ActionList& actions) {
+  using namespace esw::proto;
+  uint32_t required = 0;
+  for (const flow::Action& a : actions) {
+    if (a.type == flow::ActionType::kSetField) {
+      required |= flow::field_info(a.field).proto_required;
+      // Rewriting IP addresses perturbs the TCP/UDP pseudo-header checksum:
+      // the datapath must parse L4 to fix it up, even if nothing matches L4.
+      if (a.field == flow::FieldId::kIpSrc || a.field == flow::FieldId::kIpDst)
+        required |= kProtoTcp;
+    }
+    if (a.type == flow::ActionType::kDecTtl) required |= kProtoIpv4;
+  }
+  return required;
+}
+
+proto::ParserPlan compute_parser_plan(const flow::Pipeline& pl,
+                                      const CompilerConfig& cfg) {
+  if (!cfg.specialize_parser) return proto::ParserPlan::full();
+
+  uint32_t required = 0;
+  for (const flow::FlowTable& t : pl.tables()) {
+    for (const flow::FlowEntry& e : t.entries()) {
+      required |= e.match.proto_required();
+      required |= action_proto_requirements(e.actions);
+    }
+  }
+  return plan_for_requirements(required);
+}
+
+}  // namespace esw::core

@@ -1,0 +1,32 @@
+// Pipeline compilation helpers: template selection + construction for one
+// (sub)table, and parser-plan derivation for the whole pipeline.
+#pragma once
+
+#include <memory>
+
+#include "core/analysis.hpp"
+#include "core/compiled_table.hpp"
+#include "flow/pipeline.hpp"
+
+namespace esw::core {
+
+/// Builds the implementation for one table's entries according to analysis
+/// (honoring cfg.force_template when its prerequisite holds).  Reports the
+/// chosen template via `chosen_out` when non-null.
+std::unique_ptr<CompiledTable> build_table_impl(const std::vector<BuildEntry>& entries,
+                                                const CompilerConfig& cfg, BuildCtx& ctx,
+                                                TableTemplate* chosen_out = nullptr);
+
+/// The minimal parser plan covering every matched field and every packet-
+/// mutating action in the pipeline — the parser-template specialization of
+/// §3.1.  With cfg.specialize_parser == false, returns the full L2–L4 plan.
+proto::ParserPlan compute_parser_plan(const flow::Pipeline& pl, const CompilerConfig& cfg);
+
+/// Plan needed for a given ProtoBit requirement set.
+proto::ParserPlan plan_for_requirements(uint32_t required);
+
+/// ProtoBits an action list needs parsed (set-field targets, checksum-fixup
+/// dependencies, dec-TTL).
+uint32_t action_proto_requirements(const flow::ActionList& actions);
+
+}  // namespace esw::core

@@ -1,0 +1,109 @@
+#include "core/datapath.hpp"
+
+#include "common/check.hpp"
+
+namespace esw::core {
+
+int32_t CompiledDatapath::add_slot(flow::FlowTable::MissPolicy miss) {
+  slots_.emplace_back();
+  slots_.back().miss = miss;
+  return static_cast<int32_t>(slots_.size() - 1);
+}
+
+void CompiledDatapath::set_impl(int32_t slot, std::unique_ptr<CompiledTable> impl) {
+  CompiledTable* fresh = impl.get();
+  live_.push_back(std::move(impl));
+  CompiledTable* old = slots_[slot].impl.exchange(fresh, std::memory_order_release);
+  if (old != nullptr) {
+    for (auto it = live_.begin(); it != live_.end(); ++it) {
+      if (it->get() == old) {
+        retired_.push_back(std::move(*it));
+        live_.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+void CompiledDatapath::set_miss_policy(int32_t slot, flow::FlowTable::MissPolicy miss) {
+  slots_[slot].miss = miss;
+}
+
+flow::Verdict CompiledDatapath::process(net::Packet& pkt, MemTrace* trace) {
+  ++stats_.packets;
+  if (start_ < 0) {
+    ++stats_.drops;
+    return flow::Verdict::drop();
+  }
+
+  proto::ParseInfo pi;
+  proto::parse(pkt.data(), pkt.len(), plan_, pi);
+  pi.in_port = pkt.in_port();
+  if (trace != nullptr) trace->touch(pkt.data(), 64);  // header cache line(s)
+
+  flow::ActionSetBuilder action_set;
+  int32_t slot = start_;
+  for (int hops = 0; hops < kMaxHops; ++hops) {
+    Slot& s = slots_[slot];
+    const CompiledTable* impl = s.impl.load(std::memory_order_acquire);
+    ++s.stats.lookups;
+    const uint64_t r =
+        impl != nullptr ? impl->lookup(pkt.data(), pi, trace) : jit::kMissResult;
+    if (r == jit::kMissResult) {
+      ++s.stats.misses;
+      if (s.miss == flow::FlowTable::MissPolicy::kController) {
+        ++stats_.to_controller;
+        return flow::Verdict::controller();
+      }
+      ++stats_.drops;
+      return flow::Verdict::drop();
+    }
+    ++s.stats.hits;
+    int32_t action = -1, next = -1;
+    jit::unpack_result(r, action, next);
+    if (action >= 0) action_set.merge(actions_.get(static_cast<uint32_t>(action)));
+    if (next < 0) {
+      const flow::Verdict v = action_set.execute(pkt, pi);
+      switch (v.kind) {
+        case flow::Verdict::Kind::kOutput:
+        case flow::Verdict::Kind::kFlood:
+          ++stats_.outputs;
+          break;
+        case flow::Verdict::Kind::kController:
+          ++stats_.to_controller;
+          break;
+        case flow::Verdict::Kind::kDrop:
+          ++stats_.drops;
+          break;
+      }
+      return v;
+    }
+    ESW_DCHECK(next < num_slots());
+    slot = next;
+  }
+  ++stats_.drops;  // pathological loop guard
+  return flow::Verdict::drop();
+}
+
+void CompiledDatapath::collect() { retired_.clear(); }
+
+void CompiledDatapath::reset() {
+  slots_.clear();
+  live_.clear();
+  retired_.clear();
+  start_ = -1;
+  stats_ = Stats{};
+}
+
+void CompiledDatapath::clear_stats() {
+  stats_ = Stats{};
+  for (Slot& s : slots_) s.stats = TableStats{};
+}
+
+size_t CompiledDatapath::memory_bytes() const {
+  size_t n = 0;
+  for (const auto& t : live_) n += t->memory_bytes();
+  return n;
+}
+
+}  // namespace esw::core

@@ -1,0 +1,96 @@
+// The compiled datapath: an array of trampoline slots (one per compiled
+// table), the shared action-set registry, a parser plan and the per-packet
+// processing loop.
+//
+// Trampolines realize §3.3/§3.4: a goto_table jump resolves through an atomic
+// slot, so a table can be rebuilt side by side and inserted "by atomically
+// redirecting all referring goto_table jumps to the address of the new code".
+// Retired table objects are kept until collect() — quiescent-state
+// reclamation; the single owner calls it when no reader is inside process().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/compiled_table.hpp"
+#include "flow/pipeline.hpp"
+#include "netio/packet.hpp"
+
+namespace esw::core {
+
+class CompiledDatapath {
+ public:
+  struct TableStats {
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+  struct Stats {
+    uint64_t packets = 0;
+    uint64_t outputs = 0;
+    uint64_t drops = 0;
+    uint64_t to_controller = 0;
+  };
+
+  /// Allocates a trampoline slot; returns its internal id.
+  int32_t add_slot(flow::FlowTable::MissPolicy miss);
+
+  /// Swaps the slot's implementation (release order); the old one is retired,
+  /// not destroyed, until collect().
+  void set_impl(int32_t slot, std::unique_ptr<CompiledTable> impl);
+
+  void set_miss_policy(int32_t slot, flow::FlowTable::MissPolicy miss);
+  void set_start(int32_t slot) { start_ = slot; }
+  void set_plan(const proto::ParserPlan& plan) { plan_ = plan; }
+
+  const CompiledTable* impl(int32_t slot) const {
+    return slots_[slot].impl.load(std::memory_order_acquire);
+  }
+  CompiledTable* impl_mut(int32_t slot) {
+    return slots_[slot].impl.load(std::memory_order_acquire);
+  }
+  int32_t num_slots() const { return static_cast<int32_t>(slots_.size()); }
+  int32_t start() const { return start_; }
+  const proto::ParserPlan& plan() const { return plan_; }
+
+  flow::ActionSetRegistry& actions() { return actions_; }
+  const flow::ActionSetRegistry& actions() const { return actions_; }
+
+  /// One packet through the compiled pipeline.
+  flow::Verdict process(net::Packet& pkt, MemTrace* trace = nullptr);
+
+  /// Frees retired table objects.  Caller guarantees quiescence.
+  void collect();
+
+  /// Drops all slots and state (full recompile path).
+  void reset();
+
+  const TableStats& table_stats(int32_t slot) const { return slots_[slot].stats; }
+  const Stats& stats() const { return stats_; }
+  void clear_stats();
+
+  /// Total resident bytes of all live compiled tables (working-set model).
+  size_t memory_bytes() const;
+
+ private:
+  struct Slot {
+    std::atomic<CompiledTable*> impl{nullptr};
+    flow::FlowTable::MissPolicy miss = flow::FlowTable::MissPolicy::kDrop;
+    TableStats stats;
+  };
+
+  static constexpr int kMaxHops = 8192;
+
+  std::deque<Slot> slots_;  // stable addresses for concurrent readers
+  std::vector<std::unique_ptr<CompiledTable>> live_;
+  std::vector<std::unique_ptr<CompiledTable>> retired_;
+  flow::ActionSetRegistry actions_;
+  proto::ParserPlan plan_ = proto::ParserPlan::full();
+  int32_t start_ = -1;
+  Stats stats_;
+};
+
+}  // namespace esw::core

@@ -1,0 +1,188 @@
+#include "core/eswitch.hpp"
+
+#include <set>
+
+#include "common/check.hpp"
+
+namespace esw::core {
+
+using flow::FlowEntry;
+using flow::FlowMod;
+using flow::FlowTable;
+
+Eswitch::Eswitch(const CompilerConfig& cfg) : cfg_(cfg) {
+  root_template_.fill(TableTemplate::kLinkedList);
+}
+
+void Eswitch::install(const flow::Pipeline& pl) {
+  const auto err = pl.validate();
+  ESW_CHECK_MSG(!err.has_value(), err.value_or(""));
+  pipeline_ = pl;
+  compile_all();
+}
+
+void Eswitch::compile_all() {
+  dp_.reset();
+  goto_map_.assign(256, -1);
+  decomposed_.fill(false);
+  decomposed_count_.fill(0);
+
+  // Root slots first so any goto resolves, then table bodies.
+  for (const FlowTable& t : pipeline_.tables())
+    goto_map_[t.id()] = dp_.add_slot(t.miss_policy());
+  for (const FlowTable& t : pipeline_.tables()) rebuild_logical(t.id());
+  refresh_start_and_plan();
+}
+
+void Eswitch::rebuild_logical(uint8_t id) {
+  const FlowTable* t = pipeline_.find_table(id);
+  ESW_CHECK(t != nullptr);
+  const int32_t root = goto_map_[id];
+  ESW_CHECK(root >= 0);
+  BuildCtx ctx{dp_.actions(), goto_map_};
+  dp_.set_miss_policy(root, t->miss_policy());
+
+  ++update_stats_.table_rebuilds;
+  decomposed_[id] = false;
+  decomposed_count_[id] = 0;
+
+  if (cfg_.enable_decomposition &&
+      analyze_table(*t, cfg_).chosen == TableTemplate::kLinkedList) {
+    DecomposedPipeline d = decompose(*t, cfg_.decompose_max_tables);
+    if (!d.unchanged()) {
+      // Fresh slots for the sub-tables; the logical root keeps its slot so
+      // cross-table gotos stay valid across the swap.
+      std::vector<int32_t> slot_of(d.tables.size(), -1);
+      slot_of[0] = root;
+      for (size_t i = 1; i < d.tables.size(); ++i)
+        slot_of[i] = dp_.add_slot(t->miss_policy());
+
+      // Children first, root last: readers that enter through the old root
+      // never see a half-published chain.
+      for (size_t i = d.tables.size(); i-- > 0;) {
+        std::vector<BuildEntry> entries = d.tables[i].entries;
+        for (BuildEntry& e : entries)
+          if (e.internal_next >= 0) e.internal_next = slot_of[e.internal_next];
+        TableTemplate kind{};
+        auto impl = build_table_impl(entries, cfg_, ctx, &kind);
+        dp_.set_impl(slot_of[i], std::move(impl));
+        if (i == 0) root_template_[id] = kind;
+      }
+      decomposed_[id] = true;
+      decomposed_count_[id] = static_cast<uint32_t>(d.tables.size());
+      return;
+    }
+  }
+
+  TableTemplate kind{};
+  auto impl = build_table_impl(to_build_entries(*t), cfg_, ctx, &kind);
+  dp_.set_impl(root, std::move(impl));
+  root_template_[id] = kind;
+}
+
+void Eswitch::refresh_start_and_plan() {
+  const FlowTable* first = pipeline_.first_table();
+  dp_.set_start(first != nullptr ? goto_map_[first->id()] : -1);
+  dp_.set_plan(compute_parser_plan(pipeline_, cfg_));
+}
+
+void Eswitch::maybe_widen_plan(const FlowEntry& e) {
+  // O(1) plan widening on the incremental path — a full recompute per update
+  // would dominate at high flow-mod rates.
+  const uint32_t req = e.match.proto_required() | action_proto_requirements(e.actions);
+  const proto::ParserPlan needed = plan_for_requirements(req);
+  proto::ParserPlan plan = dp_.plan();
+  if ((needed.need_l3 && !plan.need_l3) || (needed.need_l4 && !plan.need_l4)) {
+    plan.need_l3 |= needed.need_l3;
+    plan.need_l4 |= needed.need_l4;
+    dp_.set_plan(plan);
+  }
+}
+
+void Eswitch::apply_to_pipeline(flow::Pipeline& pl, const FlowMod& fm) {
+  switch (fm.command) {
+    case FlowMod::Cmd::kAdd:
+    case FlowMod::Cmd::kModify: {
+      if (fm.goto_table != flow::kNoGoto) {
+        ESW_CHECK_MSG(fm.goto_table > fm.table_id, "goto_table must go forward");
+        ESW_CHECK_MSG(pl.find_table(static_cast<uint8_t>(fm.goto_table)) != nullptr,
+                      "goto_table target does not exist");
+      }
+      FlowEntry e;
+      e.match = fm.match;
+      e.priority = fm.priority;
+      e.actions = fm.actions;
+      e.goto_table = fm.goto_table;
+      e.cookie = fm.cookie;
+      pl.table(fm.table_id).add(std::move(e));
+      break;
+    }
+    case FlowMod::Cmd::kDelete: {
+      if (pl.find_table(fm.table_id) != nullptr)
+        pl.table(fm.table_id).remove(fm.match, fm.priority);
+      break;
+    }
+  }
+}
+
+void Eswitch::apply(const FlowMod& fm) {
+  const bool new_table =
+      fm.command != FlowMod::Cmd::kDelete && pipeline_.find_table(fm.table_id) == nullptr;
+
+  // Control plane first; throws leave no trace.
+  apply_to_pipeline(pipeline_, fm);
+
+  if (fm.command == FlowMod::Cmd::kDelete && pipeline_.find_table(fm.table_id) == nullptr)
+    return;  // delete on a never-created table: no-op
+
+  if (new_table) {
+    goto_map_[fm.table_id] = dp_.add_slot(pipeline_.table(fm.table_id).miss_policy());
+    rebuild_logical(fm.table_id);
+    refresh_start_and_plan();
+    return;
+  }
+
+  const int32_t root = goto_map_[fm.table_id];
+  CompiledTable* impl = root >= 0 ? dp_.impl_mut(root) : nullptr;
+  BuildCtx ctx{dp_.actions(), goto_map_};
+
+  // §3.4: non-destructive incremental update when the template supports it
+  // and the prerequisite still holds; otherwise rebuild (with fallback).
+  if (impl != nullptr && !decomposed_[fm.table_id]) {
+    if (fm.command == FlowMod::Cmd::kAdd) {
+      FlowEntry e;
+      e.match = fm.match;
+      e.priority = fm.priority;
+      e.actions = fm.actions;
+      e.goto_table = fm.goto_table;
+      e.cookie = fm.cookie;
+      if (impl->try_add(e, ctx)) {
+        ++update_stats_.incremental;
+        maybe_widen_plan(e);
+        return;
+      }
+    } else if (fm.command == FlowMod::Cmd::kDelete) {
+      if (impl->try_remove(fm.match, fm.priority)) {
+        ++update_stats_.incremental;
+        return;
+      }
+    }
+  }
+  rebuild_logical(fm.table_id);
+  refresh_start_and_plan();
+}
+
+void Eswitch::apply_batch(const std::vector<FlowMod>& fms) {
+  // Validate every mod against a scratch copy: all-or-nothing semantics.
+  flow::Pipeline scratch = pipeline_;
+  for (const FlowMod& fm : fms) apply_to_pipeline(scratch, fm);
+  const auto err = scratch.validate();
+  ESW_CHECK_MSG(!err.has_value(), err.value_or(""));
+
+  // Commit through the regular path: validated mods cannot throw, and each
+  // lands incrementally where its table's template allows, so a batch of
+  // route adds does not force wholesale LPM rebuilds.
+  for (const FlowMod& fm : fms) apply(fm);
+}
+
+}  // namespace esw::core

@@ -1,0 +1,95 @@
+// ESWITCH — the public switch facade.
+//
+// Owns the control-plane pipeline (the declarative program) and the compiled
+// datapath (the specialized machine-code realization), and keeps the two in
+// sync the way §3.4 prescribes:
+//   * templates supporting it are updated incrementally and non-destructively
+//     (compound hash, LPM, linked list);
+//   * the direct-code template rebuilds unconditionally;
+//   * prerequisite violations rebuild the table under the next template in
+//     Fig. 4's fallback chain (via re-analysis);
+//   * rebuilds happen side by side and are published with one atomic
+//     trampoline swap, giving per-flow-table update granularity;
+//   * batches are transactional — validated against a scratch pipeline first,
+//     so a bad mod in the middle leaves no partial state behind.
+//
+// Decomposed logical tables occupy a fixed root slot; a rebuild appends fresh
+// sub-table slots and swaps the root, so cross-table gotos stay valid.  Stale
+// sub-slots are reclaimed on the next full install().
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "core/datapath.hpp"
+#include "flow/wire.hpp"
+
+namespace esw::core {
+
+class Eswitch {
+ public:
+  explicit Eswitch(const CompilerConfig& cfg = CompilerConfig{});
+
+  /// Replaces the whole configuration and recompiles from scratch.
+  void install(const flow::Pipeline& pl);
+
+  /// Applies one flow-mod (add / modify / delete), updating the datapath
+  /// incrementally where the template allows.  Throws CheckError on invalid
+  /// mods, leaving all state untouched.
+  void apply(const flow::FlowMod& fm);
+
+  /// Transactional batch: every mod validated against a scratch pipeline
+  /// before anything is applied; dirty tables are rebuilt once and swapped
+  /// atomically ("partial updates automatically rolled back").
+  void apply_batch(const std::vector<flow::FlowMod>& fms);
+
+  /// Datapath fast path.
+  flow::Verdict process(net::Packet& pkt, MemTrace* trace = nullptr) {
+    return dp_.process(pkt, trace);
+  }
+
+  const flow::Pipeline& pipeline() const { return pipeline_; }
+  CompiledDatapath& datapath() { return dp_; }
+  const CompiledDatapath& datapath() const { return dp_; }
+  const CompilerConfig& config() const { return cfg_; }
+
+  /// Template of a logical table's root (kLinkedList default if absent).
+  TableTemplate table_template(uint8_t logical) const { return root_template_[logical]; }
+  bool is_decomposed(uint8_t logical) const { return decomposed_[logical]; }
+  int32_t root_slot(uint8_t logical) const { return goto_map_[logical]; }
+  /// Number of decomposition-internal tables behind a logical table (0 when
+  /// not decomposed).
+  uint32_t decomposed_table_count(uint8_t logical) const {
+    return decomposed_count_[logical];
+  }
+
+  struct UpdateStats {
+    uint64_t incremental = 0;     // served by try_add/try_remove
+    uint64_t table_rebuilds = 0;  // side-by-side rebuild + trampoline swap
+  };
+  const UpdateStats& update_stats() const { return update_stats_; }
+
+  /// Frees retired compiled tables (call from the datapath owner when no
+  /// process() call is in flight).
+  void collect() { dp_.collect(); }
+
+ private:
+  void compile_all();
+  void rebuild_logical(uint8_t id);
+  void refresh_start_and_plan();
+  void maybe_widen_plan(const flow::FlowEntry& e);
+  static void apply_to_pipeline(flow::Pipeline& pl, const flow::FlowMod& fm);
+
+  CompilerConfig cfg_;
+  flow::Pipeline pipeline_;
+  CompiledDatapath dp_;
+  GotoMap goto_map_ = GotoMap(256, -1);
+  std::array<TableTemplate, 256> root_template_{};
+  std::array<bool, 256> decomposed_{};
+  std::array<uint32_t, 256> decomposed_count_{};
+  UpdateStats update_stats_;
+};
+
+}  // namespace esw::core

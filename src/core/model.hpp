@@ -1,0 +1,27 @@
+// Automatic performance-model derivation — the §5 future-work item realized:
+// "ESWITCH could be easily taught to derive such models automatically, by
+// programmatically composing template model atoms".
+//
+// Given a compiled switch and a pipeline path (sequence of logical table
+// ids), composes the Fig. 20 atoms according to the templates the compiler
+// actually chose, yielding the same best/worst-case throughput bounds the
+// paper derives by hand for the gateway (§4.4).  derive_hot_path() extracts
+// the dominant path from runtime per-table statistics after a profiling run.
+#pragma once
+
+#include <vector>
+
+#include "core/eswitch.hpp"
+#include "perf/costmodel.hpp"
+
+namespace esw::core {
+
+/// Composes a model for packets traversing `path` (logical table ids, in
+/// order).  Tables must exist and be compiled.
+perf::CostModel derive_model(const Eswitch& sw, const std::vector<uint8_t>& path);
+
+/// The logical tables that served at least `min_fraction` of processed
+/// packets (per datapath statistics), in id order — the "hot path" to model.
+std::vector<uint8_t> derive_hot_path(const Eswitch& sw, double min_fraction = 0.5);
+
+}  // namespace esw::core

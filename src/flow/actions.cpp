@@ -1,0 +1,137 @@
+#include "flow/actions.hpp"
+
+#include <sstream>
+
+#include "common/bits.hpp"
+#include "proto/headers.hpp"
+
+namespace esw::flow {
+
+std::string to_string(const Action& a) {
+  std::ostringstream os;
+  switch (a.type) {
+    case ActionType::kOutput:
+      os << "output:" << a.value;
+      break;
+    case ActionType::kDrop:
+      os << "drop";
+      break;
+    case ActionType::kController:
+      os << "controller";
+      break;
+    case ActionType::kFlood:
+      os << "flood";
+      break;
+    case ActionType::kSetField:
+      os << "set_field:" << field_info(a.field).name << "=0x" << std::hex << a.value;
+      break;
+    case ActionType::kPushVlan:
+      os << "push_vlan:" << a.value;
+      break;
+    case ActionType::kPopVlan:
+      os << "pop_vlan";
+      break;
+    case ActionType::kDecTtl:
+      os << "dec_ttl";
+      break;
+  }
+  return os.str();
+}
+
+std::string to_string(const ActionList& l) {
+  std::string s;
+  for (size_t i = 0; i < l.size(); ++i) {
+    if (i) s += ',';
+    s += to_string(l[i]);
+  }
+  return s.empty() ? "drop" : s;
+}
+
+void ActionSetBuilder::merge(const ActionList& actions) {
+  for (const Action& a : actions) {
+    switch (a.type) {
+      case ActionType::kOutput:
+        has_out_ = true;
+        out_ = Verdict::output(static_cast<uint32_t>(a.value));
+        break;
+      case ActionType::kDrop:
+        has_out_ = true;
+        out_ = Verdict::drop();
+        break;
+      case ActionType::kController:
+        has_out_ = true;
+        out_ = Verdict::controller();
+        break;
+      case ActionType::kFlood:
+        has_out_ = true;
+        out_ = Verdict::flood();
+        break;
+      case ActionType::kSetField:
+        set_present_ |= 1u << static_cast<unsigned>(a.field);
+        set_values_[static_cast<unsigned>(a.field)] = a.value;
+        break;
+      case ActionType::kPushVlan:
+        push_vlan_ = true;
+        push_vid_ = static_cast<uint16_t>(a.value);
+        pop_vlan_ = false;  // push after pop cancels it within one set
+        break;
+      case ActionType::kPopVlan:
+        pop_vlan_ = true;
+        push_vlan_ = false;
+        break;
+      case ActionType::kDecTtl:
+        dec_ttl_ = true;
+        break;
+    }
+  }
+}
+
+Verdict ActionSetBuilder::execute(net::Packet& pkt, proto::ParseInfo& pi) const {
+  using namespace esw::proto;
+
+  // OpenFlow order: pop VLAN, push VLAN, dec TTL, set-fields, output.
+  if (pop_vlan_ && pi.has(kProtoVlan)) {
+    pkt.erase(kEthTypeOff, kVlanTagLen);
+    pi.proto_mask &= ~kProtoVlan;
+    pi.l3_off -= kVlanTagLen;
+    if (pi.l4_off >= kVlanTagLen) pi.l4_off -= kVlanTagLen;
+    if (pi.payload_off >= kVlanTagLen) pi.payload_off -= kVlanTagLen;
+  }
+  if (push_vlan_ && !pi.has(kProtoVlan)) {
+    if (!pkt.insert(kEthTypeOff, kVlanTagLen)) return Verdict::drop();
+    // The inserted bytes become TPID+TCI; the original ethertype moved right.
+    store_be16(pkt.data() + kEthTypeOff, kEtherTypeVlan);
+    store_be16(pkt.data() + kVlanTciOff, push_vid_ & kVlanVidMask);
+    pi.proto_mask |= kProtoVlan;
+    pi.l3_off += kVlanTagLen;
+    if (pi.l4_off > 0) pi.l4_off += kVlanTagLen;
+    if (pi.payload_off > 0) pi.payload_off += kVlanTagLen;
+  }
+  if (dec_ttl_ && pi.has(kProtoIpv4)) {
+    const uint64_t ttl = extract_field(FieldId::kIpTtl, pkt.data(), pi);
+    if (ttl <= 1) return Verdict::drop();  // expired: do not forward
+    store_field(FieldId::kIpTtl, ttl - 1, pkt.data(), pi);
+  }
+  for (uint32_t bits = set_present_; bits != 0; bits &= bits - 1) {
+    const FieldId f = static_cast<FieldId>(__builtin_ctz(bits));
+    store_field(f, set_values_[static_cast<unsigned>(f)], pkt.data(), pi);
+  }
+  return has_out_ ? out_ : Verdict::drop();
+}
+
+uint32_t ActionSetRegistry::intern(const ActionList& actions) {
+  // Serialize as a stable key; action lists are tiny, so this is cheap and
+  // happens only at compile/update time.
+  std::string key;
+  key.reserve(actions.size() * 12);
+  for (const Action& a : actions) {
+    key.push_back(static_cast<char>(a.type));
+    key.push_back(static_cast<char>(a.field));
+    for (int i = 0; i < 8; ++i) key.push_back(static_cast<char>(a.value >> (8 * i)));
+  }
+  auto [it, inserted] = index_.try_emplace(key, static_cast<uint32_t>(lists_.size()));
+  if (inserted) lists_.push_back(actions);
+  return it->second;
+}
+
+}  // namespace esw::flow

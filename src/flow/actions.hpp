@@ -1,0 +1,116 @@
+// OpenFlow actions, write-action sets and their execution.
+//
+// Flow entries carry write-actions; the pipeline accumulates them into a
+// per-packet ActionSetBuilder (one action per kind, last writer wins — the
+// OpenFlow 1.3 action-set semantics) and executes the set when processing
+// leaves the pipeline.  Identical action lists are interned in an
+// ActionSetRegistry and shared across flows, as in the paper (§3.1:
+// "Identical action sets are shared across flows").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/fields.hpp"
+#include "netio/packet.hpp"
+#include "proto/parse.hpp"
+
+namespace esw::flow {
+
+enum class ActionType : uint8_t {
+  kOutput,
+  kDrop,
+  kController,
+  kFlood,
+  kSetField,
+  kPushVlan,
+  kPopVlan,
+  kDecTtl,
+};
+
+struct Action {
+  ActionType type = ActionType::kDrop;
+  FieldId field = FieldId::kCount;  // for kSetField
+  uint64_t value = 0;               // port, field value or TPID
+
+  static Action output(uint32_t port) { return {ActionType::kOutput, FieldId::kCount, port}; }
+  static Action drop() { return {ActionType::kDrop, FieldId::kCount, 0}; }
+  static Action to_controller() { return {ActionType::kController, FieldId::kCount, 0}; }
+  static Action flood() { return {ActionType::kFlood, FieldId::kCount, 0}; }
+  static Action set_field(FieldId f, uint64_t v) { return {ActionType::kSetField, f, v}; }
+  static Action push_vlan(uint16_t vid) { return {ActionType::kPushVlan, FieldId::kCount, vid}; }
+  static Action pop_vlan() { return {ActionType::kPopVlan, FieldId::kCount, 0}; }
+  static Action dec_ttl() { return {ActionType::kDecTtl, FieldId::kCount, 0}; }
+
+  bool operator==(const Action&) const = default;
+};
+
+using ActionList = std::vector<Action>;
+
+std::string to_string(const Action& a);
+std::string to_string(const ActionList& l);
+
+/// The fate of a packet after pipeline processing.
+struct Verdict {
+  enum class Kind : uint8_t { kDrop, kOutput, kController, kFlood } kind = Kind::kDrop;
+  uint32_t port = 0;
+
+  static Verdict drop() { return {Kind::kDrop, 0}; }
+  static Verdict output(uint32_t p) { return {Kind::kOutput, p}; }
+  static Verdict controller() { return {Kind::kController, 0}; }
+  static Verdict flood() { return {Kind::kFlood, 0}; }
+  bool operator==(const Verdict&) const = default;
+};
+
+/// Per-packet accumulated action set (OpenFlow 1.3 §5.10).
+class ActionSetBuilder {
+ public:
+  void clear() { *this = ActionSetBuilder(); }
+
+  /// Merges a flow entry's write-actions; later merges override per kind
+  /// (and per field for set-field).
+  void merge(const ActionList& actions);
+
+  /// Applies the set to the packet (pop/push VLAN, set-fields, dec-TTL in the
+  /// OpenFlow-specified order) and returns the output verdict.  An empty set
+  /// drops, per the spec.
+  Verdict execute(net::Packet& pkt, proto::ParseInfo& pi) const;
+
+  bool empty() const {
+    return !pop_vlan_ && !push_vlan_ && !dec_ttl_ && set_present_ == 0 && !has_out_;
+  }
+
+ private:
+  bool pop_vlan_ = false;
+  bool push_vlan_ = false;
+  uint16_t push_vid_ = 0;
+  bool dec_ttl_ = false;
+  uint32_t set_present_ = 0;
+  std::array<uint64_t, kNumFields> set_values_{};
+  bool has_out_ = false;
+  Verdict out_{};
+};
+
+/// Interning registry: ActionList -> dense id.  Compiled tables reference
+/// action lists by id so identical sets share storage.
+///
+/// Single-writer (the control plane); readers may call get() concurrently for
+/// already-published ids — storage is a deque so published references stay
+/// stable across interning.
+class ActionSetRegistry {
+ public:
+  /// Returns the id for `actions`, interning on first sight.
+  uint32_t intern(const ActionList& actions);
+
+  const ActionList& get(uint32_t id) const { return lists_[id]; }
+  size_t size() const { return lists_.size(); }
+
+ private:
+  std::deque<ActionList> lists_;
+  std::unordered_map<std::string, uint32_t> index_;  // serialized key -> id
+};
+
+}  // namespace esw::flow

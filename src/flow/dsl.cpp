@@ -1,0 +1,186 @@
+#include "flow/dsl.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace esw::flow {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\n'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\n'))
+    s.remove_suffix(1);
+  return s;
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(trim(s.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+uint64_t parse_u64(std::string_view s) {
+  ESW_CHECK_MSG(!s.empty(), "empty number");
+  uint64_t v = 0;
+  int base = 10;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    s.remove_prefix(2);
+    base = 16;
+  }
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v, base);
+  ESW_CHECK_MSG(ec == std::errc() && p == s.data() + s.size(),
+                "bad number: " + std::string(s));
+  return v;
+}
+
+uint64_t parse_mac(std::string_view s) {
+  const auto parts = split(s, ':');
+  ESW_CHECK_MSG(parts.size() == 6, "bad MAC: " + std::string(s));
+  uint64_t v = 0;
+  for (auto part : parts) {
+    ESW_CHECK_MSG(!part.empty() && part.size() <= 2, "bad MAC octet");
+    uint64_t o = 0;
+    const auto [p, ec] = std::from_chars(part.data(), part.data() + part.size(), o, 16);
+    ESW_CHECK_MSG(ec == std::errc() && p == part.data() + part.size(), "bad MAC octet");
+    v = (v << 8) | o;
+  }
+  return v;
+}
+
+/// Parses a field value with an optional "/mask" or "/prefix-len" suffix.
+void parse_field_value(FieldId f, std::string_view s, uint64_t& value, uint64_t& mask) {
+  mask = field_full_mask(f);
+  std::string_view val = s;
+  std::string_view mask_part;
+  if (const size_t slash = s.find('/'); slash != std::string_view::npos) {
+    val = trim(s.substr(0, slash));
+    mask_part = trim(s.substr(slash + 1));
+  }
+
+  const bool dotted = val.find('.') != std::string_view::npos;
+  const bool mac = val.find(':') != std::string_view::npos;
+  value = dotted ? parse_ipv4(val) : mac ? parse_mac(val) : parse_u64(val);
+
+  if (!mask_part.empty()) {
+    if (dotted && mask_part.find('.') != std::string_view::npos) {
+      mask = parse_ipv4(mask_part);
+    } else if (dotted || (f == FieldId::kIpSrc || f == FieldId::kIpDst)) {
+      const uint64_t len = parse_u64(mask_part);  // prefix length
+      ESW_CHECK_MSG(len <= 32, "bad prefix length");
+      mask = len == 0 ? 0 : (low_bits(len) << (32 - len));
+      if (len == 0) mask = 0;
+    } else {
+      mask = parse_u64(mask_part);
+    }
+    ESW_CHECK_MSG(mask != 0, "zero mask: omit the field instead");
+  }
+}
+
+Action parse_action(std::string_view s) {
+  if (s == "drop") return Action::drop();
+  if (s == "controller") return Action::to_controller();
+  if (s == "flood") return Action::flood();
+  if (s == "pop_vlan") return Action::pop_vlan();
+  if (s == "dec_ttl") return Action::dec_ttl();
+  const size_t colon = s.find(':');
+  ESW_CHECK_MSG(colon != std::string_view::npos, "bad action: " + std::string(s));
+  const std::string_view name = s.substr(0, colon);
+  const std::string_view arg = s.substr(colon + 1);
+  if (name == "output") return Action::output(static_cast<uint32_t>(parse_u64(arg)));
+  if (name == "push_vlan") return Action::push_vlan(static_cast<uint16_t>(parse_u64(arg)));
+  if (name == "set_field") {
+    const size_t eq = arg.find('=');
+    ESW_CHECK_MSG(eq != std::string_view::npos, "set_field needs name=value");
+    const FieldId f = field_from_name(trim(arg.substr(0, eq)));
+    ESW_CHECK_MSG(f != FieldId::kCount, "unknown field in set_field");
+    uint64_t value = 0, mask = 0;
+    parse_field_value(f, trim(arg.substr(eq + 1)), value, mask);
+    return Action::set_field(f, value);
+  }
+  ESW_CHECK_MSG(false, "unknown action: " + std::string(s));
+  return Action::drop();
+}
+
+}  // namespace
+
+uint32_t parse_ipv4(std::string_view text) {
+  const auto parts = split(text, '.');
+  ESW_CHECK_MSG(parts.size() == 4, "bad IPv4: " + std::string(text));
+  uint32_t v = 0;
+  for (auto part : parts) {
+    const uint64_t o = parse_u64(part);
+    ESW_CHECK_MSG(o <= 255, "bad IPv4 octet");
+    v = (v << 8) | static_cast<uint32_t>(o);
+  }
+  return v;
+}
+
+std::string format_ipv4(uint32_t addr) {
+  std::ostringstream os;
+  os << (addr >> 24) << '.' << ((addr >> 16) & 255) << '.' << ((addr >> 8) & 255) << '.'
+     << (addr & 255);
+  return os.str();
+}
+
+FlowEntry parse_rule(std::string_view text) {
+  FlowEntry e;
+  std::string_view match_part = text;
+
+  if (const size_t apos = text.find("actions="); apos != std::string_view::npos) {
+    match_part = text.substr(0, apos);
+    std::string_view actions = trim(text.substr(apos + 8));
+    for (std::string_view tok : split(actions, ',')) {
+      if (tok.empty()) continue;
+      if (tok.substr(0, 5) == "goto:") {
+        e.goto_table = static_cast<int16_t>(parse_u64(tok.substr(5)));
+      } else {
+        e.actions.push_back(parse_action(tok));
+      }
+    }
+  }
+
+  for (std::string_view tok : split(match_part, ',')) {
+    if (tok.empty()) continue;
+    const size_t eq = tok.find('=');
+    ESW_CHECK_MSG(eq != std::string_view::npos, "bad match token: " + std::string(tok));
+    const std::string_view key = trim(tok.substr(0, eq));
+    const std::string_view val = trim(tok.substr(eq + 1));
+    if (key == "priority") {
+      e.priority = static_cast<uint16_t>(parse_u64(val));
+      continue;
+    }
+    if (key == "cookie") {
+      e.cookie = parse_u64(val);
+      continue;
+    }
+    const FieldId f = field_from_name(key);
+    ESW_CHECK_MSG(f != FieldId::kCount, "unknown field: " + std::string(key));
+    uint64_t value = 0, mask = 0;
+    parse_field_value(f, val, value, mask);
+    e.match.set(f, value, mask);
+  }
+  return e;
+}
+
+std::string format_rule(const FlowEntry& e) {
+  std::ostringstream os;
+  os << "priority=" << e.priority;
+  if (!e.match.is_catch_all()) os << ',' << e.match.to_string();
+  os << ",actions=" << to_string(e.actions);
+  if (e.goto_table != kNoGoto) os << ",goto:" << e.goto_table;
+  return os.str();
+}
+
+}  // namespace esw::flow

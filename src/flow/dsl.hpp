@@ -1,0 +1,30 @@
+// Human-friendly rule syntax, modeled on ovs-ofctl:
+//
+//   "priority=100, in_port=1, ip_dst=192.0.2.0/24, tcp_dst=80,
+//    actions=set_field:ip_src=10.0.0.1, output:2, goto:3"
+//
+// Values accept decimal, 0x-hex, dotted IPv4 (with optional /len) and
+// colon-separated MACs.  Used by examples and tests; the programmatic API is
+// the primary interface.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "flow/table.hpp"
+
+namespace esw::flow {
+
+/// Parses one rule; throws CheckError with a description on syntax errors.
+FlowEntry parse_rule(std::string_view text);
+
+/// Formats an entry in the same syntax.
+std::string format_rule(const FlowEntry& entry);
+
+/// Parses "a.b.c.d" to a host-order IPv4 address; throws on bad input.
+uint32_t parse_ipv4(std::string_view text);
+
+/// Formats a host-order IPv4 address as dotted quad.
+std::string format_ipv4(uint32_t addr);
+
+}  // namespace esw::flow

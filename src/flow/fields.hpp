@@ -1,0 +1,76 @@
+// The OpenFlow match-field catalog: the subset of OpenFlow 1.3 OXM fields the
+// paper's use cases exercise, with the wire metadata (layer base, offset,
+// load width, sub-field shift, protocol prerequisites) that drives both the
+// generic extractor and the matcher-template lowering in the compiler.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "proto/parse.hpp"
+
+namespace esw::flow {
+
+enum class FieldId : uint8_t {
+  kInPort,
+  kMetadata,
+  kEthDst,
+  kEthSrc,
+  kEthType,
+  kVlanVid,
+  kVlanPcp,
+  kIpSrc,
+  kIpDst,
+  kIpProto,
+  kIpDscp,
+  kIpTtl,
+  kTcpSrc,
+  kTcpDst,
+  kUdpSrc,
+  kUdpDst,
+  kIcmpType,
+  kIcmpCode,
+  kArpOp,
+  kCount,
+};
+
+inline constexpr unsigned kNumFields = static_cast<unsigned>(FieldId::kCount);
+
+/// Where a field's bytes live relative to the parsed layer offsets.
+enum class FieldBase : uint8_t { kL2, kL3, kL4, kMeta };
+
+struct FieldInfo {
+  std::string_view name;
+  uint8_t width_bits;       // logical width of the field value
+  FieldBase base;           // which parse offset anchors it
+  int8_t offset;            // byte offset relative to the base (may be negative)
+  uint8_t load_width;       // bytes occupied on the wire (1, 2, 4, 6 or 8)
+  uint8_t shift;            // right shift after a big-endian load (sub-byte fields)
+  uint32_t proto_required;  // ProtoBits that must all be present to match
+};
+
+/// Catalog lookup; total for all FieldId values below kCount.
+const FieldInfo& field_info(FieldId f);
+
+/// Field id from its canonical name ("ip_dst", "tcp_src", …); kCount if unknown.
+FieldId field_from_name(std::string_view name);
+
+/// All-ones mask for the field's logical width.
+uint64_t field_full_mask(FieldId f);
+
+/// True when the packet carries every protocol layer the field requires.
+inline bool field_present(FieldId f, const proto::ParseInfo& pi) {
+  const uint32_t req = field_info(f).proto_required;
+  return (pi.proto_mask & req) == req;
+}
+
+/// Extracts the field value (host order) from a parsed packet.  The caller
+/// must have checked field_present().
+uint64_t extract_field(FieldId f, const uint8_t* pkt, const proto::ParseInfo& pi);
+
+/// Writes a new value into the packet, maintaining IP/L4/ICMP checksums
+/// incrementally.  Returns false for read-only fields (in_port) or fields the
+/// packet does not carry.  `pi` is updated for metadata writes.
+bool store_field(FieldId f, uint64_t value, uint8_t* pkt, proto::ParseInfo& pi);
+
+}  // namespace esw::flow

@@ -1,0 +1,66 @@
+#include "flow/table.hpp"
+
+#include <algorithm>
+
+namespace esw::flow {
+
+namespace {
+// entries_ is priority-descending; binary-search the equal-priority band so
+// add/remove are O(log n + band) rather than a full-table scan (that scan
+// dominated high-rate flow-mod workloads).
+struct PrioDesc {
+  bool operator()(const FlowEntry& e, uint16_t p) const { return e.priority > p; }
+  bool operator()(uint16_t p, const FlowEntry& e) const { return p > e.priority; }
+};
+}  // namespace
+
+void FlowTable::add(FlowEntry entry) {
+  ++version_;
+  const auto [band_begin, band_end] =
+      std::equal_range(entries_.begin(), entries_.end(), entry.priority, PrioDesc{});
+  for (auto it = band_begin; it != band_end; ++it) {
+    if (it->match == entry.match) {
+      // Flow-mod replace: actions/goto swap, counters preserved (OF 1.3 §6.4).
+      entry.n_packets = it->n_packets;
+      entry.n_bytes = it->n_bytes;
+      *it = std::move(entry);
+      return;
+    }
+  }
+  entries_.insert(band_end, std::move(entry));
+}
+
+bool FlowTable::remove(const Match& match, uint16_t priority) {
+  const auto [band_begin, band_end] =
+      std::equal_range(entries_.begin(), entries_.end(), priority, PrioDesc{});
+  for (auto it = band_begin; it != band_end; ++it) {
+    if (it->match == match) {
+      entries_.erase(it);
+      ++version_;
+      return true;
+    }
+  }
+  return false;
+}
+
+const FlowEntry* FlowTable::lookup(const uint8_t* pkt, const proto::ParseInfo& pi) const {
+  for (const FlowEntry& e : entries_)
+    if (e.match.matches_packet(pkt, pi)) return &e;
+  return nullptr;
+}
+
+void FlowTable::replace_all(std::vector<FlowEntry> entries) {
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const FlowEntry& a, const FlowEntry& b) {
+                     return a.priority > b.priority;
+                   });
+  entries_ = std::move(entries);
+  ++version_;
+}
+
+void FlowTable::clear() {
+  entries_.clear();
+  ++version_;
+}
+
+}  // namespace esw::flow

@@ -1,0 +1,394 @@
+#include "flow/wire.hpp"
+
+#include <cstring>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace esw::flow {
+
+namespace {
+
+constexpr uint8_t kOfVersion = 0x04;  // OpenFlow 1.3
+constexpr uint8_t kOfptFlowMod = 14;
+
+constexpr uint16_t kOxmClassBasic = 0x8000;
+// Private class for fields without a standard OF 1.3 OXM (ip_ttl).
+constexpr uint16_t kOxmClassPrivate = 0x0003;
+constexpr uint16_t kVidPresent = 0x1000;  // OFPVID_PRESENT
+
+constexpr uint16_t kInstrGoto = 1;
+constexpr uint16_t kInstrWriteActions = 3;
+
+constexpr uint16_t kActOutput = 0;
+constexpr uint16_t kActPushVlan = 17;
+constexpr uint16_t kActPopVlan = 18;
+constexpr uint16_t kActDecNwTtl = 24;
+constexpr uint16_t kActSetField = 25;
+
+constexpr uint32_t kPortController = 0xfffffffd;  // OFPP_CONTROLLER
+constexpr uint32_t kPortFlood = 0xfffffffb;       // OFPP_FLOOD
+
+struct OxmInfo {
+  uint16_t oxm_class;
+  uint8_t oxm_field;  // 7-bit field number
+  uint8_t wire_len;   // value length in bytes
+};
+
+// OFPXMT_OFB_* numbers from the OpenFlow 1.3.x spec, table 11.
+OxmInfo oxm_info(FieldId f) {
+  switch (f) {
+    case FieldId::kInPort:    return {kOxmClassBasic, 0, 4};
+    case FieldId::kMetadata:  return {kOxmClassBasic, 2, 8};
+    case FieldId::kEthDst:    return {kOxmClassBasic, 3, 6};
+    case FieldId::kEthSrc:    return {kOxmClassBasic, 4, 6};
+    case FieldId::kEthType:   return {kOxmClassBasic, 5, 2};
+    case FieldId::kVlanVid:   return {kOxmClassBasic, 6, 2};
+    case FieldId::kVlanPcp:   return {kOxmClassBasic, 7, 1};
+    case FieldId::kIpDscp:    return {kOxmClassBasic, 8, 1};
+    case FieldId::kIpProto:   return {kOxmClassBasic, 10, 1};
+    case FieldId::kIpSrc:     return {kOxmClassBasic, 11, 4};
+    case FieldId::kIpDst:     return {kOxmClassBasic, 12, 4};
+    case FieldId::kTcpSrc:    return {kOxmClassBasic, 13, 2};
+    case FieldId::kTcpDst:    return {kOxmClassBasic, 14, 2};
+    case FieldId::kUdpSrc:    return {kOxmClassBasic, 15, 2};
+    case FieldId::kUdpDst:    return {kOxmClassBasic, 16, 2};
+    case FieldId::kIcmpType:  return {kOxmClassBasic, 19, 1};
+    case FieldId::kIcmpCode:  return {kOxmClassBasic, 20, 1};
+    case FieldId::kArpOp:     return {kOxmClassBasic, 21, 2};
+    case FieldId::kIpTtl:     return {kOxmClassPrivate, 1, 1};
+    default:
+      ESW_CHECK_MSG(false, "field has no OXM mapping");
+  }
+  return {};
+}
+
+FieldId field_from_oxm(uint16_t oxm_class, uint8_t oxm_field) {
+  for (unsigned i = 0; i < kNumFields; ++i) {
+    const FieldId f = static_cast<FieldId>(i);
+    const OxmInfo info = oxm_info(f);
+    if (info.oxm_class == oxm_class && info.oxm_field == oxm_field) return f;
+  }
+  return FieldId::kCount;
+}
+
+class Writer {
+ public:
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void u16(uint16_t v) {
+    buf_.push_back(static_cast<uint8_t>(v >> 8));
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
+  void u32(uint32_t v) {
+    u16(static_cast<uint16_t>(v >> 16));
+    u16(static_cast<uint16_t>(v));
+  }
+  void u64(uint64_t v) {
+    u32(static_cast<uint32_t>(v >> 32));
+    u32(static_cast<uint32_t>(v));
+  }
+  void be(uint64_t v, unsigned width) {
+    for (unsigned i = 0; i < width; ++i)
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * (width - 1 - i))));
+  }
+  void pad_to(size_t align) {
+    while (buf_.size() % align) buf_.push_back(0);
+  }
+  void zeros(size_t n) { buf_.insert(buf_.end(), n, 0); }
+  size_t size() const { return buf_.size(); }
+  void patch_u16(size_t off, uint16_t v) {
+    buf_[off] = static_cast<uint8_t>(v >> 8);
+    buf_[off + 1] = static_cast<uint8_t>(v);
+  }
+  std::vector<uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t len) : p_(data), end_(data + len) {}
+  uint8_t u8() {
+    need(1);
+    return *p_++;
+  }
+  uint16_t u16() {
+    need(2);
+    const uint16_t v = load_be16(p_);
+    p_ += 2;
+    return v;
+  }
+  uint32_t u32() {
+    need(4);
+    const uint32_t v = load_be32(p_);
+    p_ += 4;
+    return v;
+  }
+  uint64_t u64() { return (uint64_t{u32()} << 32) | u32(); }
+  uint64_t be(unsigned width) {
+    need(width);
+    const uint64_t v = load_be(p_, width);
+    p_ += width;
+    return v;
+  }
+  void skip(size_t n) {
+    need(n);
+    p_ += n;
+  }
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+ private:
+  void need(size_t n) { ESW_CHECK_MSG(remaining() >= n, "truncated OpenFlow message"); }
+  const uint8_t* p_;
+  const uint8_t* end_;
+};
+
+void encode_oxm(Writer& w, FieldId f, uint64_t value, uint64_t mask, bool has_mask) {
+  const OxmInfo info = oxm_info(f);
+  if (f == FieldId::kVlanVid) {
+    value |= kVidPresent;
+    mask |= kVidPresent;
+  }
+  w.u16(info.oxm_class);
+  w.u8(static_cast<uint8_t>((info.oxm_field << 1) | (has_mask ? 1 : 0)));
+  w.u8(static_cast<uint8_t>(info.wire_len * (has_mask ? 2 : 1)));
+  w.be(value, info.wire_len);
+  if (has_mask) w.be(mask, info.wire_len);
+}
+
+void encode_match(Writer& w, const Match& m) {
+  const size_t match_start = w.size();
+  w.u16(1);  // OFPMT_OXM
+  const size_t len_off = w.size();
+  w.u16(0);  // placeholder
+  for (FieldId f : MatchFields(m)) {
+    const bool has_mask = m.mask(f) != field_full_mask(f);
+    encode_oxm(w, f, m.value(f), m.mask(f), has_mask);
+  }
+  w.patch_u16(len_off, static_cast<uint16_t>(w.size() - match_start));
+  w.pad_to(8);
+}
+
+void encode_action(Writer& w, const Action& a) {
+  switch (a.type) {
+    case ActionType::kOutput:
+    case ActionType::kController:
+    case ActionType::kFlood: {
+      w.u16(kActOutput);
+      w.u16(16);
+      uint32_t port = static_cast<uint32_t>(a.value);
+      if (a.type == ActionType::kController) port = kPortController;
+      if (a.type == ActionType::kFlood) port = kPortFlood;
+      w.u32(port);
+      w.u16(a.type == ActionType::kController ? 0xFFFF : 0);  // max_len
+      w.zeros(6);
+      break;
+    }
+    case ActionType::kPushVlan: {
+      w.u16(kActPushVlan);
+      w.u16(8);
+      w.u16(0x8100);
+      w.zeros(2);
+      // OpenFlow's push_vlan carries only the TPID; the VID travels in a
+      // companion set-field, which decode folds back into merge semantics.
+      if (a.value != 0) encode_action(w, Action::set_field(FieldId::kVlanVid, a.value));
+      break;
+    }
+    case ActionType::kPopVlan:
+      w.u16(kActPopVlan);
+      w.u16(8);
+      w.zeros(4);
+      break;
+    case ActionType::kDecTtl:
+      w.u16(kActDecNwTtl);
+      w.u16(8);
+      w.zeros(4);
+      break;
+    case ActionType::kSetField: {
+      const size_t start = w.size();
+      w.u16(kActSetField);
+      const size_t len_off = w.size();
+      w.u16(0);
+      encode_oxm(w, a.field, a.value, 0, false);
+      w.pad_to(8);
+      w.patch_u16(len_off, static_cast<uint16_t>(w.size() - start));
+      break;
+    }
+    case ActionType::kDrop:
+      break;  // drop = absence of output
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> encode_flow_mod(const FlowMod& fm) {
+  Writer w;
+  // ofp_header
+  w.u8(kOfVersion);
+  w.u8(kOfptFlowMod);
+  const size_t total_len_off = w.size();
+  w.u16(0);
+  w.u32(fm.xid);
+  // ofp_flow_mod
+  w.u64(fm.cookie);
+  w.u64(0);  // cookie_mask
+  w.u8(fm.table_id);
+  w.u8(static_cast<uint8_t>(fm.command));
+  w.u16(0);  // idle_timeout
+  w.u16(0);  // hard_timeout
+  w.u16(fm.priority);
+  w.u32(0xffffffff);  // buffer_id = OFP_NO_BUFFER
+  w.u32(0xffffffff);  // out_port = OFPP_ANY
+  w.u32(0xffffffff);  // out_group = OFPG_ANY
+  w.u16(0);           // flags
+  w.zeros(2);         // pad
+  encode_match(w, fm.match);
+
+  // push-vlan must precede the vlan_vid set-field inside a write-actions set;
+  // our ActionList is already in intent order, encode verbatim.
+  if (!fm.actions.empty() &&
+      !(fm.actions.size() == 1 && fm.actions[0].type == ActionType::kDrop)) {
+    const size_t instr_start = w.size();
+    w.u16(kInstrWriteActions);
+    const size_t len_off = w.size();
+    w.u16(0);
+    w.zeros(4);
+    for (const Action& a : fm.actions) encode_action(w, a);
+    w.patch_u16(len_off, static_cast<uint16_t>(w.size() - instr_start));
+  }
+  if (fm.goto_table != kNoGoto) {
+    w.u16(kInstrGoto);
+    w.u16(8);
+    w.u8(static_cast<uint8_t>(fm.goto_table));
+    w.zeros(3);
+  }
+  auto out = w.take();
+  ESW_CHECK(out.size() <= 0xFFFF);
+  out[total_len_off] = static_cast<uint8_t>(out.size() >> 8);
+  out[total_len_off + 1] = static_cast<uint8_t>(out.size());
+  return out;
+}
+
+size_t openflow_frame_len(const uint8_t* data, size_t len) {
+  if (len < 8) return 0;
+  return load_be16(data + 2);
+}
+
+FlowMod decode_flow_mod(const uint8_t* data, size_t len) {
+  Reader r(data, len);
+  FlowMod fm;
+
+  ESW_CHECK_MSG(r.u8() == kOfVersion, "bad OpenFlow version");
+  ESW_CHECK_MSG(r.u8() == kOfptFlowMod, "not a FLOW_MOD");
+  const uint16_t total = r.u16();
+  ESW_CHECK_MSG(total <= len, "truncated FLOW_MOD");
+  fm.xid = r.u32();
+  fm.cookie = r.u64();
+  r.u64();  // cookie_mask
+  fm.table_id = r.u8();
+  fm.command = static_cast<FlowMod::Cmd>(r.u8());
+  r.u16();  // idle
+  r.u16();  // hard
+  fm.priority = r.u16();
+  r.u32();  // buffer
+  r.u32();  // out_port
+  r.u32();  // out_group
+  r.u16();  // flags
+  r.skip(2);
+
+  // Match.
+  ESW_CHECK_MSG(r.u16() == 1, "expected OXM match");
+  const uint16_t match_len = r.u16();
+  ESW_CHECK_MSG(match_len >= 4, "bad match length");
+  size_t oxm_bytes = match_len - 4;
+  while (oxm_bytes > 0) {
+    ESW_CHECK_MSG(oxm_bytes >= 4, "bad OXM TLV");
+    const uint16_t oxm_class = r.u16();
+    const uint8_t fh = r.u8();
+    const uint8_t tlv_len = r.u8();
+    const bool has_mask = (fh & 1) != 0;
+    const FieldId f = field_from_oxm(oxm_class, fh >> 1);
+    ESW_CHECK_MSG(f != FieldId::kCount, "unknown OXM field");
+    const OxmInfo info = oxm_info(f);
+    ESW_CHECK_MSG(tlv_len == info.wire_len * (has_mask ? 2 : 1), "bad OXM length");
+    uint64_t value = r.be(info.wire_len);
+    uint64_t mask = has_mask ? r.be(info.wire_len) : field_full_mask(f);
+    if (f == FieldId::kVlanVid) {
+      value &= ~uint64_t{kVidPresent};
+      mask &= ~uint64_t{kVidPresent};
+      if (mask == 0) mask = field_full_mask(f);
+    }
+    fm.match.set(f, value, mask);
+    oxm_bytes -= 4 + tlv_len;
+  }
+  // Match padding.
+  const size_t pad = (8 - (match_len % 8)) % 8;
+  r.skip(pad);
+
+  // Instructions.
+  while (r.remaining() >= 4) {
+    const uint16_t itype = r.u16();
+    const uint16_t ilen = r.u16();
+    ESW_CHECK_MSG(ilen >= 4, "bad instruction length");
+    if (itype == kInstrGoto) {
+      fm.goto_table = r.u8();
+      r.skip(3);
+    } else if (itype == kInstrWriteActions) {
+      r.skip(4);
+      size_t abytes = ilen - 8;
+      while (abytes > 0) {
+        ESW_CHECK_MSG(abytes >= 8, "bad action");
+        const uint16_t atype = r.u16();
+        const uint16_t alen = r.u16();
+        switch (atype) {
+          case kActOutput: {
+            const uint32_t port = r.u32();
+            r.u16();
+            r.skip(6);
+            if (port == kPortController)
+              fm.actions.push_back(Action::to_controller());
+            else if (port == kPortFlood)
+              fm.actions.push_back(Action::flood());
+            else
+              fm.actions.push_back(Action::output(port));
+            break;
+          }
+          case kActPushVlan:
+            r.u16();
+            r.skip(2);
+            fm.actions.push_back(Action::push_vlan(0));
+            break;
+          case kActPopVlan:
+            r.skip(4);
+            fm.actions.push_back(Action::pop_vlan());
+            break;
+          case kActDecNwTtl:
+            r.skip(4);
+            fm.actions.push_back(Action::dec_ttl());
+            break;
+          case kActSetField: {
+            const uint16_t oxm_class = r.u16();
+            const uint8_t fh = r.u8();
+            const uint8_t tlv_len = r.u8();
+            const FieldId f = field_from_oxm(oxm_class, fh >> 1);
+            ESW_CHECK_MSG(f != FieldId::kCount, "unknown set-field OXM");
+            uint64_t value = r.be(tlv_len);
+            if (f == FieldId::kVlanVid) value &= ~uint64_t{kVidPresent};
+            fm.actions.push_back(Action::set_field(f, value));
+            r.skip(alen - 8 - tlv_len);  // padding
+            break;
+          }
+          default:
+            ESW_CHECK_MSG(false, "unknown action type");
+        }
+        abytes -= alen;
+      }
+    } else {
+      r.skip(ilen - 4);
+    }
+  }
+  return fm;
+}
+
+}  // namespace esw::flow

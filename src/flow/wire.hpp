@@ -1,0 +1,40 @@
+// OpenFlow 1.3 wire encoding of FLOW_MOD messages (header + OXM match +
+// instructions), used by the controller-channel model so that Fig. 17's
+// CLI-vs-controller comparison exercises a real serialize/deserialize path.
+//
+// Faithful to the spec for all standard fields; ip_ttl (not a standard OF 1.3
+// OXM) travels in a private OXM class, clearly marked below.  An explicit
+// `drop` action encodes as an empty write-actions list (OpenFlow represents
+// drop as the absence of an output action).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/table.hpp"
+
+namespace esw::flow {
+
+struct FlowMod {
+  enum class Cmd : uint8_t { kAdd = 0, kModify = 1, kDelete = 3 };
+
+  Cmd command = Cmd::kAdd;
+  uint8_t table_id = 0;
+  uint16_t priority = 0;
+  uint64_t cookie = 0;
+  Match match;
+  ActionList actions;             // write-actions instruction
+  int16_t goto_table = kNoGoto;   // goto-table instruction
+  uint32_t xid = 0;
+};
+
+/// Serializes a FLOW_MOD; always succeeds for valid in-memory state.
+std::vector<uint8_t> encode_flow_mod(const FlowMod& fm);
+
+/// Parses a FLOW_MOD; throws CheckError on malformed input.
+FlowMod decode_flow_mod(const uint8_t* data, size_t len);
+
+/// Frame length from an OpenFlow header (returns 0 if len < 8).
+size_t openflow_frame_len(const uint8_t* data, size_t len);
+
+}  // namespace esw::flow

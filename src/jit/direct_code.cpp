@@ -1,0 +1,35 @@
+#include "jit/direct_code.hpp"
+
+#include "jit/assembler.hpp"
+
+namespace esw::jit {
+
+std::optional<DirectCodeFn> DirectCodeFn::compile(
+    const std::vector<LoweredEntry>& entries) {
+  if (!ExecBuffer::supported()) return std::nullopt;
+
+  Assembler as;
+  const Assembler::Label epilogue = as.new_label();
+
+  as.emit_prologue();
+  for (const LoweredEntry& e : entries) {
+    // ADDR_NEXT_FLOW for this entry.
+    const Assembler::Label next_flow = as.new_label();
+    as.emit_proto_check(e.proto_required, next_flow);
+    for (const FieldTest& t : e.tests) as.emit_field_test(t, next_flow);
+    as.emit_return(e.result, epilogue);
+    as.bind(next_flow);
+  }
+  as.emit_return(kMissResult, epilogue);
+  as.bind(epilogue);
+  as.emit_epilogue();
+
+  if (!as.link()) return std::nullopt;
+
+  auto buf = std::make_unique<ExecBuffer>();
+  if (!buf->load(as.code().data(), as.size())) return std::nullopt;
+  const Fn fn = reinterpret_cast<Fn>(const_cast<void*>(buf->entry()));
+  return DirectCodeFn(std::move(buf), fn);
+}
+
+}  // namespace esw::jit

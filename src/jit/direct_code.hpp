@@ -1,0 +1,39 @@
+// The *direct code* flow-table template (§3.1): a faithful machine-code
+// rendering of a flow table's classification rules, with keys patched into
+// the instruction stream and per-entry fall-through chains
+// ("FLOW_1: … jne ADDR_NEXT_FLOW … FLOW_2: …").
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "jit/exec_mem.hpp"
+#include "jit/ir.hpp"
+
+namespace esw::jit {
+
+/// A compiled direct-code classifier.  Immutable once built (the paper
+/// rebuilds direct-code tables unconditionally on update).
+class DirectCodeFn {
+ public:
+  using Fn = uint64_t (*)(const uint8_t* pkt, const proto::ParseInfo* pi);
+
+  /// Compiles the entries; returns nullopt when executable memory is
+  /// unavailable or linking fails (caller falls back to the interpreter).
+  static std::optional<DirectCodeFn> compile(const std::vector<LoweredEntry>& entries);
+
+  uint64_t operator()(const uint8_t* pkt, const proto::ParseInfo& pi) const {
+    return fn_(pkt, &pi);
+  }
+
+  size_t code_size() const { return buf_->code_size(); }
+
+ private:
+  DirectCodeFn(std::unique_ptr<ExecBuffer> buf, Fn fn) : buf_(std::move(buf)), fn_(fn) {}
+
+  std::unique_ptr<ExecBuffer> buf_;  // stable address across moves
+  Fn fn_;
+};
+
+}  // namespace esw::jit

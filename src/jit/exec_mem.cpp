@@ -1,0 +1,45 @@
+#include "jit/exec_mem.hpp"
+
+#include <sys/mman.h>
+
+#include <cstring>
+
+namespace esw::jit {
+
+ExecBuffer::~ExecBuffer() {
+  if (mem_ != nullptr) ::munmap(mem_, mapped_);
+}
+
+bool ExecBuffer::load(const uint8_t* code, size_t size) {
+  if (mem_ != nullptr) {
+    ::munmap(mem_, mapped_);
+    mem_ = nullptr;
+  }
+  const size_t page = 4096;
+  mapped_ = (size + page - 1) & ~(page - 1);
+  void* m = ::mmap(nullptr, mapped_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (m == MAP_FAILED) return false;
+  std::memcpy(m, code, size);
+  if (::mprotect(m, mapped_, PROT_READ | PROT_EXEC) != 0) {
+    ::munmap(m, mapped_);
+    return false;
+  }
+  mem_ = m;
+  size_ = size;
+  return true;
+}
+
+bool ExecBuffer::supported() {
+  static const bool ok = [] {
+    // ret-only probe.
+    const uint8_t ret = 0xC3;
+    ExecBuffer probe;
+    if (!probe.load(&ret, 1)) return false;
+    reinterpret_cast<void (*)()>(const_cast<void*>(probe.entry()))();
+    return true;
+  }();
+  return ok;
+}
+
+}  // namespace esw::jit

@@ -1,0 +1,53 @@
+// Executable memory management for the template JIT: code is assembled into a
+// writable mapping, then flipped to read+execute (W^X discipline) before use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace esw::jit {
+
+/// One mmap'ed code region.  Move-only; unmapped on destruction.
+class ExecBuffer {
+ public:
+  ExecBuffer() = default;
+  ExecBuffer(ExecBuffer&& other) noexcept { swap(other); }
+  ExecBuffer& operator=(ExecBuffer&& other) noexcept {
+    swap(other);
+    return *this;
+  }
+  ExecBuffer(const ExecBuffer&) = delete;
+  ExecBuffer& operator=(const ExecBuffer&) = delete;
+  ~ExecBuffer();
+
+  /// Copies `code` into fresh executable memory.  Returns false when the
+  /// platform refuses executable mappings (hardened kernels); callers then
+  /// fall back to the interpreter backend.
+  bool load(const uint8_t* code, size_t size);
+
+  const void* entry() const { return mem_; }
+  size_t code_size() const { return size_; }
+  bool valid() const { return mem_ != nullptr; }
+
+  /// True when this process can create executable memory at all (probed once).
+  static bool supported();
+
+ private:
+  void swap(ExecBuffer& other) {
+    void* m = mem_;
+    mem_ = other.mem_;
+    other.mem_ = m;
+    size_t s = size_;
+    size_ = other.size_;
+    other.size_ = s;
+    s = mapped_;
+    mapped_ = other.mapped_;
+    other.mapped_ = s;
+  }
+
+  void* mem_ = nullptr;
+  size_t size_ = 0;
+  size_t mapped_ = 0;
+};
+
+}  // namespace esw::jit

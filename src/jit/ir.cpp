@@ -1,0 +1,45 @@
+#include "jit/ir.hpp"
+
+#include <cstring>
+
+namespace esw::jit {
+
+namespace {
+
+inline const uint8_t* base_ptr(LoadBase base, const uint8_t* pkt,
+                               const proto::ParseInfo& pi) {
+  switch (base) {
+    case LoadBase::kL2:
+      return pkt + pi.l2_off;
+    case LoadBase::kL3:
+      return pkt + pi.l3_off;
+    case LoadBase::kL4:
+      return pkt + pi.l4_off;
+    case LoadBase::kParseInfo:
+      return reinterpret_cast<const uint8_t*>(&pi);
+  }
+  return pkt;
+}
+
+}  // namespace
+
+uint64_t interpret(const LoweredEntry* entries, size_t count, const uint8_t* pkt,
+                   const proto::ParseInfo& pi) {
+  for (size_t i = 0; i < count; ++i) {
+    const LoweredEntry& e = entries[i];
+    if ((pi.proto_mask & e.proto_required) != e.proto_required) continue;
+    bool hit = true;
+    for (const FieldTest& t : e.tests) {
+      uint64_t v = 0;
+      std::memcpy(&v, base_ptr(t.base, pkt, pi) + t.rel_off, t.load_width);
+      if (((v ^ t.cmp_const) & t.cmp_mask) != 0) {
+        hit = false;
+        break;
+      }
+    }
+    if (hit) return e.result;
+  }
+  return kMissResult;
+}
+
+}  // namespace esw::jit

@@ -1,0 +1,29 @@
+#include "netio/mbuf_pool.hpp"
+
+#include "common/check.hpp"
+
+namespace esw::net {
+
+MbufPool::MbufPool(uint32_t capacity) : capacity_(capacity) {
+  ESW_CHECK(capacity > 0);
+  storage_ = std::make_unique<Packet[]>(capacity);
+  free_.reserve(capacity);
+  for (uint32_t i = 0; i < capacity; ++i) free_.push_back(&storage_[i]);
+}
+
+Packet* MbufPool::alloc() {
+  if (free_.empty()) {
+    ++alloc_failures_;
+    return nullptr;
+  }
+  Packet* p = free_.back();
+  free_.pop_back();
+  return p;
+}
+
+void MbufPool::free(Packet* pkt) {
+  ESW_DCHECK(pkt >= storage_.get() && pkt < storage_.get() + capacity_);
+  free_.push_back(pkt);
+}
+
+}  // namespace esw::net

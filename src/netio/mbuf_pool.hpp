@@ -1,0 +1,36 @@
+// Fixed-size packet-buffer pool with a freelist, modeled on DPDK mempools.
+//
+// Allocation never touches the system allocator after construction; the
+// datapath allocates and frees buffers in O(1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "netio/packet.hpp"
+
+namespace esw::net {
+
+class MbufPool {
+ public:
+  explicit MbufPool(uint32_t capacity);
+
+  /// Takes a buffer from the pool, or nullptr when exhausted.
+  Packet* alloc();
+
+  /// Returns a buffer to the pool.  Must have come from this pool.
+  void free(Packet* pkt);
+
+  uint32_t capacity() const { return capacity_; }
+  uint32_t available() const { return static_cast<uint32_t>(free_.size()); }
+  uint64_t alloc_failures() const { return alloc_failures_; }
+
+ private:
+  uint32_t capacity_;
+  std::unique_ptr<Packet[]> storage_;
+  std::vector<Packet*> free_;
+  uint64_t alloc_failures_ = 0;
+};
+
+}  // namespace esw::net

@@ -1,0 +1,37 @@
+// Measurement loop, named for the paper's Network Function Performance
+// Analyzer (NFPA) testbed: replays a TrafficSet through a packet-processing
+// function and reports packet rate, per-packet cycles and latency percentiles.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/tsc.hpp"
+#include "netio/pktgen.hpp"
+
+namespace esw::net {
+
+struct RunStats {
+  uint64_t packets = 0;
+  double seconds = 0;
+  double pps = 0;
+  double cycles_per_pkt = 0;
+  double latency_p50_cycles = 0;
+  double latency_p99_cycles = 0;
+};
+
+struct RunOpts {
+  double min_seconds = 0.25;   // measure at least this long
+  uint64_t min_packets = 20000;
+  uint64_t warmup_packets = 2000;
+  uint32_t latency_sample_every = 64;
+};
+
+/// Replays `traffic` round-robin through `fn(Packet&)` and measures.
+RunStats run_loop(const TrafficSet& traffic, const std::function<void(Packet&)>& fn,
+                  const RunOpts& opts = {});
+
+}  // namespace esw::net

@@ -1,0 +1,7 @@
+#include "netio/packet.hpp"
+
+// Packet is header-only today; this TU pins the vtable-free type into the
+// library and keeps a build target per module.
+namespace esw::net {
+static_assert(sizeof(Packet) >= Packet::kCapacity, "inline buffer");
+}  // namespace esw::net

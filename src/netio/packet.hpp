@@ -1,0 +1,70 @@
+// Packet buffer — the mbuf of our user-space IO substrate (DPDK substitute).
+//
+// A Packet owns an inline buffer.  Capacity includes kTailSlack extra bytes
+// beyond the maximum frame so that the matcher templates' widest load
+// (8 bytes, used e.g. for 6-byte MAC fields) can never read past the
+// allocation regardless of frame length.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace esw::net {
+
+class Packet {
+ public:
+  static constexpr uint32_t kCapacity = 2048;
+  static constexpr uint32_t kTailSlack = 8;
+  static constexpr uint32_t kMaxFrame = kCapacity - kTailSlack;
+
+  Packet() = default;
+
+  uint8_t* data() { return buf_.data(); }
+  const uint8_t* data() const { return buf_.data(); }
+  uint32_t len() const { return len_; }
+  uint32_t in_port() const { return in_port_; }
+
+  void set_len(uint32_t len) {
+    ESW_DCHECK(len <= kMaxFrame);
+    len_ = len;
+  }
+  void set_in_port(uint32_t port) { in_port_ = port; }
+
+  /// Copies `len` bytes in and sets the frame length.
+  void assign(const uint8_t* src, uint32_t len) {
+    ESW_CHECK(len <= kMaxFrame);
+    std::memcpy(buf_.data(), src, len);
+    len_ = len;
+  }
+
+  /// Inserts `count` bytes at `offset`, shifting the tail right
+  /// (push-VLAN uses this).  Returns false if the frame would overflow.
+  bool insert(uint32_t offset, uint32_t count) {
+    if (len_ + count > kMaxFrame || offset > len_) return false;
+    std::memmove(buf_.data() + offset + count, buf_.data() + offset, len_ - offset);
+    len_ += count;
+    return true;
+  }
+
+  /// Removes `count` bytes at `offset`, shifting the tail left (pop-VLAN).
+  bool erase(uint32_t offset, uint32_t count) {
+    if (offset + count > len_) return false;
+    std::memmove(buf_.data() + offset, buf_.data() + offset + count,
+                 len_ - offset - count);
+    len_ -= count;
+    return true;
+  }
+
+ private:
+  alignas(64) std::array<uint8_t, kCapacity> buf_{};
+  uint32_t len_ = 0;
+  uint32_t in_port_ = 0;
+};
+
+/// Burst size used throughout the IO path (DPDK-style batch processing).
+inline constexpr uint32_t kBurstSize = 32;
+
+}  // namespace esw::net

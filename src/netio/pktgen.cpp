@@ -1,0 +1,22 @@
+#include "netio/pktgen.hpp"
+
+#include "common/check.hpp"
+
+namespace esw::net {
+
+TrafficSet TrafficSet::from_flows(const std::vector<FlowSpec>& flows) {
+  ESW_CHECK_MSG(!flows.empty(), "traffic set needs at least one flow");
+  TrafficSet ts;
+  ts.frames_.reserve(flows.size());
+  uint8_t buf[Packet::kMaxFrame];
+  for (const FlowSpec& fs : flows) {
+    const uint32_t len = proto::build_packet(fs.pkt, buf, sizeof buf);
+    ESW_CHECK_MSG(len > 0, "packet spec failed to serialize");
+    const uint32_t off = static_cast<uint32_t>(ts.arena_.size());
+    ts.arena_.insert(ts.arena_.end(), buf, buf + len);
+    ts.frames_.push_back({off, len, fs.in_port});
+  }
+  return ts;
+}
+
+}  // namespace esw::net

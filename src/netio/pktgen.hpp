@@ -1,0 +1,51 @@
+// Traffic generation.
+//
+// A TrafficSet is a pre-built sequence of frames (stored in a compact arena so
+// a million-flow mix fits in memory) that the measurement loop replays
+// round-robin — the worst case for flow caches, matching how the paper sweeps
+// "number of active flows".  Generation happens off the measurement path, as
+// with DPDK pktgen.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "netio/packet.hpp"
+#include "proto/build.hpp"
+
+namespace esw::net {
+
+/// One flow of the traffic mix: a frame spec plus the ingress port.
+struct FlowSpec {
+  proto::PacketSpec pkt;
+  uint32_t in_port = 0;
+};
+
+class TrafficSet {
+ public:
+  /// Builds one frame per flow.  Throws if a spec does not serialize.
+  static TrafficSet from_flows(const std::vector<FlowSpec>& flows);
+
+  size_t size() const { return frames_.size(); }
+
+  /// Copies frame `i % size()` into `out` (models RX DMA into an mbuf).
+  void load(size_t i, Packet& out) const {
+    const Frame& f = frames_[i % frames_.size()];
+    out.assign(arena_.data() + f.offset, f.len);
+    out.set_in_port(f.in_port);
+  }
+
+  uint32_t frame_len(size_t i) const { return frames_[i % frames_.size()].len; }
+
+ private:
+  struct Frame {
+    uint32_t offset;
+    uint32_t len;
+    uint32_t in_port;
+  };
+  std::vector<uint8_t> arena_;
+  std::vector<Frame> frames_;
+};
+
+}  // namespace esw::net

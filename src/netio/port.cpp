@@ -1,0 +1,41 @@
+#include "netio/port.hpp"
+
+namespace esw::net {
+
+Port::Port(const Config& cfg)
+    : name_(cfg.name), rx_(cfg.ring_size), tx_(cfg.ring_size), max_tx_pps_(cfg.max_tx_pps) {}
+
+uint32_t Port::inject_rx(Packet* const* pkts, uint32_t n) {
+  const uint32_t accepted = rx_.enqueue_burst(pkts, n);
+  counters_.rx_packets += accepted;
+  for (uint32_t i = 0; i < accepted; ++i) counters_.rx_bytes += pkts[i]->len();
+  return accepted;
+}
+
+uint32_t Port::rx_burst(Packet** out, uint32_t n) { return rx_.dequeue_burst(out, n); }
+
+uint32_t Port::tx_burst(Packet* const* pkts, uint32_t n, uint64_t now_ns) {
+  uint32_t admitted = n;
+  if (max_tx_pps_ > 0.0) {
+    // Token bucket in virtual time: credit accrues at max_tx_pps, capped at
+    // one burst worth so idle time cannot be banked indefinitely.
+    if (now_ns > last_tx_ns_) {
+      tx_credit_ += static_cast<double>(now_ns - last_tx_ns_) * 1e-9 * max_tx_pps_;
+      last_tx_ns_ = now_ns;
+      const double burst_cap = kBurstSize * 4.0;
+      if (tx_credit_ > burst_cap) tx_credit_ = burst_cap;
+    }
+    admitted = static_cast<uint32_t>(tx_credit_);
+    if (admitted > n) admitted = n;
+    tx_credit_ -= admitted;
+  }
+  const uint32_t queued = tx_.enqueue_burst(pkts, admitted);
+  counters_.tx_packets += queued;
+  for (uint32_t i = 0; i < queued; ++i) counters_.tx_bytes += pkts[i]->len();
+  counters_.tx_drops += n - queued;
+  return queued;
+}
+
+uint32_t Port::drain_tx(Packet** out, uint32_t n) { return tx_.dequeue_burst(out, n); }
+
+}  // namespace esw::net

@@ -1,0 +1,63 @@
+// Switch port backed by RX/TX rings with counters and an optional packet-rate
+// cap that models NIC line-rate limits (e.g. the Intel XL710's ~23 Mpps
+// 64-byte ceiling from the paper's Table 1 discussion).
+//
+// The cap is enforced in *virtual time*: the caller advances a nanosecond
+// clock and tx_burst drops packets exceeding rate × elapsed-time, exactly how
+// a saturated NIC would tail-drop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netio/ring.hpp"
+
+namespace esw::net {
+
+struct PortCounters {
+  uint64_t rx_packets = 0;
+  uint64_t tx_packets = 0;
+  uint64_t rx_bytes = 0;
+  uint64_t tx_bytes = 0;
+  uint64_t tx_drops = 0;  // rate-cap or ring-full drops
+};
+
+class Port {
+ public:
+  struct Config {
+    uint32_t ring_size = 1024;
+    double max_tx_pps = 0.0;  // 0 = uncapped
+    std::string name = "port";
+  };
+
+  Port() : Port(Config{}) {}
+  explicit Port(const Config& cfg);
+
+  /// Injects packets into the RX side (what a NIC DMA would do).
+  uint32_t inject_rx(Packet* const* pkts, uint32_t n);
+
+  /// Polls up to `n` received packets (poll-mode driver model).
+  uint32_t rx_burst(Packet** out, uint32_t n);
+
+  /// Transmits a burst at virtual time `now_ns`; returns packets accepted.
+  /// Excess packets above the rate cap are counted as tx_drops and NOT
+  /// enqueued — the caller still owns them.
+  uint32_t tx_burst(Packet* const* pkts, uint32_t n, uint64_t now_ns = 0);
+
+  /// Drains up to `n` transmitted packets (what the wire would carry).
+  uint32_t drain_tx(Packet** out, uint32_t n);
+
+  const PortCounters& counters() const { return counters_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  Ring rx_;
+  Ring tx_;
+  double max_tx_pps_;
+  double tx_credit_ = 0.0;
+  uint64_t last_tx_ns_ = 0;
+  PortCounters counters_;
+};
+
+}  // namespace esw::net

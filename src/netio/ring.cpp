@@ -1,0 +1,5 @@
+#include "netio/ring.hpp"
+
+namespace esw::net {
+// Header-only; TU keeps the module's build target non-empty.
+}  // namespace esw::net

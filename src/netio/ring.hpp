@@ -1,0 +1,60 @@
+// Single-producer/single-consumer ring of packet pointers, the DPDK
+// rte_ring analogue used to hand bursts between pipeline stages and ports.
+//
+// Lock-free for the SPSC case: producer writes head, consumer writes tail,
+// both with acquire/release ordering.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/check.hpp"
+#include "netio/packet.hpp"
+
+namespace esw::net {
+
+class Ring {
+ public:
+  /// `capacity` must be a power of two.
+  explicit Ring(uint32_t capacity) : mask_(capacity - 1) {
+    ESW_CHECK(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+    slots_ = std::make_unique<Packet*[]>(capacity);
+  }
+
+  /// Enqueues up to `n` packets; returns how many were accepted.
+  uint32_t enqueue_burst(Packet* const* pkts, uint32_t n) {
+    const uint32_t head = head_.load(std::memory_order_relaxed);
+    const uint32_t tail = tail_.load(std::memory_order_acquire);
+    const uint32_t room = mask_ + 1 - (head - tail);
+    const uint32_t count = n < room ? n : room;
+    for (uint32_t i = 0; i < count; ++i) slots_[(head + i) & mask_] = pkts[i];
+    head_.store(head + count, std::memory_order_release);
+    return count;
+  }
+
+  /// Dequeues up to `n` packets; returns how many were produced.
+  uint32_t dequeue_burst(Packet** out, uint32_t n) {
+    const uint32_t tail = tail_.load(std::memory_order_relaxed);
+    const uint32_t head = head_.load(std::memory_order_acquire);
+    const uint32_t avail = head - tail;
+    const uint32_t count = n < avail ? n : avail;
+    for (uint32_t i = 0; i < count; ++i) out[i] = slots_[(tail + i) & mask_];
+    tail_.store(tail + count, std::memory_order_release);
+    return count;
+  }
+
+  uint32_t size() const {
+    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
+  }
+  uint32_t capacity() const { return mask_ + 1; }
+  bool empty() const { return size() == 0; }
+
+ private:
+  uint32_t mask_;
+  std::unique_ptr<Packet*[]> slots_;
+  alignas(64) std::atomic<uint32_t> head_{0};
+  alignas(64) std::atomic<uint32_t> tail_{0};
+};
+
+}  // namespace esw::net

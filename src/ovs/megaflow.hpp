@@ -1,0 +1,69 @@
+// Megaflow cache — OVS's wildcard match store for traffic aggregates (§2.2).
+//
+// Entries are (wildcarded match → cached action list) pairs indexed by tuple
+// space search without priorities.  A flow limit caps resident entries
+// (evicting oldest first, mirroring OVS's flow limit + revalidator pressure);
+// whole-cache invalidation is the paper's footnote-2 "brute-force strategy to
+// invalidate the entire cache after essentially all changes".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cls/tuple_space.hpp"
+#include "flow/actions.hpp"
+
+namespace esw::ovs {
+
+class MegaflowCache {
+ public:
+  explicit MegaflowCache(size_t flow_limit = 200000) : flow_limit_(flow_limit) {}
+
+  struct Entry {
+    flow::Match match;
+    flow::ActionList actions;  // concatenated write-actions of the slow-path walk
+    uint64_t stamp = 0;        // uniquifies reused slots for microflow pointers
+    uint32_t rank = 0;         // index key within the tuple space
+    bool live = false;
+  };
+
+  /// Index + stamp of the matching entry, or {-1, 0}.
+  struct Ref {
+    int64_t idx = -1;
+    uint64_t stamp = 0;
+  };
+  Ref lookup(const uint8_t* pkt, const proto::ParseInfo& pi,
+             MemTrace* trace = nullptr) const;
+
+  /// Validates a microflow pointer.
+  const Entry* get(int64_t idx, uint64_t stamp) const {
+    if (idx < 0 || static_cast<size_t>(idx) >= entries_.size()) return nullptr;
+    const Entry& e = entries_[static_cast<size_t>(idx)];
+    return e.live && e.stamp == stamp ? &e : nullptr;
+  }
+
+  /// Inserts a megaflow (evicting the oldest entry at the flow limit);
+  /// returns its reference.
+  Ref insert(const flow::Match& match, flow::ActionList actions);
+
+  void invalidate_all();
+
+  size_t size() const { return live_count_; }
+  size_t num_masks() const { return index_.num_tuples(); }
+  uint64_t evictions() const { return evictions_; }
+  size_t memory_bytes() const { return entries_.size() * 128 + index_.size() * 96; }
+
+ private:
+  size_t flow_limit_;
+  cls::TupleSpace<uint64_t> index_;  // value = entry index
+  std::deque<Entry> entries_;
+  std::vector<size_t> free_;
+  std::deque<size_t> fifo_;  // insertion order for eviction
+  size_t live_count_ = 0;
+  uint64_t next_stamp_ = 1;
+  uint64_t next_rank_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace esw::ovs

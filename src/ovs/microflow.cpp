@@ -1,0 +1,58 @@
+#include "ovs/microflow.hpp"
+
+#include <cstring>
+
+namespace esw::ovs {
+
+namespace {
+uint32_t round_pow2(uint32_t v) {
+  uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+MicroflowCache::MicroflowCache(uint32_t capacity) : mask_(round_pow2(capacity) - 1) {
+  slots_ = std::make_unique<Slot[]>(mask_ + 1);
+}
+
+MicroflowCache::Key MicroflowCache::Key::of_packet(const uint8_t* pkt,
+                                                   const proto::ParseInfo& pi) {
+  Key k;
+  k.proto_mask = pi.proto_mask;
+  uint64_t h = mix64(pi.proto_mask);
+  for (unsigned i = 0; i < flow::kNumFields; ++i) {
+    const flow::FieldId f = static_cast<flow::FieldId>(i);
+    const uint64_t v = flow::field_present(f, pi) ? flow::extract_field(f, pkt, pi) : 0;
+    k.fields[i] = v;
+    h = mix64(h ^ v ^ (uint64_t{i} << 48));
+  }
+  k.hash = h;
+  return k;
+}
+
+bool MicroflowCache::Key::operator==(const Key& other) const {
+  return hash == other.hash && proto_mask == other.proto_mask &&
+         std::memcmp(fields, other.fields, sizeof fields) == 0;
+}
+
+MicroflowCache::Ref MicroflowCache::lookup(const Key& key, uint64_t generation,
+                                            MemTrace* trace) const {
+  const Slot& s = slots_[key.hash & mask_];
+  if (trace != nullptr) trace->touch(&s, sizeof(Slot));
+  if (!s.used || s.generation != generation) return {};
+  if (!(s.key == key)) return {};
+  return {static_cast<int64_t>(s.megaflow_idx), s.megaflow_stamp};
+}
+
+void MicroflowCache::insert(const Key& key, uint64_t megaflow_idx,
+                            uint64_t megaflow_stamp, uint64_t generation) {
+  Slot& s = slots_[key.hash & mask_];
+  s.key = key;
+  s.megaflow_idx = megaflow_idx;
+  s.megaflow_stamp = megaflow_stamp;
+  s.generation = generation;
+  s.used = true;
+}
+
+}  // namespace esw::ovs

@@ -1,0 +1,67 @@
+// Microflow cache — the OVS exact-match cache (EMC) model (§2.2):
+// "stores the forwarding decisions for the least recently seen transport
+// connections in a very fast collision-free hash".
+//
+// Like the real EMC it is a fixed-size direct-mapped array keyed by the full
+// header tuple: insertion overwrites whatever occupied the slot, and *any*
+// header difference — TTL included — misses.  The stored value indexes into
+// the megaflow cache ("the microflow cache indexes into the megaflow cache").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bits.hpp"
+#include "common/memtrace.hpp"
+#include "flow/fields.hpp"
+#include "proto/parse.hpp"
+
+namespace esw::ovs {
+
+class MicroflowCache {
+ public:
+  /// `capacity` is rounded up to a power of two (default mirrors the OVS EMC).
+  explicit MicroflowCache(uint32_t capacity = 8192);
+
+  struct Key {
+    uint64_t hash = 0;
+    uint64_t fields[flow::kNumFields];
+    uint32_t proto_mask = 0;
+
+    /// Builds the full exact tuple of the packet.
+    static Key of_packet(const uint8_t* pkt, const proto::ParseInfo& pi);
+    bool operator==(const Key& other) const;
+  };
+
+  /// A validated pointer into the megaflow cache.
+  struct Ref {
+    int64_t idx = -1;
+    uint64_t stamp = 0;
+  };
+
+  /// Returns the stored megaflow reference if the slot was written under the
+  /// same cache generation (whole-cache invalidation = generation bump),
+  /// idx == -1 otherwise.
+  Ref lookup(const Key& key, uint64_t generation, MemTrace* trace = nullptr) const;
+
+  /// Inserts (direct-mapped overwrite), stamped with the current generation.
+  void insert(const Key& key, uint64_t megaflow_idx, uint64_t megaflow_stamp,
+              uint64_t generation);
+
+  uint32_t capacity() const { return mask_ + 1; }
+  size_t memory_bytes() const { return sizeof(Slot) * (mask_ + 1); }
+
+ private:
+  struct Slot {
+    Key key;
+    uint64_t megaflow_idx = 0;
+    uint64_t megaflow_stamp = 0;
+    uint64_t generation = 0;
+    bool used = false;
+  };
+
+  uint32_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace esw::ovs

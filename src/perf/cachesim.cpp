@@ -1,0 +1,94 @@
+#include "perf/cachesim.hpp"
+
+#include "common/check.hpp"
+
+namespace esw::perf {
+
+CacheSim::Level CacheSim::make_level(const CacheLevelConfig& c) const {
+  Level lv;
+  lv.ways = c.ways;
+  lv.sets = c.size_bytes / cfg_.line_bytes / c.ways;
+  ESW_CHECK(lv.sets > 0);
+  lv.lines.assign(size_t{lv.sets} * lv.ways, ~uint64_t{0});
+  lv.ts.assign(size_t{lv.sets} * lv.ways, 0);
+  return lv;
+}
+
+CacheSim::CacheSim(const CacheHierarchyConfig& cfg) : cfg_(cfg) {
+  l1_ = make_level(cfg.l1);
+  l2_ = make_level(cfg.l2);
+  l3_ = make_level(cfg.l3);
+}
+
+bool CacheSim::Level::touch(uint64_t line, uint64_t now) {
+  const uint32_t set = static_cast<uint32_t>(line % sets);
+  const size_t base = size_t{set} * ways;
+  for (uint32_t k = 0; k < ways; ++k) {
+    if (lines[base + k] == line) {
+      ts[base + k] = now;
+      return true;
+    }
+  }
+  return false;
+}
+
+void CacheSim::Level::fill(uint64_t line, uint64_t now) {
+  const uint32_t set = static_cast<uint32_t>(line % sets);
+  const size_t base = size_t{set} * ways;
+  uint32_t victim = 0;
+  uint64_t oldest = ~uint64_t{0};
+  for (uint32_t k = 0; k < ways; ++k) {
+    if (lines[base + k] == ~uint64_t{0}) {
+      victim = k;
+      break;
+    }
+    if (ts[base + k] < oldest) {
+      oldest = ts[base + k];
+      victim = k;
+    }
+  }
+  lines[base + victim] = line;
+  ts[base + victim] = now;
+}
+
+uint32_t CacheSim::level_latency(int level) const {
+  switch (level) {
+    case 1:
+      return cfg_.l1.latency_cycles;
+    case 2:
+      return cfg_.l2.latency_cycles;
+    case 3:
+      return cfg_.l3.latency_cycles;
+    default:
+      return cfg_.mem_latency_cycles;
+  }
+}
+
+int CacheSim::access(uint64_t line) {
+  ++now_;
+  ++counters_.accesses;
+  int level;
+  if (l1_.touch(line, now_)) {
+    ++counters_.l1_hits;
+    level = 1;
+  } else if (l2_.touch(line, now_)) {
+    ++counters_.l2_hits;
+    level = 2;
+    l1_.fill(line, now_);
+  } else if (l3_.touch(line, now_)) {
+    ++counters_.l3_hits;
+    level = 3;
+    l1_.fill(line, now_);
+    l2_.fill(line, now_);
+  } else {
+    ++counters_.mem_accesses;
+    level = 4;
+    l1_.fill(line, now_);
+    l2_.fill(line, now_);
+    l3_.fill(line, now_);
+  }
+  counters_.total_latency_cycles += level_latency(level);
+  return level;
+}
+
+}  // namespace esw::perf

@@ -1,0 +1,73 @@
+// Set-associative LRU cache hierarchy simulator, configured by default to the
+// paper's Table 1 testbed (Xeon E5-2620 Sandy Bridge: 32K L1d, 256K L2,
+// 15M L3 at 4/12/29-cycle latencies).
+//
+// Substitutes for the paper's hardware `perf` LLC counters (Fig. 15) and the
+// working-set-driven cycle estimates (Figs. 13/16): datapath structures
+// report touched addresses through MemTrace and the simulator classifies each
+// access by the cache level that served it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace esw::perf {
+
+struct CacheLevelConfig {
+  uint32_t size_bytes;
+  uint32_t ways;
+  uint32_t latency_cycles;
+};
+
+struct CacheHierarchyConfig {
+  CacheLevelConfig l1{32 * 1024, 8, 4};
+  CacheLevelConfig l2{256 * 1024, 8, 12};
+  CacheLevelConfig l3{15 * 1024 * 1024, 20, 29};
+  uint32_t mem_latency_cycles = 200;
+  uint32_t line_bytes = 64;
+};
+
+class CacheSim {
+ public:
+  CacheSim() : CacheSim(CacheHierarchyConfig{}) {}
+  explicit CacheSim(const CacheHierarchyConfig& cfg);
+
+  /// Feeds one line-granular access (MemTrace convention: address >> 6).
+  /// Returns the level that served it: 1..3, or 4 for memory.
+  int access(uint64_t line);
+
+  struct Counters {
+    uint64_t accesses = 0;
+    uint64_t l1_hits = 0;
+    uint64_t l2_hits = 0;
+    uint64_t l3_hits = 0;
+    uint64_t mem_accesses = 0;  // LLC misses
+    uint64_t total_latency_cycles = 0;
+  };
+  const Counters& counters() const { return counters_; }
+  void clear_counters() { counters_ = Counters{}; }
+
+  /// Latency in cycles of the last classification for a given level.
+  uint32_t level_latency(int level) const;
+
+ private:
+  struct Level {
+    uint32_t sets;
+    uint32_t ways;
+    // way-ordered per set: lines[set*ways + k]; LRU order via timestamps.
+    std::vector<uint64_t> lines;
+    std::vector<uint64_t> ts;
+
+    bool touch(uint64_t line, uint64_t now);  // true = hit (and refresh)
+    void fill(uint64_t line, uint64_t now);
+  };
+
+  Level make_level(const CacheLevelConfig& c) const;
+
+  CacheHierarchyConfig cfg_;
+  Level l1_, l2_, l3_;
+  uint64_t now_ = 0;
+  Counters counters_;
+};
+
+}  // namespace esw::perf

@@ -1,0 +1,73 @@
+#include "perf/costmodel.hpp"
+
+namespace esw::perf {
+
+void CostModel::add_pkt_io() {
+  stages_.push_back({"PKT_IN", atoms_.pkt_in, 0});
+  stages_.push_back({"PKT_OUT", atoms_.pkt_out, 0});
+}
+
+void CostModel::add_parser() { stages_.push_back({"parser template", atoms_.parser, 0}); }
+
+void CostModel::add_hash_stage(const std::string& name) {
+  stages_.push_back({name, atoms_.hash_fix, 1});
+}
+
+void CostModel::add_lpm_stage(const std::string& name) {
+  stages_.push_back({name, atoms_.lpm_fix, 2});
+}
+
+void CostModel::add_direct_stage(const std::string& name, uint32_t entries) {
+  // Keys are folded into the instruction stream: cost is the compare chain,
+  // no data-cache accesses charged.
+  stages_.push_back({name, atoms_.direct_per_entry * entries, 0});
+}
+
+void CostModel::add_range_stage(const std::string& name, uint32_t search_steps) {
+  stages_.push_back({name, atoms_.hash_fix, search_steps});
+}
+
+void CostModel::add_linked_list_stage(const std::string& name, uint32_t tuples) {
+  stages_.push_back({name, atoms_.hash_fix * tuples, tuples});
+}
+
+void CostModel::add_action_stage() {
+  stages_.push_back({"action templates", atoms_.action, 0});
+}
+
+uint32_t CostModel::fixed_cycles() const {
+  uint32_t c = 0;
+  for (const StageCost& s : stages_) c += s.fixed_cycles;
+  return c;
+}
+
+uint32_t CostModel::variable_accesses() const {
+  uint32_t n = 0;
+  for (const StageCost& s : stages_) n += s.variable_accesses;
+  return n;
+}
+
+uint32_t CostModel::cycles(uint32_t lx_cycles) const {
+  return fixed_cycles() + variable_accesses() * lx_cycles;
+}
+
+double CostModel::pps(double ghz, uint32_t lx_cycles) const {
+  return ghz * 1e9 / static_cast<double>(cycles(lx_cycles));
+}
+
+CostModel CostModel::gateway_model() {
+  // Fig. 20, user→network direction.  Table 0 is pinned at L1 in the paper's
+  // accounting (166 + 3·Lx total with L1 = 4); we charge its access as fixed.
+  CostModel m;
+  m.stages_.push_back({"PKT_IN", m.atoms_.pkt_in, 0});
+  m.add_parser();
+  m.stages_.push_back(
+      {"hash template 1 (Table 0)", m.atoms_.hash_fix + 4 /*L1*/, 0});
+  m.add_hash_stage("hash template 2 (per-CE)");
+  m.add_lpm_stage("LPM template (routing)");
+  m.add_action_stage();
+  m.stages_.push_back({"PKT_OUT", m.atoms_.pkt_out, 0});
+  return m;
+}
+
+}  // namespace esw::perf

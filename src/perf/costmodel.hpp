@@ -1,0 +1,70 @@
+// The paper's §4.4 performance model: per-template cycle "atoms" (Fig. 20)
+// composed into per-pipeline cost estimates with best/typical/worst-case
+// bounds driven by which CPU cache level serves the variable accesses.
+//
+// With the Table 1 latencies, the gateway pipeline composes to
+// 166 + 3·Lx cycles/packet: 178 (all-L1) / 202 (L2) / 253 (all-L3), i.e.
+// 11.2 / 9.9 / 7.9 Mpps at 2 GHz — the figures quoted in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace esw::perf {
+
+/// Fixed per-stage cycle costs (Fig. 20).
+struct ModelAtoms {
+  uint32_t pkt_in = 40;      // DPDK packet receive IO
+  uint32_t parser = 28;      // parse header fields
+  uint32_t hash_fix = 8;     // hash template, plus one Lx access
+  uint32_t lpm_fix = 13;     // LPM template, plus two Lx accesses
+  uint32_t direct_per_entry = 3;  // direct code: compare chain per entry
+  uint32_t action = 25;      // action set processing
+  uint32_t pkt_out = 40;     // DPDK packet transmit IO
+};
+
+/// One pipeline stage in the model.
+struct StageCost {
+  std::string name;
+  uint32_t fixed_cycles = 0;
+  uint32_t variable_accesses = 0;  // memory touches charged at Lx
+};
+
+class CostModel {
+ public:
+  explicit CostModel(const ModelAtoms& atoms = {}) : atoms_(atoms) {}
+
+  /// Composition helpers for the template kinds.
+  void add_pkt_io();  // PKT_IN + PKT_OUT
+  void add_parser();
+  void add_hash_stage(const std::string& name);
+  void add_lpm_stage(const std::string& name);
+  void add_direct_stage(const std::string& name, uint32_t entries);
+  /// Range template: one Lx access per binary-search step.
+  void add_range_stage(const std::string& name, uint32_t search_steps);
+  /// Linked list: one hash probe per tuple visited (worst case: all tuples).
+  void add_linked_list_stage(const std::string& name, uint32_t tuples);
+  void add_action_stage();
+
+  /// Total cycles per packet when every variable access costs `lx_cycles`.
+  uint32_t cycles(uint32_t lx_cycles) const;
+
+  /// Packets/second at `ghz` when variable accesses cost `lx_cycles`.
+  double pps(double ghz, uint32_t lx_cycles) const;
+
+  uint32_t fixed_cycles() const;
+  uint32_t variable_accesses() const;
+  const std::vector<StageCost>& stages() const { return stages_; }
+  const ModelAtoms& atoms() const { return atoms_; }
+
+  /// The paper's gateway-pipeline model (Fig. 20): IO + parser + two hash
+  /// stages + LPM + actions.
+  static CostModel gateway_model();
+
+ private:
+  ModelAtoms atoms_;
+  std::vector<StageCost> stages_;
+};
+
+}  // namespace esw::perf

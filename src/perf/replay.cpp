@@ -1,0 +1,42 @@
+#include "perf/replay.hpp"
+
+namespace esw::perf {
+
+ReplayStats run_cache_replay(const std::function<void(net::Packet&, MemTrace*)>& fn,
+                             const net::TrafficSet& traffic, uint64_t packets,
+                             uint64_t warmup, uint32_t fixed_cycles_per_pkt,
+                             const CacheHierarchyConfig& cfg) {
+  CacheSim sim(cfg);
+  net::Packet scratch;
+  MemTrace trace;
+
+  for (uint64_t i = 0; i < warmup; ++i) {
+    traffic.load(i, scratch);
+    trace.clear();
+    fn(scratch, &trace);
+    for (const uint64_t line : trace.lines()) sim.access(line);
+  }
+  sim.clear_counters();
+
+  for (uint64_t i = 0; i < packets; ++i) {
+    traffic.load(warmup + i, scratch);
+    trace.clear();
+    fn(scratch, &trace);
+    for (const uint64_t line : trace.lines()) sim.access(line);
+  }
+
+  const auto& c = sim.counters();
+  ReplayStats st;
+  st.packets = packets;
+  st.llc_misses_per_pkt =
+      static_cast<double>(c.mem_accesses) / static_cast<double>(packets);
+  st.l1_hit_fraction =
+      c.accesses > 0 ? static_cast<double>(c.l1_hits) / static_cast<double>(c.accesses)
+                     : 0.0;
+  st.est_cycles_per_pkt =
+      fixed_cycles_per_pkt +
+      static_cast<double>(c.total_latency_cycles) / static_cast<double>(packets);
+  return st;
+}
+
+}  // namespace esw::perf

@@ -1,0 +1,31 @@
+// Cache replay harness for Figs. 15–16: runs a packet-processing function
+// with memory tracing enabled and classifies every touched line through the
+// simulated cache hierarchy, yielding LLC misses/packet (the paper's `perf`
+// measurement) and a latency estimate (fixed atoms + simulated access
+// latencies).
+#pragma once
+
+#include <functional>
+
+#include "common/memtrace.hpp"
+#include "netio/pktgen.hpp"
+#include "perf/cachesim.hpp"
+
+namespace esw::perf {
+
+struct ReplayStats {
+  uint64_t packets = 0;
+  double llc_misses_per_pkt = 0;
+  double l1_hit_fraction = 0;
+  double est_cycles_per_pkt = 0;  // fixed cost + simulated access latencies
+};
+
+/// Replays `packets` frames of `traffic` (round robin, after a warmup pass of
+/// `warmup` frames) through `fn`, feeding traced accesses into a CacheSim.
+/// `fixed_cycles_per_pkt` is the composed fixed cost of the pipeline's atoms.
+ReplayStats run_cache_replay(const std::function<void(net::Packet&, MemTrace*)>& fn,
+                             const net::TrafficSet& traffic, uint64_t packets,
+                             uint64_t warmup, uint32_t fixed_cycles_per_pkt,
+                             const CacheHierarchyConfig& cfg = {});
+
+}  // namespace esw::perf

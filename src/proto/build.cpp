@@ -1,0 +1,160 @@
+#include "proto/build.hpp"
+
+#include <cstring>
+
+#include "common/bits.hpp"
+#include "proto/checksum.hpp"
+#include "proto/headers.hpp"
+
+namespace esw::proto {
+
+namespace {
+
+uint32_t l3_payload_len(const PacketSpec& s) {
+  switch (s.kind) {
+    case PacketKind::kTcp:
+      return kTcpMinHeaderLen + s.payload_len;
+    case PacketKind::kUdp:
+      return kUdpHeaderLen + s.payload_len;
+    case PacketKind::kIcmp:
+      return kIcmpHeaderLen + s.payload_len;
+    case PacketKind::kIpv4:
+      return s.payload_len;
+    default:
+      return 0;
+  }
+}
+
+uint8_t ip_proto_of(const PacketSpec& s) {
+  switch (s.kind) {
+    case PacketKind::kTcp:
+      return kIpProtoTcp;
+    case PacketKind::kUdp:
+      return kIpProtoUdp;
+    case PacketKind::kIcmp:
+      return kIpProtoIcmp;
+    default:
+      return s.ip_proto;
+  }
+}
+
+}  // namespace
+
+uint32_t build_packet(const PacketSpec& spec, uint8_t* buf, uint32_t cap) {
+  const bool is_ip = spec.kind == PacketKind::kIpv4 || spec.kind == PacketKind::kTcp ||
+                     spec.kind == PacketKind::kUdp || spec.kind == PacketKind::kIcmp;
+
+  uint32_t len = kEthHeaderLen;
+  if (spec.vlan_vid) len += kVlanTagLen;
+  if (spec.kind == PacketKind::kArp) len += kArpHeaderLen;
+  if (spec.kind == PacketKind::kRawEth) len += spec.payload_len;
+  if (is_ip) len += kIpv4MinHeaderLen + l3_payload_len(spec);
+  if (len > cap) return 0;
+
+  std::memset(buf, 0, len);
+
+  // Ethernet.
+  store_be(buf + kEthDstOff, spec.eth_dst, 6);
+  store_be(buf + kEthSrcOff, spec.eth_src, 6);
+  uint32_t l3 = kEthHeaderLen;
+  uint16_t ethertype = spec.ethertype;
+  if (is_ip) ethertype = kEtherTypeIpv4;
+  if (spec.kind == PacketKind::kArp) ethertype = kEtherTypeArp;
+  if (spec.vlan_vid) {
+    store_be16(buf + kEthTypeOff, kEtherTypeVlan);
+    const uint16_t tci = static_cast<uint16_t>(
+        (static_cast<uint16_t>(spec.vlan_pcp & 0x7) << kVlanPcpShift) |
+        (*spec.vlan_vid & kVlanVidMask));
+    store_be16(buf + kVlanTciOff, tci);
+    store_be16(buf + kVlanTciOff + 2, ethertype);
+    l3 = kEthHeaderLen + kVlanTagLen;
+  } else {
+    store_be16(buf + kEthTypeOff, ethertype);
+  }
+
+  if (spec.kind == PacketKind::kArp) {
+    uint8_t* arp = buf + l3;
+    store_be16(arp + 0, 1);  // htype ethernet
+    store_be16(arp + 2, kEtherTypeIpv4);
+    arp[4] = 6;  // hlen
+    arp[5] = 4;  // plen
+    store_be16(arp + kArpOpOff, spec.arp_op);
+    store_be(arp + 8, spec.eth_src, 6);
+    store_be32(arp + 14, spec.ip_src);
+    store_be(arp + 18, spec.eth_dst, 6);
+    store_be32(arp + 24, spec.ip_dst);
+    return len;
+  }
+  if (spec.kind == PacketKind::kRawEth) {
+    for (uint32_t i = 0; i < spec.payload_len; ++i)
+      buf[l3 + i] = static_cast<uint8_t>(i);
+    return len;
+  }
+
+  // IPv4 header.
+  uint8_t* ip = buf + l3;
+  const uint32_t ip_total = kIpv4MinHeaderLen + l3_payload_len(spec);
+  ip[kIpv4VersionIhlOff] = 0x45;
+  ip[kIpv4DscpEcnOff] = static_cast<uint8_t>(spec.ip_dscp << 2);
+  store_be16(ip + kIpv4TotalLenOff, static_cast<uint16_t>(ip_total));
+  store_be16(ip + kIpv4IdOff, 0);
+  store_be16(ip + kIpv4FlagsFragOff, 0x4000);  // don't fragment
+  ip[kIpv4TtlOff] = spec.ip_ttl;
+  ip[kIpv4ProtoOff] = ip_proto_of(spec);
+  store_be32(ip + kIpv4SrcOff, spec.ip_src);
+  store_be32(ip + kIpv4DstOff, spec.ip_dst);
+  store_be16(ip + kIpv4ChecksumOff, 0);
+  store_be16(ip + kIpv4ChecksumOff, ipv4_header_checksum(ip, kIpv4MinHeaderLen));
+
+  uint8_t* l4 = ip + kIpv4MinHeaderLen;
+  const uint32_t l4_len = l3_payload_len(spec);
+  uint8_t* payload = nullptr;
+
+  switch (spec.kind) {
+    case PacketKind::kTcp:
+      store_be16(l4 + kTcpSrcOff, spec.sport);
+      store_be16(l4 + kTcpDstOff, spec.dport);
+      store_be32(l4 + 4, 1);           // seq
+      l4[kTcpDataOffOff] = 5 << 4;     // header length 20
+      l4[13] = 0x10;                   // ACK
+      store_be16(l4 + 14, 0xFFFF);     // window
+      payload = l4 + kTcpMinHeaderLen;
+      break;
+    case PacketKind::kUdp:
+      store_be16(l4 + kUdpSrcOff, spec.sport);
+      store_be16(l4 + kUdpDstOff, spec.dport);
+      store_be16(l4 + kUdpLenOff, static_cast<uint16_t>(l4_len));
+      payload = l4 + kUdpHeaderLen;
+      break;
+    case PacketKind::kIcmp:
+      l4[kIcmpTypeOff] = spec.icmp_type;
+      l4[kIcmpCodeOff] = spec.icmp_code;
+      payload = l4 + kIcmpHeaderLen;
+      break;
+    case PacketKind::kIpv4:
+      payload = l4;
+      break;
+    default:
+      break;
+  }
+  for (uint32_t i = 0; i < spec.payload_len; ++i)
+    payload[i] = static_cast<uint8_t>(0xA0 + i);
+
+  // Transport checksums (ICMP has no pseudo header).
+  if (spec.kind == PacketKind::kTcp) {
+    store_be16(l4 + kTcpChecksumOff, 0);
+    store_be16(l4 + kTcpChecksumOff,
+               l4_checksum_ipv4(spec.ip_src, spec.ip_dst, kIpProtoTcp, l4, l4_len));
+  } else if (spec.kind == PacketKind::kUdp) {
+    store_be16(l4 + kUdpChecksumOff, 0);
+    uint16_t c = l4_checksum_ipv4(spec.ip_src, spec.ip_dst, kIpProtoUdp, l4, l4_len);
+    if (c == 0) c = 0xFFFF;  // RFC 768: transmitted as all ones
+    store_be16(l4 + kUdpChecksumOff, c);
+  } else if (spec.kind == PacketKind::kIcmp) {
+    store_be16(l4 + kIcmpChecksumOff, 0);
+    store_be16(l4 + kIcmpChecksumOff, checksum(l4, l4_len));
+  }
+  return len;
+}
+
+}  // namespace esw::proto

@@ -1,0 +1,42 @@
+// Declarative packet construction for traffic generators, examples and tests.
+//
+// A PacketSpec describes one frame (addresses, VLAN tag, transport tuple);
+// build_packet() serializes it with correct lengths and checksums.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace esw::proto {
+
+enum class PacketKind : uint8_t { kRawEth, kArp, kIpv4, kTcp, kUdp, kIcmp };
+
+struct PacketSpec {
+  PacketKind kind = PacketKind::kUdp;
+  uint64_t eth_dst = 0x02'00'00'00'00'02;  // low 48 bits used
+  uint64_t eth_src = 0x02'00'00'00'00'01;
+  std::optional<uint16_t> vlan_vid;  // presence adds an 802.1Q tag
+  uint8_t vlan_pcp = 0;
+  uint16_t ethertype = 0x88B5;  // for kRawEth only (IEEE local experimental)
+
+  uint32_t ip_src = 0x0A000001;  // 10.0.0.1
+  uint32_t ip_dst = 0x0A000002;  // 10.0.0.2
+  uint8_t ip_ttl = 64;
+  uint8_t ip_dscp = 0;
+  uint8_t ip_proto = 0;  // for kIpv4 only; derived for TCP/UDP/ICMP
+
+  uint16_t sport = 1024;
+  uint16_t dport = 80;
+  uint8_t icmp_type = 8;  // echo request
+  uint8_t icmp_code = 0;
+  uint16_t arp_op = 1;  // request
+
+  uint16_t payload_len = 10;  // 10 B payload makes a 64 B TCP frame
+};
+
+/// Serializes `spec` into `buf` (capacity `cap`); returns the frame length or
+/// 0 if it does not fit.  All checksums (IPv4 header, TCP/UDP/ICMP) are valid;
+/// payload bytes are a deterministic pattern so packets are comparable.
+uint32_t build_packet(const PacketSpec& spec, uint8_t* buf, uint32_t cap);
+
+}  // namespace esw::proto

@@ -1,0 +1,62 @@
+#include "proto/checksum.hpp"
+
+#include "common/bits.hpp"
+
+namespace esw::proto {
+
+uint32_t checksum_partial(const uint8_t* data, uint32_t len, uint32_t sum) {
+  while (len >= 2) {
+    sum += load_be16(data);
+    data += 2;
+    len -= 2;
+  }
+  if (len == 1) sum += static_cast<uint32_t>(data[0]) << 8;
+  return sum;
+}
+
+uint16_t checksum_finish(uint32_t sum) {
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<uint16_t>(~sum & 0xFFFF);
+}
+
+uint16_t checksum(const uint8_t* data, uint32_t len) {
+  return checksum_finish(checksum_partial(data, len));
+}
+
+uint16_t ipv4_header_checksum(const uint8_t* ip_header, uint32_t ihl_bytes) {
+  // Sum skipping the checksum field itself (bytes 10-11).
+  uint32_t sum = checksum_partial(ip_header, 10);
+  sum = checksum_partial(ip_header + 12, ihl_bytes - 12, sum);
+  return checksum_finish(sum);
+}
+
+uint16_t checksum_update16(uint16_t old_csum, uint16_t old_word, uint16_t new_word) {
+  // RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m').
+  uint32_t sum = static_cast<uint16_t>(~old_csum);
+  sum += static_cast<uint16_t>(~old_word);
+  sum += new_word;
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<uint16_t>(~sum & 0xFFFF);
+}
+
+uint16_t checksum_update32(uint16_t old_csum, uint32_t old_word, uint32_t new_word) {
+  uint16_t c = checksum_update16(old_csum, static_cast<uint16_t>(old_word >> 16),
+                                 static_cast<uint16_t>(new_word >> 16));
+  return checksum_update16(c, static_cast<uint16_t>(old_word & 0xFFFF),
+                           static_cast<uint16_t>(new_word & 0xFFFF));
+}
+
+uint16_t l4_checksum_ipv4(uint32_t ip_src, uint32_t ip_dst, uint8_t proto,
+                          const uint8_t* l4, uint32_t l4_len) {
+  uint32_t sum = 0;
+  sum += ip_src >> 16;
+  sum += ip_src & 0xFFFF;
+  sum += ip_dst >> 16;
+  sum += ip_dst & 0xFFFF;
+  sum += proto;
+  sum += l4_len;
+  sum = checksum_partial(l4, l4_len, sum);
+  return checksum_finish(sum);
+}
+
+}  // namespace esw::proto

@@ -1,0 +1,39 @@
+// Internet checksum (RFC 1071) computation and incremental update (RFC 1624).
+//
+// Set-field actions that rewrite IP addresses, ports or TTL use the
+// incremental form so a single-field rewrite costs O(1) instead of a full
+// header sum — the same trick every production datapath uses.
+#pragma once
+
+#include <cstdint>
+
+namespace esw::proto {
+
+/// One's-complement sum over `len` bytes starting at `data`, folded to 16 bits
+/// but NOT complemented (callers combine partial sums first).
+uint32_t checksum_partial(const uint8_t* data, uint32_t len, uint32_t sum = 0);
+
+/// Final fold + complement of a partial sum.
+uint16_t checksum_finish(uint32_t sum);
+
+/// Full Internet checksum of a buffer.
+uint16_t checksum(const uint8_t* data, uint32_t len);
+
+/// IPv4 header checksum over `ihl_bytes` (checksum field must be zeroed or
+/// skipped by the caller writing 0 before computing).
+uint16_t ipv4_header_checksum(const uint8_t* ip_header, uint32_t ihl_bytes);
+
+/// RFC 1624 incremental update: returns the new checksum after a 16-bit word
+/// at some position changed from `old_word` to `new_word`.
+uint16_t checksum_update16(uint16_t old_csum, uint16_t old_word, uint16_t new_word);
+
+/// Incremental update for a 32-bit change (two 16-bit words).
+uint16_t checksum_update32(uint16_t old_csum, uint32_t old_word, uint32_t new_word);
+
+/// TCP/UDP checksum over an IPv4 pseudo header plus the transport segment.
+/// `l4` points at the transport header, `l4_len` is its length including
+/// payload.  The checksum field inside the segment must be zeroed first.
+uint16_t l4_checksum_ipv4(uint32_t ip_src, uint32_t ip_dst, uint8_t proto,
+                          const uint8_t* l4, uint32_t l4_len);
+
+}  // namespace esw::proto

@@ -1,0 +1,70 @@
+// Wire-format constants for the protocols the switch parses: Ethernet,
+// 802.1Q VLAN, IPv4, ARP, TCP, UDP and ICMP.
+//
+// Offsets are byte offsets from the start of the respective header.  We do not
+// overlay packed structs on packet memory (unaligned/strict-aliasing hazards);
+// all access goes through the big-endian load/store helpers in common/bits.hpp.
+#pragma once
+
+#include <cstdint>
+
+namespace esw::proto {
+
+// --- Ethernet -------------------------------------------------------------
+inline constexpr unsigned kEthHeaderLen = 14;
+inline constexpr unsigned kEthDstOff = 0;
+inline constexpr unsigned kEthSrcOff = 6;
+inline constexpr unsigned kEthTypeOff = 12;
+
+inline constexpr uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr uint16_t kEtherTypeArp = 0x0806;
+inline constexpr uint16_t kEtherTypeVlan = 0x8100;
+
+// --- 802.1Q VLAN tag (inserted after the src MAC) ---------------------------
+inline constexpr unsigned kVlanTagLen = 4;   // TPID (2) + TCI (2)
+inline constexpr unsigned kVlanTciOff = 14;  // from frame start, single tag
+inline constexpr uint16_t kVlanVidMask = 0x0FFF;
+inline constexpr unsigned kVlanPcpShift = 13;
+
+// --- IPv4 -------------------------------------------------------------------
+inline constexpr unsigned kIpv4MinHeaderLen = 20;
+inline constexpr unsigned kIpv4VersionIhlOff = 0;
+inline constexpr unsigned kIpv4DscpEcnOff = 1;
+inline constexpr unsigned kIpv4TotalLenOff = 2;
+inline constexpr unsigned kIpv4IdOff = 4;
+inline constexpr unsigned kIpv4FlagsFragOff = 6;
+inline constexpr unsigned kIpv4TtlOff = 8;
+inline constexpr unsigned kIpv4ProtoOff = 9;
+inline constexpr unsigned kIpv4ChecksumOff = 10;
+inline constexpr unsigned kIpv4SrcOff = 12;
+inline constexpr unsigned kIpv4DstOff = 16;
+
+inline constexpr uint8_t kIpProtoIcmp = 1;
+inline constexpr uint8_t kIpProtoTcp = 6;
+inline constexpr uint8_t kIpProtoUdp = 17;
+
+// --- ARP (IPv4 over Ethernet) ------------------------------------------------
+inline constexpr unsigned kArpHeaderLen = 28;
+inline constexpr unsigned kArpOpOff = 6;
+
+// --- TCP ----------------------------------------------------------------------
+inline constexpr unsigned kTcpMinHeaderLen = 20;
+inline constexpr unsigned kTcpSrcOff = 0;
+inline constexpr unsigned kTcpDstOff = 2;
+inline constexpr unsigned kTcpDataOffOff = 12;
+inline constexpr unsigned kTcpChecksumOff = 16;
+
+// --- UDP -----------------------------------------------------------------------
+inline constexpr unsigned kUdpHeaderLen = 8;
+inline constexpr unsigned kUdpSrcOff = 0;
+inline constexpr unsigned kUdpDstOff = 2;
+inline constexpr unsigned kUdpLenOff = 4;
+inline constexpr unsigned kUdpChecksumOff = 6;
+
+// --- ICMP ------------------------------------------------------------------------
+inline constexpr unsigned kIcmpHeaderLen = 8;
+inline constexpr unsigned kIcmpTypeOff = 0;
+inline constexpr unsigned kIcmpCodeOff = 1;
+inline constexpr unsigned kIcmpChecksumOff = 2;
+
+}  // namespace esw::proto

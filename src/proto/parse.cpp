@@ -1,0 +1,82 @@
+#include "proto/parse.hpp"
+
+#include "common/bits.hpp"
+#include "proto/headers.hpp"
+
+namespace esw::proto {
+
+void parse(const uint8_t* data, uint32_t len, const ParserPlan& plan, ParseInfo& pi) {
+  pi.proto_mask = 0;
+  pi.l2_off = 0;
+  pi.l3_off = 0;
+  pi.l4_off = 0;
+  pi.payload_off = 0;
+
+  // --- L2 template ---------------------------------------------------------
+  if (len < kEthHeaderLen) return;
+  pi.proto_mask |= kProtoEth;
+
+  uint16_t ethertype = load_be16(data + kEthTypeOff);
+  uint32_t l3 = kEthHeaderLen;
+  if (ethertype == kEtherTypeVlan) {
+    if (len < kEthHeaderLen + kVlanTagLen) return;
+    pi.proto_mask |= kProtoVlan;
+    ethertype = load_be16(data + kVlanTciOff + 2);
+    l3 = kEthHeaderLen + kVlanTagLen;
+  }
+  pi.l3_off = static_cast<uint16_t>(l3);
+  pi.l4_off = pi.l3_off;
+  pi.payload_off = pi.l3_off;
+  if (!plan.need_l3) return;
+
+  // --- L3 template ---------------------------------------------------------
+  if (ethertype == kEtherTypeArp) {
+    if (len < l3 + kArpHeaderLen) return;
+    pi.proto_mask |= kProtoArp;
+    pi.payload_off = static_cast<uint16_t>(l3 + kArpHeaderLen);
+    return;
+  }
+  if (ethertype != kEtherTypeIpv4) return;
+  if (len < l3 + kIpv4MinHeaderLen) return;
+
+  const uint8_t version_ihl = data[l3 + kIpv4VersionIhlOff];
+  if ((version_ihl >> 4) != 4) return;
+  const uint32_t ihl_bytes = static_cast<uint32_t>(version_ihl & 0x0F) * 4;
+  if (ihl_bytes < kIpv4MinHeaderLen || len < l3 + ihl_bytes) return;
+  pi.proto_mask |= kProtoIpv4;
+
+  const uint32_t l4 = l3 + ihl_bytes;
+  pi.l4_off = static_cast<uint16_t>(l4);
+  pi.payload_off = pi.l4_off;
+  if (!plan.need_l4) return;
+
+  // --- L4 template -----------------------------------------------------------
+  // Fragments other than the first carry no L4 header.
+  const uint16_t flags_frag = load_be16(data + l3 + kIpv4FlagsFragOff);
+  if ((flags_frag & 0x1FFF) != 0) return;
+
+  switch (data[l3 + kIpv4ProtoOff]) {
+    case kIpProtoTcp: {
+      if (len < l4 + kTcpMinHeaderLen) return;
+      const uint32_t tcp_hl = (static_cast<uint32_t>(data[l4 + kTcpDataOffOff]) >> 4) * 4;
+      if (tcp_hl < kTcpMinHeaderLen || len < l4 + tcp_hl) return;
+      pi.proto_mask |= kProtoTcp;
+      pi.payload_off = static_cast<uint16_t>(l4 + tcp_hl);
+      break;
+    }
+    case kIpProtoUdp:
+      if (len < l4 + kUdpHeaderLen) return;
+      pi.proto_mask |= kProtoUdp;
+      pi.payload_off = static_cast<uint16_t>(l4 + kUdpHeaderLen);
+      break;
+    case kIpProtoIcmp:
+      if (len < l4 + kIcmpHeaderLen) return;
+      pi.proto_mask |= kProtoIcmp;
+      pi.payload_off = static_cast<uint16_t>(l4 + kIcmpHeaderLen);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace esw::proto

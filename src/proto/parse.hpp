@@ -1,0 +1,76 @@
+// Layered packet parser — the realization of the paper's *packet parser
+// templates* (§3.1).
+//
+// Parsing is incremental per protocol layer: the L3 parser composes the L2
+// parser to find the start of the L3 header, and the L4 parser composes both.
+// A ParserPlan (derived by the pipeline compiler from the fields the pipeline
+// actually matches on) tells the parser which layers to bother with, so a pure
+// L2 pipeline never touches L3/L4 bytes.
+//
+// The ParseInfo layout is frozen (static_asserts below): the JIT backend reads
+// it at fixed offsets, mirroring the paper's r12 (L2) / r13 (L3) / r14 (L4) /
+// r15 (protocol bitmask) register convention.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace esw::proto {
+
+/// Protocol-presence bits, kept in ParseInfo::proto_mask (the paper's r15).
+enum ProtoBit : uint32_t {
+  kProtoEth = 1u << 0,
+  kProtoVlan = 1u << 1,
+  kProtoIpv4 = 1u << 2,
+  kProtoArp = 1u << 3,
+  kProtoTcp = 1u << 4,
+  kProtoUdp = 1u << 5,
+  kProtoIcmp = 1u << 6,
+};
+
+/// Per-packet parse result.  POD with a frozen layout consumed by the JIT.
+///
+/// l3_off always points just past the (possibly VLAN-tagged) Ethernet header,
+/// even for non-IP frames, so that the ethertype is reachable at l3_off - 2
+/// in both the tagged and untagged case.  l4_off points at the transport
+/// header when one was parsed, and equals l3_off otherwise; loads guarded by
+/// the protocol bitmask never dereference an absent layer.
+struct ParseInfo {
+  uint32_t proto_mask = 0;  // offset 0  — r15 in the paper's templates
+  uint16_t l2_off = 0;      // offset 4  — r12
+  uint16_t l3_off = 0;      // offset 6  — r13
+  uint16_t l4_off = 0;      // offset 8  — r14
+  uint16_t payload_off = 0;  // offset 10
+  uint32_t in_port = 0;      // offset 12 — pipeline metadata, matchable
+  uint64_t metadata = 0;     // offset 16 — OpenFlow metadata register
+
+  bool has(ProtoBit bit) const { return (proto_mask & bit) != 0; }
+};
+
+static_assert(offsetof(ParseInfo, proto_mask) == 0, "frozen JIT layout");
+static_assert(offsetof(ParseInfo, l2_off) == 4, "frozen JIT layout");
+static_assert(offsetof(ParseInfo, l3_off) == 6, "frozen JIT layout");
+static_assert(offsetof(ParseInfo, l4_off) == 8, "frozen JIT layout");
+static_assert(offsetof(ParseInfo, payload_off) == 10, "frozen JIT layout");
+static_assert(offsetof(ParseInfo, in_port) == 12, "frozen JIT layout");
+static_assert(offsetof(ParseInfo, metadata) == 16, "frozen JIT layout");
+
+/// Which layers a compiled pipeline needs parsed.  The compiler derives this
+/// from the union of matched fields (§3.1: "for pure L2 MAC forwarding it is
+/// completely superfluous to parse L3 and L4 header fields").
+struct ParserPlan {
+  bool need_l3 = true;
+  bool need_l4 = true;
+
+  static ParserPlan l2_only() { return {false, false}; }
+  static ParserPlan up_to_l3() { return {true, false}; }
+  static ParserPlan full() { return {true, true}; }
+};
+
+/// Parses `data[0..len)` according to `plan`, filling `pi` (offsets and
+/// protocol bitmask only; in_port/metadata are the caller's responsibility).
+/// Truncated packets simply stop setting deeper protocol bits — matching
+/// against absent layers then fails via the protocol-bitmask guard.
+void parse(const uint8_t* data, uint32_t len, const ParserPlan& plan, ParseInfo& pi);
+
+}  // namespace esw::proto

@@ -1,0 +1,49 @@
+#include "usecases/controller.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/check.hpp"
+
+namespace esw::uc {
+
+ControllerChannel::ControllerChannel(ApplyFn apply) : apply_(std::move(apply)) {
+  int fds[2];
+  ESW_CHECK_MSG(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0, "socketpair failed");
+  ctrl_fd_ = fds[0];
+  switch_fd_ = fds[1];
+  rxbuf_.resize(1 << 16);
+}
+
+ControllerChannel::~ControllerChannel() {
+  if (ctrl_fd_ >= 0) ::close(ctrl_fd_);
+  if (switch_fd_ >= 0) ::close(switch_fd_);
+}
+
+void ControllerChannel::send(const flow::FlowMod& fm) {
+  const std::vector<uint8_t> wire = flow::encode_flow_mod(fm);
+
+  // Controller side: write the framed message.
+  size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n = ::write(ctrl_fd_, wire.data() + off, wire.size() - off);
+    ESW_CHECK_MSG(n > 0, "controller channel write failed");
+    off += static_cast<size_t>(n);
+  }
+
+  // Switch side: read the full OpenFlow frame, decode, apply.
+  size_t got = 0;
+  size_t need = 8;
+  while (got < need) {
+    const ssize_t n = ::read(switch_fd_, rxbuf_.data() + got, rxbuf_.size() - got);
+    ESW_CHECK_MSG(n > 0, "controller channel read failed");
+    got += static_cast<size_t>(n);
+    if (got >= 8) need = flow::openflow_frame_len(rxbuf_.data(), got);
+  }
+  const flow::FlowMod decoded = flow::decode_flow_mod(rxbuf_.data(), got);
+  apply_(decoded);
+  ++messages_;
+  bytes_ += wire.size();
+}
+
+}  // namespace esw::uc

@@ -1,0 +1,42 @@
+// Controller-channel model for the Fig. 17 update experiments.
+//
+// The CLI path (ovs-ofctl-style) is a direct API call into the switch; the
+// controller path (Ryu/ODL-style) serializes each flow-mod with the OpenFlow
+// 1.3 wire codec, ships it through a real AF_UNIX socketpair (syscalls,
+// copies, framing) and decodes it on the switch side — reproducing the two
+// cost regimes the paper contrasts.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "flow/wire.hpp"
+
+namespace esw::uc {
+
+class ControllerChannel {
+ public:
+  using ApplyFn = std::function<void(const flow::FlowMod&)>;
+
+  /// Opens the socketpair; `apply` runs on the "switch side" per message.
+  explicit ControllerChannel(ApplyFn apply);
+  ~ControllerChannel();
+  ControllerChannel(const ControllerChannel&) = delete;
+  ControllerChannel& operator=(const ControllerChannel&) = delete;
+
+  /// Encodes, sends, receives, decodes and applies one flow-mod.
+  void send(const flow::FlowMod& fm);
+
+  uint64_t messages() const { return messages_; }
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  ApplyFn apply_;
+  int ctrl_fd_ = -1;    // controller side
+  int switch_fd_ = -1;  // switch side
+  std::vector<uint8_t> rxbuf_;
+  uint64_t messages_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace esw::uc

@@ -1,0 +1,69 @@
+// The paper's evaluation workloads (§4.1): L2 switching, L3 routing, the
+// load balancer (Fig. 7) and the vPE access gateway (Fig. 8), plus the Fig. 1
+// firewall, the Fig. 3 megaflow example and a snort-like ACL generator for
+// the §3.2 decomposition experiment.
+//
+// Each use case bundles the OpenFlow pipeline with a traffic generator whose
+// `n_flows` parameter sweeps the "number of active flows" axis of the
+// evaluation; generators are seeded and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "flow/pipeline.hpp"
+#include "netio/pktgen.hpp"
+
+namespace esw::uc {
+
+struct UseCase {
+  flow::Pipeline pipeline;
+  /// Generates `n_flows` distinct flows replayed round-robin by the harness.
+  std::function<std::vector<net::FlowSpec>(size_t n_flows, uint64_t seed)> traffic;
+};
+
+/// L2 switching: one MAC table of `table_size` entries; traffic destinations
+/// are aligned to the table ("adequately aligned to avoid frequent table
+/// misses"); flow diversity beyond the table size comes from varying source
+/// addresses and ports.
+UseCase make_l2(size_t table_size, uint64_t seed = 1);
+
+/// L3 routing: `n_prefixes` sampled with a realistic RIB length mix (priority
+/// = prefix length, so the table is LPM-compliant); traffic destinations fall
+/// under random prefixes.
+UseCase make_l3(size_t n_prefixes, uint64_t seed = 2);
+
+/// Load balancer (Fig. 7a, single stage): `n_services` HTTP VIPs; ingress web
+/// traffic splits on the first bit of ip_src between two backends per
+/// service; reverse direction forwards unconditionally; the rest drops.
+/// Half of the generated traffic targets random services, half is junk that
+/// the pipeline drops (the paper's mix).
+UseCase make_load_balancer(size_t n_services, uint64_t seed = 3);
+
+/// Access gateway (Fig. 8): `n_ce` customer endpoints (VLAN per CE),
+/// `users_per_ce` users each (per-CE NAT tables), `n_prefixes` routing
+/// entries.  Traffic is the user→network direction (the paper's dominating
+/// path), n_flows spread across users by varying L4 ports.
+UseCase make_gateway(size_t n_ce, size_t users_per_ce, size_t n_prefixes,
+                     uint64_t seed = 4);
+
+/// Gateway constants exposed for benches/examples.
+inline constexpr uint32_t kGatewayNetPort = 0;
+inline constexpr uint8_t kGatewayRoutingTable = 110;
+inline constexpr uint8_t kGatewayDownstreamTable = 120;
+
+/// Fig. 1 firewall, single-stage (a) and two-stage (b) variants.
+flow::Pipeline make_firewall_fig1a();
+flow::Pipeline make_firewall_fig1b();
+
+/// Fig. 3: the 8-bit-port flow table whose megaflow cache contents depend on
+/// packet arrival order, plus the two arrival sequences (as udp_dst ports).
+flow::Pipeline make_fig3_pipeline();
+std::vector<net::FlowSpec> fig3_sequence_1();  // 190,189,187,183,175,159,191
+std::vector<net::FlowSpec> fig3_sequence_2();  // 191 first
+
+/// Snort-community-like 5-tuple ACLs for the §3.2 decomposition experiment.
+flow::FlowTable make_snort_like_acls(size_t n_rules, uint64_t seed = 5);
+
+}  // namespace esw::uc

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "flow/dsl.hpp"
+
+namespace esw {
+namespace {
+
+using namespace esw::flow;
+
+TEST(Dsl, ParsesFullRule) {
+  const FlowEntry e = parse_rule(
+      "priority=100, in_port=1, ip_dst=192.0.2.0/24, tcp_dst=80, "
+      "actions=set_field:ip_src=10.0.0.1, dec_ttl, output:2, goto:3");
+  EXPECT_EQ(e.priority, 100);
+  EXPECT_EQ(e.match.value(FieldId::kInPort), 1u);
+  EXPECT_EQ(e.match.value(FieldId::kIpDst), 0xC0000200u);
+  EXPECT_EQ(e.match.mask(FieldId::kIpDst), 0xFFFFFF00u);
+  EXPECT_EQ(e.match.value(FieldId::kTcpDst), 80u);
+  ASSERT_EQ(e.actions.size(), 3u);
+  EXPECT_EQ(e.actions[0], Action::set_field(FieldId::kIpSrc, 0x0A000001));
+  EXPECT_EQ(e.actions[1], Action::dec_ttl());
+  EXPECT_EQ(e.actions[2], Action::output(2));
+  EXPECT_EQ(e.goto_table, 3);
+}
+
+TEST(Dsl, ParsesMacAndHex) {
+  const FlowEntry e =
+      parse_rule("priority=5,eth_dst=aa:bb:cc:dd:ee:ff,eth_type=0x0806,actions=flood");
+  EXPECT_EQ(e.match.value(FieldId::kEthDst), 0xAABBCCDDEEFFu);
+  EXPECT_EQ(e.match.value(FieldId::kEthType), 0x0806u);
+  EXPECT_EQ(e.actions[0], Action::flood());
+}
+
+TEST(Dsl, ParsesDottedMask) {
+  const FlowEntry e =
+      parse_rule("ip_src=10.0.0.0/255.255.0.0,actions=drop");
+  EXPECT_EQ(e.match.mask(FieldId::kIpSrc), 0xFFFF0000u);
+  EXPECT_EQ(e.actions[0], Action::drop());
+}
+
+TEST(Dsl, CatchAllRule) {
+  const FlowEntry e = parse_rule("priority=0,actions=controller");
+  EXPECT_TRUE(e.match.is_catch_all());
+  EXPECT_EQ(e.actions[0], Action::to_controller());
+}
+
+TEST(Dsl, Ipv4Helpers) {
+  EXPECT_EQ(parse_ipv4("192.168.2.1"), 0xC0A80201u);
+  EXPECT_EQ(format_ipv4(0xC0A80201u), "192.168.2.1");
+  EXPECT_THROW(parse_ipv4("192.168.2"), CheckError);
+  EXPECT_THROW(parse_ipv4("192.168.2.300"), CheckError);
+}
+
+TEST(Dsl, FormatParsesBack) {
+  const FlowEntry e = parse_rule(
+      "priority=7,vlan_vid=9,udp_dst=53,actions=pop_vlan,output:4,goto:2");
+  const FlowEntry back = parse_rule(format_rule(e));
+  EXPECT_EQ(back.priority, e.priority);
+  EXPECT_TRUE(back.match == e.match);
+  EXPECT_EQ(back.actions, e.actions);
+  EXPECT_EQ(back.goto_table, e.goto_table);
+}
+
+TEST(Dsl, Errors) {
+  EXPECT_THROW(parse_rule("bogus_field=1,actions=drop"), CheckError);
+  EXPECT_THROW(parse_rule("priority=1,actions=launch_missiles"), CheckError);
+  EXPECT_THROW(parse_rule("priority=1,tcp_dst,actions=drop"), CheckError);
+  EXPECT_THROW(parse_rule("ip_dst=1.2.3.4/33,actions=drop"), CheckError);
+}
+
+}  // namespace
+}  // namespace esw

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <unordered_map>
+
+#include "cls/exact_match.hpp"
+#include "common/rng.hpp"
+
+namespace esw {
+namespace {
+
+using cls::ExactMatchTable;
+
+std::string key_of(uint64_t x, uint32_t len = 8) {
+  std::string k(len, '\0');
+  std::memcpy(k.data(), &x, std::min<uint32_t>(len, 8));
+  return k;
+}
+
+const uint8_t* bytes(const std::string& s) {
+  return reinterpret_cast<const uint8_t*>(s.data());
+}
+
+TEST(ExactMatch, InsertLookupErase) {
+  ExactMatchTable t;
+  const auto k1 = key_of(111), k2 = key_of(222);
+  EXPECT_FALSE(t.lookup(bytes(k1), 8).has_value());
+  t.insert(bytes(k1), 8, 1);
+  t.insert(bytes(k2), 8, 2);
+  EXPECT_EQ(t.lookup(bytes(k1), 8), std::optional<uint32_t>(1));
+  EXPECT_EQ(t.lookup(bytes(k2), 8), std::optional<uint32_t>(2));
+  EXPECT_EQ(t.size(), 2u);
+
+  t.insert(bytes(k1), 8, 99);  // overwrite
+  EXPECT_EQ(t.lookup(bytes(k1), 8), std::optional<uint32_t>(99));
+  EXPECT_EQ(t.size(), 2u);
+
+  EXPECT_TRUE(t.erase(bytes(k1), 8));
+  EXPECT_FALSE(t.erase(bytes(k1), 8));
+  EXPECT_FALSE(t.lookup(bytes(k1), 8).has_value());
+  EXPECT_EQ(t.lookup(bytes(k2), 8), std::optional<uint32_t>(2));
+}
+
+TEST(ExactMatch, DistinguishesKeyLengths) {
+  ExactMatchTable t;
+  const std::string a("\x01\x02", 2), b("\x01\x02\x00", 3);
+  t.insert(bytes(a), 2, 1);
+  t.insert(bytes(b), 3, 2);
+  EXPECT_EQ(t.lookup(bytes(a), 2), std::optional<uint32_t>(1));
+  EXPECT_EQ(t.lookup(bytes(b), 3), std::optional<uint32_t>(2));
+}
+
+TEST(ExactMatch, TenThousandKeysShortProbes) {
+  ExactMatchTable t;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    const auto k = key_of(i * 2654435761u);
+    t.insert(bytes(k), 8, static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(t.size(), 10000u);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    const auto k = key_of(i * 2654435761u);
+    ASSERT_EQ(t.lookup(bytes(k), 8), std::optional<uint32_t>(i)) << i;
+  }
+  // The "perfect hash" rebuild policy keeps chains at or below max_probe.
+  EXPECT_LE(t.longest_probe(), 4u);
+  EXPECT_GT(t.rebuilds(), 0u);
+}
+
+TEST(ExactMatch, SurvivesHeavyChurn) {
+  ExactMatchTable t;
+  Rng rng(3);
+  std::unordered_map<uint64_t, uint32_t> ref;
+  for (int op = 0; op < 30000; ++op) {
+    const uint64_t k = rng.below(500);  // small key space forces collisions/churn
+    const auto key = key_of(k);
+    if (rng.chance(1, 3) && !ref.empty()) {
+      const bool had = ref.erase(k) > 0;
+      EXPECT_EQ(t.erase(bytes(key), 8), had);
+    } else {
+      const uint32_t v = static_cast<uint32_t>(rng.below(1'000'000));
+      ref[k] = v;
+      t.insert(bytes(key), 8, v);
+    }
+  }
+  EXPECT_EQ(t.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    const auto key = key_of(k);
+    ASSERT_EQ(t.lookup(bytes(key), 8), std::optional<uint32_t>(v)) << k;
+  }
+  for (uint64_t k = 0; k < 500; ++k) {
+    if (ref.count(k)) continue;
+    const auto key = key_of(k);
+    ASSERT_FALSE(t.lookup(bytes(key), 8).has_value()) << k;
+  }
+}
+
+TEST(ExactMatch, TraceReportsTouchedLines) {
+  ExactMatchTable t;
+  const auto k = key_of(42);
+  t.insert(bytes(k), 8, 7);
+  MemTrace trace;
+  t.lookup(bytes(k), 8, &trace);
+  EXPECT_GE(trace.lines().size(), 1u);
+}
+
+}  // namespace
+}  // namespace esw

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cls/lpm.hpp"
+#include "common/check.hpp"
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+
+namespace esw {
+namespace {
+
+using cls::LpmTable;
+
+// Brute-force reference.
+class RefLpm {
+ public:
+  void add(uint32_t p, uint8_t len, uint32_t v) { rules_[{len, norm(p, len)}] = v; }
+  void remove(uint32_t p, uint8_t len) { rules_.erase({len, norm(p, len)}); }
+  std::optional<uint32_t> lookup(uint32_t a) const {
+    for (int len = 32; len >= 0; --len) {
+      const auto it = rules_.find({static_cast<uint8_t>(len), norm(a, len)});
+      if (it != rules_.end()) return it->second;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  static uint32_t norm(uint32_t p, int len) {
+    return len == 0 ? 0 : p & static_cast<uint32_t>(low_bits(len) << (32 - len));
+  }
+  std::map<std::pair<uint8_t, uint32_t>, uint32_t> rules_;
+};
+
+TEST(Lpm, BasicLongestPrefixWins) {
+  LpmTable t;
+  t.add(0x0A000000, 8, 1);    // 10/8
+  t.add(0x0A010000, 16, 2);   // 10.1/16
+  t.add(0x0A010100, 24, 3);   // 10.1.1/24
+  t.add(0x0A010101, 32, 4);   // 10.1.1.1/32
+
+  EXPECT_EQ(t.lookup(0x0A020202), std::optional<uint32_t>(1));
+  EXPECT_EQ(t.lookup(0x0A010202), std::optional<uint32_t>(2));
+  EXPECT_EQ(t.lookup(0x0A010102), std::optional<uint32_t>(3));
+  EXPECT_EQ(t.lookup(0x0A010101), std::optional<uint32_t>(4));
+  EXPECT_FALSE(t.lookup(0x0B000000).has_value());
+}
+
+TEST(Lpm, DefaultRoute) {
+  LpmTable t;
+  t.add(0, 0, 42);
+  EXPECT_EQ(t.lookup(0xFFFFFFFF), std::optional<uint32_t>(42));
+  t.add(0xC0000200, 24, 7);
+  EXPECT_EQ(t.lookup(0xC0000203), std::optional<uint32_t>(7));
+  EXPECT_EQ(t.lookup(0xC0000300), std::optional<uint32_t>(42));
+}
+
+TEST(Lpm, RemoveRestoresAncestor) {
+  LpmTable t;
+  t.add(0x0A000000, 8, 1);
+  t.add(0x0A010000, 16, 2);
+  EXPECT_EQ(t.lookup(0x0A010101), std::optional<uint32_t>(2));
+  EXPECT_TRUE(t.remove(0x0A010000, 16));
+  EXPECT_EQ(t.lookup(0x0A010101), std::optional<uint32_t>(1));
+  EXPECT_TRUE(t.remove(0x0A000000, 8));
+  EXPECT_FALSE(t.lookup(0x0A010101).has_value());
+  EXPECT_FALSE(t.remove(0x0A000000, 8));
+}
+
+TEST(Lpm, DeepPrefixesUseTbl8) {
+  LpmTable t(8);
+  t.add(0x0A010100, 24, 1);
+  EXPECT_EQ(t.tbl8_groups_used(), 0u);
+  t.add(0x0A010180, 25, 2);
+  EXPECT_EQ(t.tbl8_groups_used(), 1u);
+  EXPECT_EQ(t.lookup(0x0A010101), std::optional<uint32_t>(1));
+  EXPECT_EQ(t.lookup(0x0A0101FE), std::optional<uint32_t>(2));
+
+  // Removing the /25 folds the group back; it is reused afterwards.
+  EXPECT_TRUE(t.remove(0x0A010180, 25));
+  EXPECT_EQ(t.lookup(0x0A0101FE), std::optional<uint32_t>(1));
+  t.add(0x14000040, 26, 3);
+  EXPECT_EQ(t.tbl8_groups_used(), 1u);  // recycled, not grown
+  EXPECT_EQ(t.lookup(0x14000041), std::optional<uint32_t>(3));
+}
+
+TEST(Lpm, Tbl8Exhaustion) {
+  LpmTable t(2);
+  t.add(0x01000080, 25, 1);
+  t.add(0x02000080, 25, 2);
+  EXPECT_THROW(t.add(0x03000080, 25, 3), CheckError);
+}
+
+TEST(Lpm, RejectsOversizedValue) {
+  LpmTable t;
+  EXPECT_THROW(t.add(0, 0, 1u << 24), CheckError);
+}
+
+TEST(Lpm, PropertyMatchesBruteForce) {
+  LpmTable t(1024);
+  RefLpm ref;
+  Rng rng(11);
+
+  struct Rule {
+    uint32_t p;
+    uint8_t len;
+  };
+  std::vector<Rule> live;
+
+  // Insert 400 random prefixes biased toward realistic lengths.
+  for (int i = 0; i < 400; ++i) {
+    static const uint8_t lens[] = {8, 12, 16, 20, 22, 24, 24, 24, 26, 28, 30, 32};
+    const uint8_t len = lens[rng.below(sizeof lens)];
+    const uint32_t p = static_cast<uint32_t>(rng.next());
+    const uint32_t v = static_cast<uint32_t>(rng.below(1 << 20));
+    t.add(p, len, v);
+    ref.add(p, len, v);
+    live.push_back({p, len});
+  }
+  auto verify = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      // Mix of pure-random addresses and addresses near the rules.
+      uint32_t a = static_cast<uint32_t>(rng.next());
+      if (rng.chance(1, 2) && !live.empty()) {
+        const Rule& r = live[rng.below(live.size())];
+        a = r.p ^ static_cast<uint32_t>(rng.below(256));
+      }
+      ASSERT_EQ(t.lookup(a), ref.lookup(a)) << std::hex << a;
+    }
+  };
+  verify(3000);
+
+  // Delete half and re-verify.
+  for (size_t i = 0; i < live.size(); i += 2) {
+    t.remove(live[i].p, live[i].len);
+    ref.remove(live[i].p, live[i].len);
+  }
+  verify(3000);
+}
+
+}  // namespace
+}  // namespace esw

@@ -1,0 +1,87 @@
+// Automatic performance-model derivation (§5's future-work item): the
+// compiler-composed model must match the paper's hand-derived gateway model
+// and track the templates actually chosen.
+#include <gtest/gtest.h>
+
+#include "core/model.hpp"
+#include "test_util.hpp"
+#include "usecases/usecases.hpp"
+
+namespace esw {
+namespace {
+
+using core::derive_hot_path;
+using core::derive_model;
+using core::Eswitch;
+
+TEST(ModelDerive, GatewayPathMatchesHandModel) {
+  const auto uc = uc::make_gateway(10, 20, 10000);
+  Eswitch sw;
+  sw.install(uc.pipeline);
+
+  // The user→network path: table 0 (hash) -> per-CE (hash) -> routing (LPM).
+  const auto m = derive_model(sw, {0, 1, uc::kGatewayRoutingTable});
+  const auto hand = perf::CostModel::gateway_model();
+
+  // Hand model pins table 0's access at L1 (fixed +4 cycles); the derived
+  // model charges it as a variable access, so totals agree at Lx = L1.
+  EXPECT_EQ(m.cycles(4), hand.cycles(4));  // 178 at L1
+  EXPECT_EQ(m.variable_accesses(), hand.variable_accesses() + 1);
+  EXPECT_EQ(m.fixed_cycles() + 4, hand.fixed_cycles());
+}
+
+TEST(ModelDerive, HotPathFromProfilingStats) {
+  const auto uc = uc::make_gateway(4, 10, 1000);
+  Eswitch sw;
+  sw.install(uc.pipeline);
+
+  // Upstream-only traffic: the downstream table must not enter the hot path;
+  // per-CE tables individually serve ~1/4 of packets each.
+  const auto ts = net::TrafficSet::from_flows(uc.traffic(256, 3));
+  net::Packet p;
+  for (size_t i = 0; i < 4096; ++i) {
+    ts.load(i, p);
+    sw.process(p);
+  }
+  const auto hot = derive_hot_path(sw, 0.5);
+  ASSERT_GE(hot.size(), 2u);
+  EXPECT_EQ(hot.front(), 0);                          // table 0 on every packet
+  EXPECT_EQ(hot.back(), uc::kGatewayRoutingTable);    // and the RIB
+  for (const uint8_t id : hot) EXPECT_NE(id, uc::kGatewayDownstreamTable);
+
+  const auto m = derive_model(sw, hot);
+  EXPECT_GT(m.cycles(4), 0u);
+  EXPECT_LT(m.cycles(4), m.cycles(29));
+}
+
+TEST(ModelDerive, TracksChosenTemplates) {
+  // A linked-list table must be charged per tuple; a direct-code table per
+  // entry; templates change => the derived model changes.
+  flow::Pipeline small;
+  small.table(0).add(flow::parse_rule("priority=5,udp_dst=1,actions=output:1"));
+  Eswitch sw;
+  sw.install(small);
+  const auto direct = derive_model(sw, {0});
+
+  flow::Pipeline mixed;
+  for (int i = 0; i < 4; ++i) {
+    mixed.table(0).add(
+        flow::parse_rule("priority=5,udp_dst=" + std::to_string(i) + ",actions=output:1"));
+    mixed.table(0).add(flow::parse_rule("priority=4,ip_src=" + std::to_string(i) +
+                                        ".0.0.1,actions=output:2"));
+  }
+  core::CompilerConfig cfg;
+  cfg.direct_code_max_entries = 2;
+  Eswitch sw2(cfg);
+  sw2.install(mixed);
+  ASSERT_EQ(sw2.table_template(0), core::TableTemplate::kLinkedList);
+  const auto ll = derive_model(sw2, {0});
+
+  // Two tuples => two probes; strictly more variable accesses than the
+  // direct-code model.
+  EXPECT_GT(ll.variable_accesses(), direct.variable_accesses());
+  EXPECT_THROW(derive_model(sw, {9}), CheckError);
+}
+
+}  // namespace
+}  // namespace esw

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "common/bits.hpp"
+#include "proto/build.hpp"
+#include "proto/checksum.hpp"
+#include "proto/headers.hpp"
+#include "proto/parse.hpp"
+#include "test_util.hpp"
+
+namespace esw {
+namespace {
+
+using namespace esw::proto;
+using test::make_packet;
+
+TEST(Parse, UntaggedUdp) {
+  auto p = make_packet(test::udp_spec(0x0A000001, 0x0A000002, 1111, 53));
+  ParseInfo pi;
+  parse(p.data(), p.len(), ParserPlan::full(), pi);
+  EXPECT_TRUE(pi.has(kProtoEth));
+  EXPECT_TRUE(pi.has(kProtoIpv4));
+  EXPECT_TRUE(pi.has(kProtoUdp));
+  EXPECT_FALSE(pi.has(kProtoVlan));
+  EXPECT_FALSE(pi.has(kProtoTcp));
+  EXPECT_EQ(pi.l2_off, 0);
+  EXPECT_EQ(pi.l3_off, 14);
+  EXPECT_EQ(pi.l4_off, 34);
+  EXPECT_EQ(pi.payload_off, 42);
+}
+
+TEST(Parse, VlanShiftsOffsets) {
+  auto spec = test::tcp_spec(1, 2, 10, 80);
+  spec.vlan_vid = 42;
+  spec.vlan_pcp = 5;
+  auto p = make_packet(spec);
+  ParseInfo pi;
+  parse(p.data(), p.len(), ParserPlan::full(), pi);
+  EXPECT_TRUE(pi.has(kProtoVlan));
+  EXPECT_TRUE(pi.has(kProtoTcp));
+  EXPECT_EQ(pi.l3_off, 18);
+  EXPECT_EQ(pi.l4_off, 38);
+  // Effective ethertype is always 2 bytes before L3.
+  EXPECT_EQ(load_be16(p.data() + pi.l3_off - 2), kEtherTypeIpv4);
+  // TCI is 4 bytes before L3.
+  const uint16_t tci = load_be16(p.data() + pi.l3_off - 4);
+  EXPECT_EQ(tci & kVlanVidMask, 42);
+  EXPECT_EQ(tci >> kVlanPcpShift, 5);
+}
+
+TEST(Parse, Arp) {
+  PacketSpec s;
+  s.kind = PacketKind::kArp;
+  s.arp_op = 2;
+  auto p = make_packet(s);
+  ParseInfo pi;
+  parse(p.data(), p.len(), ParserPlan::full(), pi);
+  EXPECT_TRUE(pi.has(kProtoArp));
+  EXPECT_FALSE(pi.has(kProtoIpv4));
+  EXPECT_EQ(load_be16(p.data() + pi.l3_off + kArpOpOff), 2);
+}
+
+TEST(Parse, Icmp) {
+  PacketSpec s;
+  s.kind = PacketKind::kIcmp;
+  s.icmp_type = 8;
+  auto p = make_packet(s);
+  ParseInfo pi;
+  parse(p.data(), p.len(), ParserPlan::full(), pi);
+  EXPECT_TRUE(pi.has(kProtoIcmp));
+}
+
+TEST(Parse, PlanStopsAtRequestedLayer) {
+  auto p = make_packet(test::udp_spec(1, 2, 3, 4));
+  ParseInfo pi;
+  parse(p.data(), p.len(), ParserPlan::l2_only(), pi);
+  EXPECT_TRUE(pi.has(kProtoEth));
+  EXPECT_FALSE(pi.has(kProtoIpv4));
+  parse(p.data(), p.len(), ParserPlan::up_to_l3(), pi);
+  EXPECT_TRUE(pi.has(kProtoIpv4));
+  EXPECT_FALSE(pi.has(kProtoUdp));
+}
+
+TEST(Parse, TruncatedFramesAreSafe) {
+  auto p = make_packet(test::tcp_spec(1, 2, 3, 4));
+  for (uint32_t len = 0; len < p.len(); ++len) {
+    ParseInfo pi;
+    parse(p.data(), len, ParserPlan::full(), pi);  // must not crash
+    if (len < 14) EXPECT_EQ(pi.proto_mask, 0u);
+  }
+}
+
+TEST(Parse, FragmentHasNoL4) {
+  auto p = make_packet(test::udp_spec(1, 2, 3, 4));
+  ParseInfo pi;
+  // Set fragment offset to 100 and fix the checksum.
+  uint8_t* iph = p.data() + 14;
+  store_be16(iph + kIpv4FlagsFragOff, 100);
+  store_be16(iph + kIpv4ChecksumOff, 0);
+  store_be16(iph + kIpv4ChecksumOff, ipv4_header_checksum(iph, 20));
+  parse(p.data(), p.len(), ParserPlan::full(), pi);
+  EXPECT_TRUE(pi.has(kProtoIpv4));
+  EXPECT_FALSE(pi.has(kProtoUdp));
+}
+
+TEST(Checksum, BuilderEmitsValidChecksums) {
+  for (auto kind : {PacketKind::kTcp, PacketKind::kUdp, PacketKind::kIcmp}) {
+    PacketSpec s;
+    s.kind = kind;
+    s.ip_src = 0xC0A80101;
+    s.ip_dst = 0x08080808;
+    auto p = make_packet(s);
+    ParseInfo pi;
+    parse(p.data(), p.len(), ParserPlan::full(), pi);
+    const uint8_t* iph = p.data() + pi.l3_off;
+    // Recomputing over the header including the checksum field must give 0.
+    EXPECT_EQ(checksum(iph, 20), 0) << "kind " << int(kind);
+    const uint32_t l4_len = load_be16(iph + kIpv4TotalLenOff) - 20;
+    if (kind == PacketKind::kIcmp) {
+      EXPECT_EQ(checksum(p.data() + pi.l4_off, l4_len), 0);
+    } else {
+      // Pseudo-header sum including stored checksum must be zero.
+      const uint16_t stored = kind == PacketKind::kTcp
+                                  ? load_be16(p.data() + pi.l4_off + kTcpChecksumOff)
+                                  : load_be16(p.data() + pi.l4_off + kUdpChecksumOff);
+      ASSERT_NE(stored, 0);
+      EXPECT_EQ(l4_checksum_ipv4(s.ip_src, s.ip_dst,
+                                 kind == PacketKind::kTcp ? kIpProtoTcp : kIpProtoUdp,
+                                 p.data() + pi.l4_off, l4_len),
+                0);
+    }
+  }
+}
+
+TEST(Checksum, IncrementalUpdateMatchesRecompute) {
+  auto p = make_packet(test::udp_spec(0x0A000001, 0x0A000002, 5, 6));
+  uint8_t* iph = p.data() + 14;
+  const uint16_t old_csum = load_be16(iph + kIpv4ChecksumOff);
+  const uint32_t old_src = load_be32(iph + kIpv4SrcOff);
+  const uint32_t new_src = 0xC0000201;
+  store_be32(iph + kIpv4SrcOff, new_src);
+  const uint16_t incr = checksum_update32(old_csum, old_src, new_src);
+  store_be16(iph + kIpv4ChecksumOff, 0);
+  const uint16_t full = ipv4_header_checksum(iph, 20);
+  EXPECT_EQ(incr, full);
+}
+
+TEST(Checksum, Rfc1071Example) {
+  // Canonical example from RFC 1071 §3.
+  const uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(checksum_finish(checksum_partial(data, sizeof data)),
+            static_cast<uint16_t>(~0xddf2 & 0xFFFF));
+}
+
+TEST(Build, RejectsOversizedPacket) {
+  PacketSpec s;
+  s.payload_len = 60000;
+  uint8_t buf[128];
+  EXPECT_EQ(build_packet(s, buf, sizeof buf), 0u);
+}
+
+TEST(Build, VlanRoundTrip) {
+  auto spec = test::udp_spec(7, 8, 9, 10);
+  spec.vlan_vid = 100;
+  auto p = make_packet(spec);
+  ParseInfo pi;
+  parse(p.data(), p.len(), ParserPlan::full(), pi);
+  EXPECT_TRUE(pi.has(kProtoVlan));
+  EXPECT_EQ(load_be16(p.data() + kEthTypeOff), kEtherTypeVlan);
+}
+
+}  // namespace
+}  // namespace esw

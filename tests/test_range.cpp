@@ -1,0 +1,178 @@
+// The range extension template: interval flattening substrate and its
+// integration into analysis, compilation and the update/fallback machinery.
+#include <gtest/gtest.h>
+
+#include "cls/range_tree.hpp"
+#include "common/rng.hpp"
+#include "core/eswitch.hpp"
+#include "test_util.hpp"
+
+namespace esw {
+namespace {
+
+using namespace esw::flow;
+using cls::RangeTree;
+using core::Eswitch;
+using core::TableTemplate;
+using test::make_packet;
+
+TEST(RangeTree, BasicOverlapResolution) {
+  RangeTree t;
+  t.build({
+      {0, 65535, /*rank=*/2, /*value=*/100},  // catch-all range, worse rank
+      {80, 89, 1, 200},                       // overlapping, better rank
+      {1000, 1999, 3, 300},
+  });
+  EXPECT_EQ(t.lookup(50), std::optional<uint32_t>(100));
+  EXPECT_EQ(t.lookup(80), std::optional<uint32_t>(200));
+  EXPECT_EQ(t.lookup(89), std::optional<uint32_t>(200));
+  EXPECT_EQ(t.lookup(90), std::optional<uint32_t>(100));
+  EXPECT_EQ(t.lookup(1500), std::optional<uint32_t>(100));  // rank 2 beats 3
+}
+
+TEST(RangeTree, GapsMiss) {
+  RangeTree t;
+  t.build({{10, 19, 1, 1}, {30, 39, 2, 2}});
+  EXPECT_FALSE(t.lookup(5).has_value());
+  EXPECT_EQ(t.lookup(15), std::optional<uint32_t>(1));
+  EXPECT_FALSE(t.lookup(25).has_value());
+  EXPECT_EQ(t.lookup(35), std::optional<uint32_t>(2));
+  EXPECT_FALSE(t.lookup(100).has_value());
+}
+
+TEST(RangeTree, EmptyAndAdjacentMerge) {
+  RangeTree empty;
+  empty.build({});
+  EXPECT_FALSE(empty.lookup(0).has_value());
+
+  RangeTree t;  // adjacent same-value intervals merge
+  t.build({{0, 9, 1, 7}, {10, 19, 2, 7}});
+  EXPECT_LE(t.num_intervals(), 2u);
+  EXPECT_EQ(t.lookup(9), std::optional<uint32_t>(7));
+  EXPECT_EQ(t.lookup(10), std::optional<uint32_t>(7));
+}
+
+TEST(RangeTree, PropertyMatchesLinearScan) {
+  Rng rng(77);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<RangeTree::Rule> rules;
+    const int n = 1 + static_cast<int>(rng.below(20));
+    for (int i = 0; i < n; ++i) {
+      const uint64_t lo = rng.below(1000);
+      rules.push_back({lo, lo + rng.below(200), static_cast<uint32_t>(i),
+                       static_cast<uint32_t>(i + 1)});
+    }
+    RangeTree t;
+    t.build(rules);
+    for (uint64_t key = 0; key < 1300; ++key) {
+      const RangeTree::Rule* best = nullptr;
+      for (const auto& r : rules)
+        if (r.lo <= key && key <= r.hi && (best == nullptr || r.rank < best->rank))
+          best = &r;
+      const auto got = t.lookup(key);
+      if (best == nullptr) {
+        ASSERT_FALSE(got.has_value()) << round << ":" << key;
+      } else {
+        ASSERT_EQ(got, std::optional<uint32_t>(best->value)) << round << ":" << key;
+      }
+    }
+  }
+}
+
+// A priority-inverted single-field prefix table: LPM must refuse it, the
+// range template takes it, and semantics stay exact.
+TEST(RangeTemplate, CompilesPriorityInvertedPrefixTable) {
+  Pipeline pl;
+  pl.table(0).add(parse_rule("priority=100,udp_dst=0x100/0xFF00,actions=output:1"));
+  pl.table(0).add(parse_rule("priority=20,udp_dst=0x140/0xFFC0,actions=output:2"));
+  pl.table(0).add(parse_rule("priority=90,udp_dst=0x200/0xFF00,actions=output:3"));
+  pl.table(0).add(parse_rule("priority=95,udp_dst=0x240/0xFFC0,actions=output:4"));
+  pl.table(0).add(parse_rule("priority=1,actions=drop"));
+
+  core::CompilerConfig cfg;
+  cfg.direct_code_max_entries = 2;
+  Eswitch sw(cfg);
+  sw.install(pl);
+  ASSERT_EQ(sw.table_template(0), TableTemplate::kRange);
+
+  // Differential against the reference interpreter across the whole field.
+  for (uint32_t port = 0; port < 0x400; ++port) {
+    auto p1 = make_packet(test::udp_spec(1, 2, 9, static_cast<uint16_t>(port)));
+    auto p2 = make_packet(test::udp_spec(1, 2, 9, static_cast<uint16_t>(port)));
+    ASSERT_EQ(sw.process(p1), pl.run(p2)) << port;
+  }
+}
+
+TEST(RangeTemplate, UpdateRebuildsAndStaysCorrect) {
+  Pipeline pl;
+  pl.table(0).add(parse_rule("priority=100,udp_dst=0x100/0xFF00,actions=output:1"));
+  pl.table(0).add(parse_rule("priority=20,udp_dst=0x140/0xFFC0,actions=output:2"));
+  for (int i = 0; i < 6; ++i)
+    pl.table(0).add(parse_rule("priority=50,udp_dst=" + std::to_string(0x300 + i * 64) +
+                               "/0xFFC0,actions=output:5"));
+  core::CompilerConfig cfg;
+  cfg.direct_code_max_entries = 2;
+  Eswitch sw(cfg);
+  sw.install(pl);
+  ASSERT_EQ(sw.table_template(0), TableTemplate::kRange);
+
+  // No incremental path: every add is a rebuild + swap, semantics preserved.
+  const auto rebuilds = sw.update_stats().table_rebuilds;
+  flow::FlowMod fm;
+  fm.table_id = 0;
+  fm.priority = 200;
+  fm.match.set(FieldId::kUdpDst, 0x120, 0xFFF0);
+  fm.actions = {Action::output(9)};
+  sw.apply(fm);
+  EXPECT_GT(sw.update_stats().table_rebuilds, rebuilds);
+  EXPECT_EQ(sw.table_template(0), TableTemplate::kRange);
+
+  auto p = make_packet(test::udp_spec(1, 2, 9, 0x125));
+  EXPECT_EQ(sw.process(p), Verdict::output(9));
+  auto p2 = make_packet(test::udp_spec(1, 2, 9, 0x150));
+  EXPECT_EQ(sw.process(p2), Verdict::output(1));  // prio 100 beats prio 20
+
+  // A multi-field rule breaks the prerequisite: fall back to linked list.
+  flow::FlowMod bad;
+  bad.table_id = 0;
+  bad.priority = 300;
+  bad.match.set(FieldId::kUdpDst, 7);
+  bad.match.set(FieldId::kIpSrc, 1);
+  bad.actions = {Action::output(3)};
+  sw.apply(bad);
+  EXPECT_EQ(sw.table_template(0), TableTemplate::kLinkedList);
+  auto p3 = make_packet(test::udp_spec(1, 2, 9, 0x125));
+  EXPECT_EQ(sw.process(p3), Verdict::output(9));  // old rules intact
+}
+
+TEST(RangeTemplate, RandomPrefixTablesPropertyEquivalent) {
+  Rng rng(0xA17);
+  for (int round = 0; round < 15; ++round) {
+    Pipeline pl;
+    const int n = 6 + static_cast<int>(rng.below(20));
+    for (int i = 0; i < n; ++i) {
+      const unsigned len = 4 + rng.below(13);  // /4../16 of the 16-bit field
+      const uint64_t mask = low_bits(len) << (16 - len);
+      FlowEntry e;
+      e.match.set(FieldId::kUdpDst, rng.below(0x10000) & mask, mask);
+      e.priority = static_cast<uint16_t>(rng.below(1000));  // arbitrary order
+      e.actions = {Action::output(static_cast<uint32_t>(i + 1))};
+      pl.table(0).add(e);
+    }
+    core::CompilerConfig cfg;
+    cfg.direct_code_max_entries = 2;
+    Eswitch sw(cfg);
+    sw.install(pl);
+    if (sw.table_template(0) != TableTemplate::kRange) continue;  // duplicate rules
+
+    for (int q = 0; q < 500; ++q) {
+      const uint16_t port = static_cast<uint16_t>(rng.below(0x10000));
+      auto p1 = make_packet(test::udp_spec(1, 2, 9, port));
+      auto p2 = make_packet(test::udp_spec(1, 2, 9, port));
+      ASSERT_EQ(sw.process(p1), pl.run(p2)) << round << ":" << port;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace esw

@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "core/eswitch.hpp"
+#include "test_util.hpp"
+
+namespace esw {
+namespace {
+
+using namespace esw::core;
+using namespace esw::flow;
+using test::ip;
+using test::make_packet;
+
+FlowMod add_mod(uint8_t table, const char* rule) {
+  const FlowEntry e = parse_rule(rule);
+  FlowMod fm;
+  fm.command = FlowMod::Cmd::kAdd;
+  fm.table_id = table;
+  fm.priority = e.priority;
+  fm.match = e.match;
+  fm.actions = e.actions;
+  fm.goto_table = e.goto_table;
+  return fm;
+}
+
+FlowMod del_mod(uint8_t table, const char* rule) {
+  FlowMod fm = add_mod(table, rule);
+  fm.command = FlowMod::Cmd::kDelete;
+  fm.actions.clear();
+  return fm;
+}
+
+TEST(Updates, HashTemplateIncrementalAddRemove) {
+  Pipeline pl;
+  for (int i = 0; i < 20; ++i)
+    pl.table(0).add(parse_rule("priority=5,udp_dst=" + std::to_string(i) +
+                               ",actions=output:1"));
+  Eswitch sw;
+  sw.install(pl);
+  ASSERT_EQ(sw.table_template(0), TableTemplate::kCompoundHash);
+  const auto rebuilds_before = sw.update_stats().table_rebuilds;
+
+  sw.apply(add_mod(0, "priority=5,udp_dst=1000,actions=output:7"));
+  auto p = make_packet(test::udp_spec(1, 2, 9, 1000));
+  EXPECT_EQ(sw.process(p), Verdict::output(7));
+  // Non-destructive: same template object updated, no rebuild (§3.4).
+  EXPECT_EQ(sw.update_stats().table_rebuilds, rebuilds_before);
+  EXPECT_GE(sw.update_stats().incremental, 1u);
+
+  sw.apply(del_mod(0, "priority=5,udp_dst=1000,actions=output:7"));
+  auto p2 = make_packet(test::udp_spec(1, 2, 9, 1000));
+  EXPECT_EQ(sw.process(p2), Verdict::drop());
+  EXPECT_EQ(sw.update_stats().table_rebuilds, rebuilds_before);
+}
+
+TEST(Updates, PrerequisiteViolationFallsBack) {
+  Pipeline pl;
+  for (int i = 0; i < 20; ++i)
+    pl.table(0).add(parse_rule("priority=5,udp_dst=" + std::to_string(i) +
+                               ",actions=output:1"));
+  Eswitch sw;
+  sw.install(pl);
+  ASSERT_EQ(sw.table_template(0), TableTemplate::kCompoundHash);
+
+  // A masked rule breaks the global-mask prerequisite: the table must be
+  // rebuilt under a fallback template, atomically, without losing rules.
+  sw.apply(add_mod(0, "priority=9,udp_dst=0x100/0x100,actions=output:2"));
+  EXPECT_EQ(sw.table_template(0), TableTemplate::kLinkedList);
+
+  auto old_rule = make_packet(test::udp_spec(1, 2, 9, 3));
+  auto new_rule = make_packet(test::udp_spec(1, 2, 9, 0x1F0));
+  EXPECT_EQ(sw.process(old_rule), Verdict::output(1));
+  EXPECT_EQ(sw.process(new_rule), Verdict::output(2));
+}
+
+TEST(Updates, DirectCodeAlwaysRebuilds) {
+  Pipeline pl;
+  pl.table(0).add(parse_rule("priority=5,udp_dst=1,actions=output:1"));
+  Eswitch sw;
+  sw.install(pl);
+  ASSERT_EQ(sw.table_template(0), TableTemplate::kDirectCode);
+  const auto before = sw.update_stats().table_rebuilds;
+  sw.apply(add_mod(0, "priority=5,udp_dst=2,actions=output:2"));
+  EXPECT_GT(sw.update_stats().table_rebuilds, before);
+  auto p = make_packet(test::udp_spec(1, 2, 9, 2));
+  EXPECT_EQ(sw.process(p), Verdict::output(2));
+}
+
+TEST(Updates, GrowthPromotesDirectCodeToHash) {
+  Eswitch sw;
+  sw.install(Pipeline{});
+  for (int i = 0; i < 10; ++i)
+    sw.apply(add_mod(0, ("priority=5,udp_dst=" + std::to_string(i) +
+                         ",actions=output:1").c_str()));
+  EXPECT_EQ(sw.table_template(0), TableTemplate::kCompoundHash);
+  for (int i = 0; i < 10; ++i) {
+    auto p = make_packet(test::udp_spec(1, 2, 9, static_cast<uint16_t>(i)));
+    EXPECT_EQ(sw.process(p), Verdict::output(1));
+  }
+}
+
+TEST(Updates, LpmIncrementalChurn) {
+  Pipeline pl;
+  for (int i = 0; i < 32; ++i) {
+    FlowEntry e;
+    e.match.set(FieldId::kIpDst, static_cast<uint32_t>(i) << 24, 0xFF000000);
+    e.priority = 8;
+    e.actions = {Action::output(1)};
+    pl.table(0).add(e);
+  }
+  for (int i = 0; i < 8; ++i) {
+    // Mixed prefix lengths: breaks the (faster) global-mask hash prerequisite
+    // so analysis lands on LPM, as in a real RIB.
+    FlowEntry e;
+    e.match.set(FieldId::kIpDst, (40u << 24) | (static_cast<uint32_t>(i) << 16),
+                0xFFFF0000);
+    e.priority = 16;
+    e.actions = {Action::output(3)};
+    pl.table(0).add(e);
+  }
+  Eswitch sw;
+  sw.install(pl);
+  ASSERT_EQ(sw.table_template(0), TableTemplate::kLpm);
+  const auto rebuilds_before = sw.update_stats().table_rebuilds;
+
+  // Route churn: add/remove more-specific prefixes (priority-consistent).
+  for (int i = 0; i < 200; ++i) {
+    FlowMod fm;
+    fm.table_id = 0;
+    fm.priority = 24;
+    fm.match.set(FieldId::kIpDst, (5u << 24) | (static_cast<uint32_t>(i) << 8),
+                 0xFFFFFF00);
+    fm.actions = {Action::output(2)};
+    sw.apply(fm);
+  }
+  auto p = make_packet(test::udp_spec(1, (5u << 24) | (77u << 8) | 3, 4, 4));
+  EXPECT_EQ(sw.process(p), Verdict::output(2));
+  EXPECT_EQ(sw.update_stats().table_rebuilds, rebuilds_before);
+
+  for (int i = 0; i < 200; ++i) {
+    FlowMod fm;
+    fm.command = FlowMod::Cmd::kDelete;
+    fm.table_id = 0;
+    fm.priority = 24;
+    fm.match.set(FieldId::kIpDst, (5u << 24) | (static_cast<uint32_t>(i) << 8),
+                 0xFFFFFF00);
+    sw.apply(fm);
+  }
+  auto p2 = make_packet(test::udp_spec(1, (5u << 24) | (77u << 8) | 3, 4, 4));
+  EXPECT_EQ(sw.process(p2), Verdict::output(1));
+  EXPECT_EQ(sw.update_stats().table_rebuilds, rebuilds_before);
+}
+
+TEST(Updates, LpmPriorityInversionFallsBack) {
+  Pipeline pl;
+  for (int i = 0; i < 32; ++i) {
+    FlowEntry e;
+    e.match.set(FieldId::kIpDst, static_cast<uint32_t>(i) << 24, 0xFF000000);
+    e.priority = 8;
+    e.actions = {Action::output(1)};
+    pl.table(0).add(e);
+  }
+  for (int i = 0; i < 8; ++i) {
+    // Mixed prefix lengths: breaks the (faster) global-mask hash prerequisite
+    // so analysis lands on LPM, as in a real RIB.
+    FlowEntry e;
+    e.match.set(FieldId::kIpDst, (40u << 24) | (static_cast<uint32_t>(i) << 16),
+                0xFFFF0000);
+    e.priority = 16;
+    e.actions = {Action::output(3)};
+    pl.table(0).add(e);
+  }
+  Eswitch sw;
+  sw.install(pl);
+  ASSERT_EQ(sw.table_template(0), TableTemplate::kLpm);
+
+  // A /24 *below* the /8s in priority violates the LPM ordering prerequisite.
+  FlowMod fm;
+  fm.table_id = 0;
+  fm.priority = 2;
+  fm.match.set(FieldId::kIpDst, 3u << 24 | 5u << 8, 0xFFFFFF00);
+  fm.actions = {Action::output(9)};
+  sw.apply(fm);
+  // The priority-inverted prefix table fails LPM's prerequisite but fits the
+  // range extension template (which bakes priorities into the intervals).
+  EXPECT_EQ(sw.table_template(0), TableTemplate::kRange);
+  // Reference semantics: the /8 still wins (higher priority).
+  auto p = make_packet(test::udp_spec(1, 3u << 24 | 5u << 8 | 1, 4, 4));
+  EXPECT_EQ(sw.process(p), Verdict::output(1));
+}
+
+TEST(Updates, BatchIsTransactional) {
+  Eswitch sw;
+  sw.install(Pipeline{});
+  sw.apply(add_mod(0, "priority=5,udp_dst=1,actions=output:1"));
+
+  // Second mod is invalid (goto to non-existent table): nothing may change.
+  std::vector<FlowMod> batch;
+  batch.push_back(add_mod(0, "priority=6,udp_dst=2,actions=output:2"));
+  batch.push_back(add_mod(0, "priority=7,udp_dst=3,actions=,goto:99"));
+  EXPECT_THROW(sw.apply_batch(batch), CheckError);
+
+  auto p = make_packet(test::udp_spec(1, 2, 9, 2));
+  EXPECT_EQ(sw.process(p), Verdict::drop());  // mod 1 was rolled back
+  EXPECT_EQ(sw.pipeline().find_table(0)->size(), 1u);
+
+  // Valid batch applies atomically.
+  batch.pop_back();
+  batch.push_back(add_mod(0, "priority=7,udp_dst=3,actions=output:3"));
+  sw.apply_batch(batch);
+  auto p2 = make_packet(test::udp_spec(1, 2, 9, 2));
+  auto p3 = make_packet(test::udp_spec(1, 2, 9, 3));
+  EXPECT_EQ(sw.process(p2), Verdict::output(2));
+  EXPECT_EQ(sw.process(p3), Verdict::output(3));
+}
+
+TEST(Updates, InvalidGotoRejectedCleanly) {
+  Eswitch sw;
+  sw.install(Pipeline{});
+  EXPECT_THROW(sw.apply(add_mod(0, "priority=5,udp_dst=1,actions=,goto:0")), CheckError);
+  EXPECT_THROW(sw.apply(add_mod(5, "priority=5,udp_dst=1,actions=,goto:3")), CheckError);
+  EXPECT_TRUE(sw.pipeline().empty());
+}
+
+TEST(Updates, ConcurrentReadersSurviveTableSwaps) {
+  // Readers hammer the datapath while the control plane rebuilds the table
+  // via trampoline swaps; every lookup must see either the old or the new
+  // table, never garbage.  (Retired tables are reclaimed only via collect(),
+  // which we do not call while readers run.)
+  Pipeline pl;
+  for (int i = 0; i < 10; ++i)
+    pl.table(0).add(parse_rule("priority=5,udp_dst=" + std::to_string(i) +
+                               ",actions=output:1"));
+  CompilerConfig cfg;
+  cfg.direct_code_max_entries = 64;  // keep the table direct-code: every
+                                     // update is a rebuild + trampoline swap
+  Eswitch sw(cfg);
+  sw.install(pl);
+  ASSERT_EQ(sw.table_template(0), TableTemplate::kDirectCode);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> anomalies{0};
+  std::thread reader([&] {
+    auto p = make_packet(test::udp_spec(1, 2, 9, 3));
+    while (!stop.load(std::memory_order_relaxed)) {
+      net::Packet copy = p;
+      const Verdict v = sw.process(copy);
+      if (!(v == Verdict::output(1))) anomalies.fetch_add(1);
+    }
+  });
+
+  for (int i = 0; i < 300; ++i) {
+    FlowMod fm;
+    fm.table_id = 0;
+    fm.priority = static_cast<uint16_t>(100 + i % 7);
+    fm.match.set(FieldId::kUdpDst, 0x8000 + i % 7);
+    fm.actions = {Action::output(2)};
+    sw.apply(fm);
+    fm.command = FlowMod::Cmd::kDelete;
+    sw.apply(fm);
+  }
+  stop = true;
+  reader.join();
+  EXPECT_EQ(anomalies.load(), 0u);
+  EXPECT_GE(sw.update_stats().table_rebuilds, 600u);
+  sw.collect();
+}
+
+TEST(Updates, RandomChurnStaysEquivalent) {
+  Rng rng(31337);
+  Eswitch sw;
+  sw.install(Pipeline{});
+  Pipeline ref;
+
+  std::vector<FlowEntry> live;
+  for (int op = 0; op < 400; ++op) {
+    if (!live.empty() && rng.chance(1, 3)) {
+      const size_t k = rng.below(live.size());
+      FlowMod fm;
+      fm.command = FlowMod::Cmd::kDelete;
+      fm.table_id = 0;
+      fm.priority = live[k].priority;
+      fm.match = live[k].match;
+      sw.apply(fm);
+      ref.table(0).remove(live[k].match, live[k].priority);
+      live[k] = live.back();
+      live.pop_back();
+    } else {
+      Match m;
+      if (rng.chance(2, 3)) m.set(FieldId::kUdpDst, rng.below(40));
+      if (rng.chance(1, 4)) m.set(FieldId::kIpSrc, rng.below(4));
+      FlowMod fm;
+      fm.table_id = 0;
+      fm.priority = static_cast<uint16_t>(rng.below(1000));
+      fm.match = m;
+      fm.actions = {Action::output(static_cast<uint32_t>(rng.below(6)))};
+      sw.apply(fm);
+      FlowEntry e;
+      e.match = fm.match;
+      e.priority = fm.priority;
+      e.actions = fm.actions;
+      ref.table(0).add(e);
+      live.push_back(e);
+    }
+
+    if (op % 20 == 0) {
+      for (int q = 0; q < 40; ++q) {
+        auto spec = test::udp_spec(static_cast<uint32_t>(rng.below(5)), 2, 9,
+                                   static_cast<uint16_t>(rng.below(42)));
+        auto p1 = make_packet(spec);
+        auto p2 = make_packet(spec);
+        ASSERT_EQ(sw.process(p1), ref.run(p2)) << "op " << op;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace esw

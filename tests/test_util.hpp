@@ -1,0 +1,52 @@
+// Shared helpers for the test suite: quick packet construction and parsing.
+#pragma once
+
+#include <cstdint>
+
+#include "flow/dsl.hpp"
+#include "netio/packet.hpp"
+#include "proto/build.hpp"
+#include "proto/parse.hpp"
+
+namespace esw::test {
+
+inline net::Packet make_packet(const proto::PacketSpec& spec, uint32_t in_port = 0) {
+  net::Packet p;
+  const uint32_t len = proto::build_packet(spec, p.data(), net::Packet::kMaxFrame);
+  p.set_len(len);
+  p.set_in_port(in_port);
+  return p;
+}
+
+inline proto::PacketSpec udp_spec(uint32_t ip_src, uint32_t ip_dst, uint16_t sport,
+                                  uint16_t dport) {
+  proto::PacketSpec s;
+  s.kind = proto::PacketKind::kUdp;
+  s.ip_src = ip_src;
+  s.ip_dst = ip_dst;
+  s.sport = sport;
+  s.dport = dport;
+  return s;
+}
+
+inline proto::PacketSpec tcp_spec(uint32_t ip_src, uint32_t ip_dst, uint16_t sport,
+                                  uint16_t dport) {
+  proto::PacketSpec s;
+  s.kind = proto::PacketKind::kTcp;
+  s.ip_src = ip_src;
+  s.ip_dst = ip_dst;
+  s.sport = sport;
+  s.dport = dport;
+  return s;
+}
+
+inline proto::ParseInfo parse_packet(const net::Packet& p) {
+  proto::ParseInfo pi;
+  proto::parse(p.data(), p.len(), proto::ParserPlan::full(), pi);
+  pi.in_port = p.in_port();
+  return pi;
+}
+
+inline uint32_t ip(const char* dotted) { return flow::parse_ipv4(dotted); }
+
+}  // namespace esw::test
