@@ -1,0 +1,200 @@
+// Figure-bench driver: runs every bench_fig*/bench_tab* binary in a build
+// directory with --benchmark_format=json and distills each run into a stable
+// BENCH_<figure>.json report (esw-bench-v1 schema, see perf/bench_json.hpp).
+// This seeds the perf trajectory that later PRs diff against.
+//
+//   run_all --bin-dir build/bench --out-dir bench-results
+//           [--git-sha <sha>] [--only fig10,fig13] [-- <benchmark flags...>]
+//
+// Flags after `--` are forwarded verbatim to every bench binary, e.g.
+// `-- --benchmark_filter=es:1` or `--benchmark_min_time=0.01s`.
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "perf/bench_json.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Options {
+  std::string bin_dir = ".";
+  std::string out_dir = ".";
+  std::string git_sha = "unknown";
+  std::vector<std::string> only;    // figure ids; empty = all
+  std::vector<std::string> forward;  // flags forwarded to every binary
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--bin-dir DIR] [--out-dir DIR] [--git-sha SHA]\n"
+               "          [--only fig10,fig13,...] [-- <benchmark flags...>]\n",
+               argv0);
+}
+
+bool parse_args(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--bin-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->bin_dir = v;
+    } else if (arg == "--out-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->out_dir = v;
+    } else if (arg == "--git-sha") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->git_sha = v;
+    } else if (arg == "--only") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      std::string list = v;
+      size_t start = 0;
+      while (start <= list.size()) {
+        size_t end = list.find(',', start);
+        if (end == std::string::npos) end = list.size();
+        if (end > start) opts->only.push_back(list.substr(start, end - start));
+        start = end + 1;
+      }
+    } else if (arg == "--") {
+      for (++i; i < argc; ++i) opts->forward.emplace_back(argv[i]);
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// "bench_fig10_l2" -> {"fig10", "l2"}; {"", ""} if not a bench binary name.
+std::pair<std::string, std::string> split_bench_name(const std::string& stem) {
+  const std::string prefix = "bench_";
+  if (stem.rfind(prefix, 0) != 0) return {"", ""};
+  const std::string rest = stem.substr(prefix.size());
+  if (rest.rfind("fig", 0) != 0 && rest.rfind("tab", 0) != 0) return {"", ""};
+  const size_t us = rest.find('_');
+  if (us == std::string::npos) return {rest, rest};
+  return {rest.substr(0, us), rest.substr(us + 1)};
+}
+
+std::string shell_quote(const std::string& s) {
+  std::string out;
+  out.push_back('\'');
+  for (const char c : s) {
+    if (c == '\'')
+      out.append("'\\''");
+    else
+      out.push_back(c);
+  }
+  out.push_back('\'');
+  return out;
+}
+
+bool run_one(const fs::path& binary, const std::string& figure,
+             const std::string& title, const Options& opts) {
+  const fs::path raw = fs::path(opts.out_dir) / ("raw_" + figure + ".json");
+  std::ostringstream cmdline;
+  cmdline << shell_quote(binary.string())
+          << " --benchmark_format=console --benchmark_out_format=json"
+          << " --benchmark_out=" << shell_quote(raw.string());
+  for (const std::string& f : opts.forward) cmdline << ' ' << shell_quote(f);
+  const std::string cmd = cmdline.str();
+
+  std::printf("[run_all] %s\n", cmd.c_str());
+  std::fflush(stdout);
+  const int rc = std::system(cmd.c_str());
+  if (rc != 0) {
+    if (rc != -1 && WIFSIGNALED(rc))
+      std::fprintf(stderr, "[run_all] FAILED (signal %d): %s\n", WTERMSIG(rc),
+                   binary.c_str());
+    else
+      std::fprintf(stderr, "[run_all] FAILED (exit %d): %s\n",
+                   rc == -1 ? -1 : WEXITSTATUS(rc), binary.c_str());
+    return false;
+  }
+
+  std::ifstream in(raw);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto report = esw::perf::report_from_google_benchmark(
+      buf.str(), figure, title, opts.git_sha);
+  if (!report) {
+    std::fprintf(stderr, "[run_all] could not parse benchmark output: %s\n",
+                 raw.c_str());
+    return false;
+  }
+
+  const fs::path out = fs::path(opts.out_dir) / ("BENCH_" + figure + ".json");
+  std::ofstream of(out);
+  of << esw::perf::report_to_json(*report);
+  of.close();
+  std::printf("[run_all] wrote %s (%zu series)\n", out.c_str(),
+              report->series.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, &opts)) {
+    usage(argv[0]);
+    return 2;
+  }
+  std::error_code ec;
+  fs::create_directories(opts.out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create out dir %s: %s\n", opts.out_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  fs::directory_iterator bin_it(opts.bin_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot read bin dir %s: %s\n", opts.bin_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  std::vector<std::pair<fs::path, std::pair<std::string, std::string>>> benches;
+  for (const auto& entry : bin_it) {
+    if (!entry.is_regular_file()) continue;
+    const auto [figure, title] = split_bench_name(entry.path().filename().string());
+    if (figure.empty()) continue;
+    if (!opts.only.empty() &&
+        std::find(opts.only.begin(), opts.only.end(), figure) == opts.only.end())
+      continue;
+    benches.push_back({entry.path(), {figure, title}});
+  }
+  std::sort(benches.begin(), benches.end());
+
+  if (benches.empty()) {
+    std::fprintf(stderr, "no bench_fig*/bench_tab* binaries found in %s\n",
+                 opts.bin_dir.c_str());
+    return 1;
+  }
+
+  int failures = 0;
+  for (const auto& [path, id] : benches)
+    if (!run_one(path, id.first, id.second, opts)) ++failures;
+
+  std::printf("[run_all] %zu/%zu figures ok\n", benches.size() - failures,
+              benches.size());
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,190 @@
+// The BENCH_*.json emitter must stay machine-readable: emit -> parse ->
+// field-identical, and the google-benchmark digest must survive real output
+// shapes (ArgNames suffixes, aggregate rows, flattened counters).
+#include <gtest/gtest.h>
+
+#include "perf/bench_json.hpp"
+
+namespace esw::perf {
+namespace {
+
+// ---------- generic Json value ----------------------------------------------
+
+TEST(Json, ParsesScalars) {
+  EXPECT_EQ(Json::parse("null")->kind(), Json::Kind::kNull);
+  EXPECT_TRUE(Json::parse("true")->as_bool());
+  EXPECT_FALSE(Json::parse("false")->as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("-12.5e2")->as_number(), -1250.0);
+  EXPECT_EQ(Json::parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(Json, ParsesEscapesAndUnicode) {
+  const auto j = Json::parse(R"("a\"b\\c\n\tAé")");
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->as_string(), "a\"b\\c\n\tA\xc3\xa9");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const auto j = Json::parse(R"({"a": [1, 2, {"b": true}], "c": {}})");
+  ASSERT_TRUE(j.has_value());
+  const Json* a = j->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->items()[0].as_number(), 1.0);
+  EXPECT_TRUE(a->items()[2].find("b")->as_bool());
+  EXPECT_EQ(j->find("c")->members().size(), 0u);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(Json::parse("").has_value());
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(Json::parse("tru").has_value());
+  EXPECT_FALSE(Json::parse("1 trailing").has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+}
+
+TEST(Json, RejectsExcessiveNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(Json::parse(deep).has_value());
+}
+
+TEST(Json, DumpParsesBackIdentically) {
+  const char* src = R"({"name": "BM_X/flows:10", "pps": 1234567.5, "ok": true})";
+  const auto j = Json::parse(src);
+  ASSERT_TRUE(j.has_value());
+  const auto j2 = Json::parse(j->dump());
+  ASSERT_TRUE(j2.has_value());
+  EXPECT_EQ(j2->string_or("name", ""), "BM_X/flows:10");
+  EXPECT_DOUBLE_EQ(j2->number_or("pps", 0), 1234567.5);
+  EXPECT_TRUE(j2->find("ok")->as_bool());
+}
+
+// ---------- esw-bench-v1 round trip -----------------------------------------
+
+BenchReport sample_report() {
+  BenchReport r;
+  r.figure = "fig10";
+  r.title = "l2";
+  r.git_sha = "deadbeefcafe";
+  BenchSeries s;
+  s.name = "BM_Fig10_L2";
+  BenchPoint p1;
+  p1.label = "size:1000/flows:100/es:1";
+  p1.x = 1;
+  p1.pps = 12.5e6;
+  p1.cycles_per_pkt = 240.25;
+  p1.counters = {{"pps", 12.5e6}, {"cycles_per_pkt", 240.25}, {"real_time", 0.05}};
+  BenchPoint p2;
+  p2.label = "size:1000/flows:100/es:0";
+  p2.x = 0;
+  p2.pps = 1.9e6;
+  p2.cycles_per_pkt = 1571.0;
+  s.points = {p1, p2};
+  r.series = {s};
+  return r;
+}
+
+TEST(BenchReport, EmitParseRoundTrip) {
+  const BenchReport orig = sample_report();
+  const std::string json = report_to_json(orig);
+  const auto parsed = report_from_json(json);
+  ASSERT_TRUE(parsed.has_value());
+
+  EXPECT_EQ(parsed->figure, orig.figure);
+  EXPECT_EQ(parsed->title, orig.title);
+  EXPECT_EQ(parsed->git_sha, orig.git_sha);
+  ASSERT_EQ(parsed->series.size(), 1u);
+  EXPECT_EQ(parsed->series[0].name, "BM_Fig10_L2");
+  ASSERT_EQ(parsed->series[0].points.size(), 2u);
+
+  const BenchPoint& p = parsed->series[0].points[0];
+  EXPECT_EQ(p.label, "size:1000/flows:100/es:1");
+  EXPECT_DOUBLE_EQ(p.x, 1);
+  EXPECT_DOUBLE_EQ(p.pps, 12.5e6);
+  EXPECT_DOUBLE_EQ(p.cycles_per_pkt, 240.25);
+  ASSERT_EQ(p.counters.size(), 3u);
+  EXPECT_DOUBLE_EQ(p.counters.at("real_time"), 0.05);
+  EXPECT_DOUBLE_EQ(parsed->series[0].points[1].pps, 1.9e6);
+}
+
+TEST(BenchReport, EmitsSchemaIdAndStableFields) {
+  const std::string json = report_to_json(sample_report());
+  const auto doc = Json::parse(json);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->string_or("schema", ""), kBenchSchemaId);
+  EXPECT_EQ(doc->string_or("figure", ""), "fig10");
+  EXPECT_EQ(doc->string_or("git_sha", ""), "deadbeefcafe");
+  const Json* series = doc->find("series");
+  ASSERT_NE(series, nullptr);
+  const Json* point = &series->items()[0].find("points")->items()[0];
+  // Every point must carry the stable quartet the trajectory diffs.
+  EXPECT_NE(point->find("label"), nullptr);
+  EXPECT_NE(point->find("x"), nullptr);
+  EXPECT_NE(point->find("pps"), nullptr);
+  EXPECT_NE(point->find("cycles_per_pkt"), nullptr);
+}
+
+TEST(BenchReport, RejectsWrongSchemaOrShape) {
+  EXPECT_FALSE(report_from_json("{}").has_value());
+  EXPECT_FALSE(report_from_json(R"({"schema": "other", "series": []})").has_value());
+  EXPECT_FALSE(
+      report_from_json(R"({"schema": "esw-bench-v1", "series": 7})").has_value());
+  EXPECT_FALSE(report_from_json("not json at all").has_value());
+}
+
+// ---------- google-benchmark digestion ---------------------------------------
+
+TEST(BenchReport, DigestsGoogleBenchmarkOutput) {
+  const char* gb = R"({
+    "context": {"date": "2026-07-29", "host_name": "ci"},
+    "benchmarks": [
+      {"name": "BM_Fig10_L2/size:1/flows:10/es:1/iterations:1",
+       "run_type": "iteration",
+       "iterations": 1, "real_time": 5.1e7, "time_unit": "ns",
+       "pps": 1.25e7, "cycles_per_pkt": 240.5},
+      {"name": "BM_Fig10_L2/size:1/flows:10/es:0", "run_type": "iteration",
+       "iterations": 1, "real_time": 6.0e7, "time_unit": "ns",
+       "pps": 2.0e6, "cycles_per_pkt": 1500.0},
+      {"name": "BM_Fig10_L2/size:1/flows:10/es:1", "run_type": "aggregate",
+       "aggregate_name": "mean", "pps": 1.25e7},
+      {"name": "BM_Other", "run_type": "iteration", "iterations": 3,
+       "real_time": 100.0}
+    ]
+  })";
+  const auto r = report_from_google_benchmark(gb, "fig10", "l2", "abc123");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->figure, "fig10");
+  EXPECT_EQ(r->git_sha, "abc123");
+  ASSERT_EQ(r->series.size(), 2u);
+
+  const BenchSeries& s = r->series[0];
+  EXPECT_EQ(s.name, "BM_Fig10_L2");
+  ASSERT_EQ(s.points.size(), 2u);  // aggregate row dropped
+  EXPECT_EQ(s.points[0].label, "size:1/flows:10/es:1/iterations:1");
+  EXPECT_DOUBLE_EQ(s.points[0].x, 1);  // last sweep arg (es:1); modifiers skipped
+  EXPECT_DOUBLE_EQ(s.points[0].pps, 1.25e7);
+  EXPECT_DOUBLE_EQ(s.points[0].cycles_per_pkt, 240.5);
+  EXPECT_DOUBLE_EQ(s.points[0].counters.at("real_time"), 5.1e7);
+
+  EXPECT_EQ(r->series[1].name, "BM_Other");
+  EXPECT_EQ(r->series[1].points[0].label, "");
+  EXPECT_DOUBLE_EQ(r->series[1].points[0].pps, 0);
+
+  // The digest must itself round-trip through the stable schema.
+  const auto r2 = report_from_json(report_to_json(*r));
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->series.size(), r->series.size());
+  EXPECT_DOUBLE_EQ(r2->series[0].points[1].cycles_per_pkt, 1500.0);
+}
+
+TEST(BenchReport, RejectsNonBenchmarkInput) {
+  EXPECT_FALSE(report_from_google_benchmark("[]", "f", "t", "s").has_value());
+  EXPECT_FALSE(report_from_google_benchmark("{\"benchmarks\": 1}", "f", "t", "s")
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace esw::perf

@@ -85,7 +85,9 @@ TEST(Parse, TruncatedFramesAreSafe) {
   for (uint32_t len = 0; len < p.len(); ++len) {
     ParseInfo pi;
     parse(p.data(), len, ParserPlan::full(), pi);  // must not crash
-    if (len < 14) EXPECT_EQ(pi.proto_mask, 0u);
+    if (len < 14) {
+      EXPECT_EQ(pi.proto_mask, 0u);
+    }
   }
 }
 
