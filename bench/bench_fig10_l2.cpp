@@ -3,7 +3,9 @@
 // OVS-model flow-cache hierarchy.
 //
 // Expected shape: ES flat and high across all flow counts; OVS decays as
-// flows outgrow the microflow cache.
+// flows outgrow the microflow cache.  Both switches run through the burst
+// datapath (process_burst); bench_burst_compare measures burst-vs-scalar on
+// this same workload.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"

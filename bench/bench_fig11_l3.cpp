@@ -1,5 +1,7 @@
 // Fig. 11: L3 routing packet rate over RIBs of 1/10/1K prefixes as the
 // active flow set grows — ESWITCH (LPM template, DIR-24-8) vs the OVS model.
+// Both switches run through the burst datapath (process_burst); the LPM
+// template prefetches packet i+1's tbl24 line while packet i walks.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"

@@ -2,7 +2,8 @@
 // flow set grows.  ESWITCH runs with table decomposition enabled — the naive
 // single-stage table would compile to the linked list; decomposition promotes
 // it to hash/direct-code stages (§4.1).  The extra "es=2" series is the
-// ablation: ESWITCH with decomposition disabled.
+// ablation: ESWITCH with decomposition disabled.  All series run through the
+// burst datapath (process_burst).
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"

@@ -35,11 +35,11 @@ void BM_Fig19_MultiCore(benchmark::State& state) {
       if (use_es) {
         core::Eswitch sw;
         sw.install(uc.pipeline);
-        aggregate += bench::measure([&](net::Packet& p) { sw.process(p); }, ts, shard).pps;
+        aggregate += bench::measure_switch_burst(sw, ts, shard).pps;
       } else {
         ovs::OvsSwitch sw;
         sw.install(uc.pipeline);
-        aggregate += bench::measure([&](net::Packet& p) { sw.process(p); }, ts, shard).pps;
+        aggregate += bench::measure_switch_burst(sw, ts, shard).pps;
       }
     }
     state.counters["pps"] = std::min(aggregate, kNicCapPps);

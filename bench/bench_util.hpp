@@ -32,7 +32,20 @@ inline net::RunStats measure(const std::function<void(net::Packet&)>& fn,
   return net::run_loop(ts, fn, measure_opts(n_flows));
 }
 
-/// Standard ES-vs-OVS throughput point for a use case.
+inline net::RunStats measure_burst(const net::BurstFn& fn, const net::TrafficSet& ts,
+                                   size_t n_flows) {
+  return net::run_loop_burst(ts, fn, measure_opts(n_flows));
+}
+
+/// Measures a switch (Eswitch or OvsSwitch) through its burst entry point —
+/// the production shape of the datapath, used by every throughput figure.
+template <typename Switch>
+net::RunStats measure_switch_burst(Switch& sw, const net::TrafficSet& ts,
+                                   size_t n_flows) {
+  return measure_burst(uc::burst_fn(sw), ts, n_flows);
+}
+
+/// Standard ES-vs-OVS throughput point for a use case (burst datapath).
 inline void throughput_point(benchmark::State& state, const uc::UseCase& uc,
                              size_t n_flows, bool use_eswitch,
                              const core::CompilerConfig& cfg = {},
@@ -43,11 +56,11 @@ inline void throughput_point(benchmark::State& state, const uc::UseCase& uc,
     if (use_eswitch) {
       core::Eswitch sw(cfg);
       sw.install(uc.pipeline);
-      st = measure([&](net::Packet& p) { sw.process(p); }, ts, n_flows);
+      st = measure_switch_burst(sw, ts, n_flows);
     } else {
       ovs::OvsSwitch sw(ocfg);
       sw.install(uc.pipeline);
-      st = measure([&](net::Packet& p) { sw.process(p); }, ts, n_flows);
+      st = measure_switch_burst(sw, ts, n_flows);
     }
     state.counters["pps"] = st.pps;
     state.counters["cycles_per_pkt"] = st.cycles_per_pkt;

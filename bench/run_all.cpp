@@ -5,9 +5,12 @@
 //
 //   run_all --bin-dir build/bench --out-dir bench-results
 //           [--git-sha <sha>] [--only fig10,fig13] [-- <benchmark flags...>]
+//   run_all --check bench-results
 //
 // Flags after `--` are forwarded verbatim to every bench binary, e.g.
 // `-- --benchmark_filter=es:1` or `--benchmark_min_time=0.01s`.
+// `--check DIR` validates every BENCH_*.json in DIR against the esw-bench-v1
+// schema and exits non-zero on any malformed report (CI gate).
 #include <sys/wait.h>
 
 #include <algorithm>
@@ -30,6 +33,7 @@ struct Options {
   std::string bin_dir = ".";
   std::string out_dir = ".";
   std::string git_sha = "unknown";
+  std::string check_dir;             // non-empty: validate reports and exit
   std::vector<std::string> only;    // figure ids; empty = all
   std::vector<std::string> forward;  // flags forwarded to every binary
 };
@@ -37,8 +41,9 @@ struct Options {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--bin-dir DIR] [--out-dir DIR] [--git-sha SHA]\n"
-               "          [--only fig10,fig13,...] [-- <benchmark flags...>]\n",
-               argv0);
+               "          [--only fig10,fig13,...] [-- <benchmark flags...>]\n"
+               "       %s --check DIR\n",
+               argv0, argv0);
 }
 
 bool parse_args(int argc, char** argv, Options* opts) {
@@ -59,6 +64,10 @@ bool parse_args(int argc, char** argv, Options* opts) {
       const char* v = next();
       if (v == nullptr) return false;
       opts->git_sha = v;
+    } else if (arg == "--check") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->check_dir = v;
     } else if (arg == "--only") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -83,11 +92,15 @@ bool parse_args(int argc, char** argv, Options* opts) {
 }
 
 /// "bench_fig10_l2" -> {"fig10", "l2"}; {"", ""} if not a bench binary name.
+/// Besides the fig*/tab* paper figures, the "burst" guard bench
+/// (bench_burst_compare) is recognized as figure "burst".
 std::pair<std::string, std::string> split_bench_name(const std::string& stem) {
   const std::string prefix = "bench_";
   if (stem.rfind(prefix, 0) != 0) return {"", ""};
   const std::string rest = stem.substr(prefix.size());
-  if (rest.rfind("fig", 0) != 0 && rest.rfind("tab", 0) != 0) return {"", ""};
+  if (rest.rfind("fig", 0) != 0 && rest.rfind("tab", 0) != 0 &&
+      rest.rfind("burst", 0) != 0)
+    return {"", ""};
   const size_t us = rest.find('_');
   if (us == std::string::npos) return {rest, rest};
   return {rest.substr(0, us), rest.substr(us + 1)};
@@ -149,6 +162,44 @@ bool run_one(const fs::path& binary, const std::string& figure,
   return true;
 }
 
+/// Validates every BENCH_*.json in `dir` against the esw-bench-v1 schema.
+/// Returns the process exit code.
+int check_reports(const std::string& dir) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot read dir %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  int checked = 0, bad = 0;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (!entry.is_regular_file() || name.rfind("BENCH_", 0) != 0 ||
+        entry.path().extension() != ".json")
+      continue;
+    ++checked;
+    std::ifstream in(entry.path());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const auto report = esw::perf::report_from_json(buf.str());
+    if (!report) {
+      std::fprintf(stderr, "[run_all] SCHEMA VIOLATION: %s is not esw-bench-v1\n",
+                   entry.path().c_str());
+      ++bad;
+      continue;
+    }
+    std::printf("[run_all] %s ok (figure=%s, %zu series)\n", name.c_str(),
+                report->figure.c_str(), report->series.size());
+  }
+  if (checked == 0) {
+    std::fprintf(stderr, "[run_all] no BENCH_*.json files in %s\n", dir.c_str());
+    return 1;
+  }
+  std::printf("[run_all] %d/%d reports valid\n", checked - bad, checked);
+  return bad == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -157,6 +208,7 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 2;
   }
+  if (!opts.check_dir.empty()) return check_reports(opts.check_dir);
   std::error_code ec;
   fs::create_directories(opts.out_dir, ec);
   if (ec) {

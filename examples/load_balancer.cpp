@@ -34,13 +34,12 @@ int main() {
               decomposed.decomposed_table_count(0));
 
   // Throughput of both compilations on the paper's traffic mix (half web
-  // traffic, half junk).
+  // traffic, half junk), through the burst-mode datapath.
   const auto ts = net::TrafficSet::from_flows(uc.traffic(10000, 42));
   net::RunOpts opts;
   opts.min_seconds = 0.2;
-  const auto slow = net::run_loop(ts, [&](net::Packet& p) { naive.process(p); }, opts);
-  const auto fast =
-      net::run_loop(ts, [&](net::Packet& p) { decomposed.process(p); }, opts);
+  const auto slow = net::run_loop_burst(ts, uc::burst_fn(naive), opts);
+  const auto fast = net::run_loop_burst(ts, uc::burst_fn(decomposed), opts);
   std::printf("naive:      %8.2f Mpps (%.0f cycles/pkt)\n", slow.pps / 1e6,
               slow.cycles_per_pkt);
   std::printf("decomposed: %8.2f Mpps (%.0f cycles/pkt), %.2fx\n", fast.pps / 1e6,

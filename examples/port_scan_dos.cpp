@@ -44,19 +44,16 @@ int main() {
   const auto innocent = innocent_traffic(uc);
   const auto scan = scan_traffic(uc, 400000);
 
+  // Both switches run through the burst datapath, as in production.
   ovs::OvsSwitch ovs_sw;
   ovs_sw.install(uc.pipeline);
-  const auto ovs_before =
-      net::run_loop(innocent, [&](net::Packet& p) { ovs_sw.process(p); }, opts);
-  const auto ovs_attack =
-      net::run_loop(scan, [&](net::Packet& p) { ovs_sw.process(p); }, opts);
+  const auto ovs_before = net::run_loop_burst(innocent, uc::burst_fn(ovs_sw), opts);
+  const auto ovs_attack = net::run_loop_burst(scan, uc::burst_fn(ovs_sw), opts);
 
   core::Eswitch es;
   es.install(uc.pipeline);
-  const auto es_before =
-      net::run_loop(innocent, [&](net::Packet& p) { es.process(p); }, opts);
-  const auto es_attack =
-      net::run_loop(scan, [&](net::Packet& p) { es.process(p); }, opts);
+  const auto es_before = net::run_loop_burst(innocent, uc::burst_fn(es), opts);
+  const auto es_attack = net::run_loop_burst(scan, uc::burst_fn(es), opts);
 
   std::printf("                         normal traffic    under port scan\n");
   std::printf("flow-caching (OVS model)   %8.2f Mpps     %8.2f Mpps  (%.0f%% lost)\n",

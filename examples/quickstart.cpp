@@ -3,6 +3,7 @@
 //
 //   $ ./quickstart
 #include <cstdio>
+#include <iterator>
 
 #include "core/eswitch.hpp"
 #include "flow/dsl.hpp"
@@ -50,7 +51,8 @@ int main() {
                 core::to_string(sw.table_template(t.id())),
                 sw.is_decomposed(t.id()) ? " (decomposed)" : "");
 
-  // 3. Send packets.
+  // 3. Send packets — as one burst, the way the datapath runs in production
+  //    (scalar sw.process(pkt) works too and gives identical verdicts).
   struct Probe {
     const char* what;
     proto::PacketSpec spec;
@@ -71,12 +73,19 @@ int main() {
       {"HTTP to 10.1.1.1 from port 1", elsewhere, 1},
       {"HTTP to 192.0.2.7 from port 9", http, 9},
   };
-  for (const Probe& probe : probes) {
-    net::Packet p;
-    p.set_len(proto::build_packet(probe.spec, p.data(), net::Packet::kMaxFrame));
-    p.set_in_port(probe.in_port);
-    std::printf("%-34s -> %s\n", probe.what, verdict_str(sw.process(p)));
+  constexpr size_t kProbes = std::size(probes);
+  net::Packet bufs[kProbes];
+  net::Packet* burst[kProbes];
+  flow::Verdict verdicts[kProbes];
+  for (size_t i = 0; i < kProbes; ++i) {
+    bufs[i].set_len(
+        proto::build_packet(probes[i].spec, bufs[i].data(), net::Packet::kMaxFrame));
+    bufs[i].set_in_port(probes[i].in_port);
+    burst[i] = &bufs[i];
   }
+  sw.process_burst(burst, kProbes, verdicts);
+  for (size_t i = 0; i < kProbes; ++i)
+    std::printf("%-34s -> %s\n", probes[i].what, verdict_str(verdicts[i]));
 
   // 4. Update at runtime: flow-mods apply incrementally where the template
   //    allows, otherwise the table is rebuilt and swapped atomically.

@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/bits.hpp"
 #include "common/memtrace.hpp"
 
 namespace esw::cls {
@@ -36,6 +37,14 @@ class ExactMatchTable {
   /// Constant-time lookup.
   std::optional<uint32_t> lookup(const uint8_t* key, uint32_t key_len,
                                  MemTrace* trace = nullptr) const;
+
+  /// Starts the home bucket's cache line toward the core ahead of lookup()
+  /// (burst-mode software pipelining).  Pays the key hash twice; worth it only
+  /// when the slot array does not sit in L1.
+  void prefetch(const uint8_t* key, uint32_t key_len) const {
+    const uint64_t h = hash_bytes(key, key_len, seed_);
+    esw_prefetch(&slots_[static_cast<uint32_t>(h) & (capacity() - 1)]);
+  }
 
   size_t size() const { return size_; }
   uint32_t capacity() const { return static_cast<uint32_t>(slots_.size()); }

@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/bits.hpp"
 #include "common/memtrace.hpp"
 
 namespace esw::cls {
@@ -34,6 +35,11 @@ class LpmTable {
 
   /// Longest-prefix lookup; nullopt on miss.
   std::optional<uint32_t> lookup(uint32_t addr, MemTrace* trace = nullptr) const;
+
+  /// Starts the tbl24 line for `addr` toward the core ahead of lookup()
+  /// (burst-mode software pipelining).  The tbl8 extension, if any, still
+  /// costs a demand miss; >24-bit prefixes are the rare case.
+  void prefetch(uint32_t addr) const { esw_prefetch(&tbl24_[addr >> 8]); }
 
   size_t num_rules() const { return rules_.size(); }
   uint32_t tbl8_groups_used() const { return tbl8_used_; }

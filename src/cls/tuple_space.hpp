@@ -145,6 +145,19 @@ class TupleSpace {
     return best;
   }
 
+  /// Starts the best-ranked tuple's index bucket toward the core ahead of
+  /// lookup() (burst-mode software pipelining).  Only the first tuple is
+  /// primed: it is where lookup() probes first, and with tuple priority
+  /// sorting it terminates most scans.
+  void prefetch(const uint8_t* pkt, const proto::ParseInfo& pi) const {
+    if (tuples_.empty()) return;
+    const Tuple& t = *tuples_.front();
+    if ((pi.proto_mask & t.proto_required) != t.proto_required) return;
+    uint8_t key[kMaxKeyBytes];
+    const uint32_t key_len = key_from_packet(t, pkt, pi, key);
+    t.index.prefetch(key, key_len);
+  }
+
   size_t size() const { return size_; }
   size_t num_tuples() const { return tuples_.size(); }
 

@@ -9,7 +9,27 @@
 #include <cstdint>
 #include <cstring>
 
+// Branch-layout and software-prefetch hints used by the burst-mode datapath.
+// No-ops on compilers without the GNU builtins so the tree stays portable.
+#if defined(__GNUC__) || defined(__clang__)
+#define ESW_LIKELY(x) __builtin_expect(!!(x), 1)
+#define ESW_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define ESW_LIKELY(x) (x)
+#define ESW_UNLIKELY(x) (x)
+#endif
+
 namespace esw {
+
+/// Software prefetch into all cache levels (read intent).  `p` may be any
+/// address, valid or not — prefetches never fault.
+inline void esw_prefetch(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
 
 /// Loads a big-endian 16-bit value.
 inline uint16_t load_be16(const uint8_t* p) {

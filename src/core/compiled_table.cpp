@@ -142,6 +142,13 @@ uint64_t HashTemplateTable::lookup(const uint8_t* pkt, const proto::ParseInfo& p
   return catch_all_result_;  // kMissResult when no default is configured
 }
 
+void HashTemplateTable::prefetch(const uint8_t* pkt, const proto::ParseInfo& pi) const {
+  if ((pi.proto_mask & proto_required_) != proto_required_) return;
+  uint8_t key[8 * flow::kNumFields];
+  const uint32_t key_len = key_from_packet(pkt, pi, key);
+  index_.prefetch(key, key_len);
+}
+
 size_t HashTemplateTable::memory_bytes() const {
   return index_.capacity() * 24 + stored_.size() * sizeof(Stored);
 }
@@ -247,6 +254,11 @@ uint64_t LpmTemplateTable::lookup(const uint8_t* pkt, const proto::ParseInfo& pi
   const auto v = lpm_.lookup(addr, trace);
   if (!v) return jit::kMissResult;
   return results_[*v];
+}
+
+void LpmTemplateTable::prefetch(const uint8_t* pkt, const proto::ParseInfo& pi) const {
+  if (!pi.has(proto::kProtoIpv4)) return;
+  lpm_.prefetch(static_cast<uint32_t>(flow::extract_field(field_, pkt, pi)));
 }
 
 bool LpmTemplateTable::try_add(const FlowEntry& e, BuildCtx& ctx) {
@@ -362,6 +374,10 @@ uint64_t LinkedListTable::lookup(const uint8_t* pkt, const proto::ParseInfo& pi,
                                  MemTrace* trace) const {
   const auto* e = ts_.lookup(pkt, pi, nullptr, trace);
   return e != nullptr ? e->value : jit::kMissResult;
+}
+
+void LinkedListTable::prefetch(const uint8_t* pkt, const proto::ParseInfo& pi) const {
+  ts_.prefetch(pkt, pi);
 }
 
 size_t LinkedListTable::memory_bytes() const {

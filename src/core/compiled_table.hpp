@@ -48,6 +48,17 @@ class CompiledTable {
   virtual uint64_t lookup(const uint8_t* pkt, const proto::ParseInfo& pi,
                           MemTrace* trace = nullptr) const = 0;
 
+  /// Burst-mode hint: start the cache lines lookup(pkt, pi) will touch toward
+  /// the core.  Must have no observable effect besides memory timing — the
+  /// burst walker issues it for packet i+1 while packet i is processed.
+  /// Templates whose working set is the instruction stream (direct code) or a
+  /// flattened array walk (range) have nothing useful to prime and keep the
+  /// default no-op.
+  virtual void prefetch(const uint8_t* pkt, const proto::ParseInfo& pi) const {
+    (void)pkt;
+    (void)pi;
+  }
+
   virtual TableTemplate kind() const = 0;
   virtual size_t size() const = 0;
   virtual size_t memory_bytes() const = 0;
@@ -91,6 +102,7 @@ class HashTemplateTable final : public CompiledTable {
 
   uint64_t lookup(const uint8_t* pkt, const proto::ParseInfo& pi,
                   MemTrace* trace) const override;
+  void prefetch(const uint8_t* pkt, const proto::ParseInfo& pi) const override;
   TableTemplate kind() const override { return TableTemplate::kCompoundHash; }
   size_t size() const override { return count_; }
   size_t memory_bytes() const override;
@@ -131,6 +143,7 @@ class LpmTemplateTable final : public CompiledTable {
 
   uint64_t lookup(const uint8_t* pkt, const proto::ParseInfo& pi,
                   MemTrace* trace) const override;
+  void prefetch(const uint8_t* pkt, const proto::ParseInfo& pi) const override;
   TableTemplate kind() const override { return TableTemplate::kLpm; }
   size_t size() const override { return prefix_prio_.size(); }
   size_t memory_bytes() const override { return lpm_.memory_bytes(); }
@@ -185,6 +198,7 @@ class LinkedListTable final : public CompiledTable {
 
   uint64_t lookup(const uint8_t* pkt, const proto::ParseInfo& pi,
                   MemTrace* trace) const override;
+  void prefetch(const uint8_t* pkt, const proto::ParseInfo& pi) const override;
   TableTemplate kind() const override { return TableTemplate::kLinkedList; }
   size_t size() const override { return ts_.size(); }
   size_t memory_bytes() const override;

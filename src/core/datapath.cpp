@@ -1,5 +1,8 @@
 #include "core/datapath.hpp"
 
+#include <iterator>
+
+#include "common/bits.hpp"
 #include "common/check.hpp"
 
 namespace esw::core {
@@ -29,9 +32,32 @@ void CompiledDatapath::set_miss_policy(int32_t slot, flow::FlowTable::MissPolicy
   slots_[slot].miss = miss;
 }
 
+namespace {
+
+/// Global-stat outcome of a verdict.  A controller verdict covers both the
+/// miss-policy punt and an explicit controller action; flood counts as
+/// output.  Folding the bookkeeping over the verdict keeps every exit path
+/// (miss, action set, loop guard, empty datapath) on one counting rule.
+void count_verdict(const flow::Verdict& v, CompiledDatapath::Stats& st) {
+  switch (v.kind) {
+    case flow::Verdict::Kind::kOutput:
+    case flow::Verdict::Kind::kFlood:
+      ++st.outputs;
+      break;
+    case flow::Verdict::Kind::kController:
+      ++st.to_controller;
+      break;
+    case flow::Verdict::Kind::kDrop:
+      ++st.drops;
+      break;
+  }
+}
+
+}  // namespace
+
 flow::Verdict CompiledDatapath::process(net::Packet& pkt, MemTrace* trace) {
   ++stats_.packets;
-  if (start_ < 0) {
+  if (ESW_UNLIKELY(start_ < 0)) {
     ++stats_.drops;
     return flow::Verdict::drop();
   }
@@ -41,48 +67,165 @@ flow::Verdict CompiledDatapath::process(net::Packet& pkt, MemTrace* trace) {
   pi.in_port = pkt.in_port();
   if (trace != nullptr) trace->touch(pkt.data(), 64);  // header cache line(s)
 
+  // Hot-loop discipline: per-table counters accumulate in a local window and
+  // flush on return instead of read-modify-writing slots_[slot].stats two or
+  // three times per hop.  Real pipelines are a handful of hops deep; the
+  // window flushes mid-walk only on pathological goto chains.
+  struct Visit {
+    int32_t slot;
+    bool hit;
+  };
+  Visit visited[16];
+  uint32_t nv = 0;
+  const auto flush_visits = [&] {
+    for (uint32_t i = 0; i < nv; ++i) {
+      TableStats& ts = slots_[visited[i].slot].stats;
+      ++ts.lookups;
+      if (visited[i].hit)
+        ++ts.hits;
+      else
+        ++ts.misses;
+    }
+    nv = 0;
+  };
+  const auto finish = [&](flow::Verdict v) {
+    flush_visits();
+    count_verdict(v, stats_);
+    return v;
+  };
+
   flow::ActionSetBuilder action_set;
   int32_t slot = start_;
   for (int hops = 0; hops < kMaxHops; ++hops) {
-    Slot& s = slots_[slot];
+    const Slot& s = slots_[slot];
     const CompiledTable* impl = s.impl.load(std::memory_order_acquire);
-    ++s.stats.lookups;
+    if (ESW_UNLIKELY(nv == std::size(visited))) flush_visits();
     const uint64_t r =
         impl != nullptr ? impl->lookup(pkt.data(), pi, trace) : jit::kMissResult;
-    if (r == jit::kMissResult) {
-      ++s.stats.misses;
-      if (s.miss == flow::FlowTable::MissPolicy::kController) {
-        ++stats_.to_controller;
-        return flow::Verdict::controller();
-      }
-      ++stats_.drops;
-      return flow::Verdict::drop();
+    if (ESW_UNLIKELY(r == jit::kMissResult)) {
+      visited[nv++] = {slot, false};
+      return finish(s.miss == flow::FlowTable::MissPolicy::kController
+                        ? flow::Verdict::controller()
+                        : flow::Verdict::drop());
     }
-    ++s.stats.hits;
+    visited[nv++] = {slot, true};
     int32_t action = -1, next = -1;
     jit::unpack_result(r, action, next);
     if (action >= 0) action_set.merge(actions_.get(static_cast<uint32_t>(action)));
-    if (next < 0) {
-      const flow::Verdict v = action_set.execute(pkt, pi);
-      switch (v.kind) {
-        case flow::Verdict::Kind::kOutput:
-        case flow::Verdict::Kind::kFlood:
-          ++stats_.outputs;
-          break;
-        case flow::Verdict::Kind::kController:
-          ++stats_.to_controller;
-          break;
-        case flow::Verdict::Kind::kDrop:
-          ++stats_.drops;
-          break;
-      }
-      return v;
-    }
+    if (next < 0) return finish(action_set.execute(pkt, pi));
     ESW_DCHECK(next < num_slots());
     slot = next;
   }
-  ++stats_.drops;  // pathological loop guard
-  return flow::Verdict::drop();
+  return finish(flow::Verdict::drop());  // pathological loop guard
+}
+
+CompiledDatapath::SlotSnapshot& CompiledDatapath::snapshot(int32_t slot) {
+  SlotSnapshot& s = snap_[slot];
+  if (s.gen != snap_gen_) {
+    s.gen = snap_gen_;
+    s.impl = slots_[slot].impl.load(std::memory_order_acquire);
+    s.miss = slots_[slot].miss;
+    s.want_prefetch =
+        s.impl != nullptr && s.impl->memory_bytes() >= kPrefetchMinBytes;
+    s.delta = TableStats{};
+    snap_touched_.push_back(slot);
+  }
+  return s;
+}
+
+void CompiledDatapath::process_burst(net::Packet* const* pkts, uint32_t n,
+                                     flow::Verdict* out) {
+  while (n > net::kBurstSize) {
+    process_chunk(pkts, net::kBurstSize, out);
+    pkts += net::kBurstSize;
+    out += net::kBurstSize;
+    n -= net::kBurstSize;
+  }
+  if (n > 0) process_chunk(pkts, n, out);
+}
+
+void CompiledDatapath::process_chunk(net::Packet* const* pkts, uint32_t n,
+                                     flow::Verdict* out) {
+  Stats local;
+  local.packets = n;
+  if (ESW_UNLIKELY(start_ < 0)) {
+    local.drops = n;
+    for (uint32_t i = 0; i < n; ++i) out[i] = flow::Verdict::drop();
+    stats_.packets += local.packets;
+    stats_.drops += local.drops;
+    return;
+  }
+
+  // Stage 1: parse the whole burst, the next frame's header line in flight
+  // while the current one parses.
+  proto::ParseInfo pis[net::kBurstSize];
+  for (uint32_t i = 0; i < n; ++i) {
+    if (i + 1 < n) esw_prefetch(pkts[i + 1]->data());
+    proto::parse(pkts[i]->data(), pkts[i]->len(), plan_, pis[i]);
+    pis[i].in_port = pkts[i]->in_port();
+  }
+
+  // Stage 2: hoist the per-slot acquire loads and miss policies to once per
+  // burst.  Safe under the single-writer quiescent-publication model: the
+  // writer only swaps trampolines while no reader is inside the datapath, so
+  // a snapshot taken at burst start stays valid for the whole burst.
+  ++snap_gen_;
+  if (snap_.size() != slots_.size()) snap_.assign(slots_.size(), SlotSnapshot{});
+  const SlotSnapshot& start_snap = snapshot(start_);
+
+  // Stage 3: walk each packet with packet i+1's first table lookup lines in
+  // flight (software pipelining within the burst), stats in locals.
+  if (start_snap.want_prefetch)
+    start_snap.impl->prefetch(pkts[0]->data(), pis[0]);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (i + 1 < n && start_snap.want_prefetch)
+      start_snap.impl->prefetch(pkts[i + 1]->data(), pis[i + 1]);
+
+    net::Packet& pkt = *pkts[i];
+    proto::ParseInfo& pi = pis[i];
+    flow::ActionSetBuilder action_set;
+    flow::Verdict v = flow::Verdict::drop();
+    int32_t slot = start_;
+    for (int hops = 0; hops < kMaxHops; ++hops) {
+      SlotSnapshot& s = snapshot(slot);
+      ++s.delta.lookups;
+      const uint64_t r =
+          s.impl != nullptr ? s.impl->lookup(pkt.data(), pi) : jit::kMissResult;
+      if (ESW_UNLIKELY(r == jit::kMissResult)) {
+        ++s.delta.misses;
+        v = s.miss == flow::FlowTable::MissPolicy::kController
+                ? flow::Verdict::controller()
+                : flow::Verdict::drop();
+        break;
+      }
+      ++s.delta.hits;
+      int32_t action = -1, next = -1;
+      jit::unpack_result(r, action, next);
+      if (action >= 0) action_set.merge(actions_.get(static_cast<uint32_t>(action)));
+      if (next < 0) {
+        v = action_set.execute(pkt, pi);
+        break;
+      }
+      ESW_DCHECK(next < num_slots());
+      slot = next;
+    }
+    count_verdict(v, local);  // the loop-guard fallthrough drop counts too
+    out[i] = v;
+  }
+
+  // Stage 4: flush the burst's stat deltas in one pass.
+  for (const int32_t slot : snap_touched_) {
+    TableStats& ts = slots_[slot].stats;
+    const TableStats& d = snap_[slot].delta;
+    ts.lookups += d.lookups;
+    ts.hits += d.hits;
+    ts.misses += d.misses;
+  }
+  snap_touched_.clear();
+  stats_.packets += local.packets;
+  stats_.outputs += local.outputs;
+  stats_.drops += local.drops;
+  stats_.to_controller += local.to_controller;
 }
 
 void CompiledDatapath::collect() { retired_.clear(); }
@@ -91,6 +234,8 @@ void CompiledDatapath::reset() {
   slots_.clear();
   live_.clear();
   retired_.clear();
+  snap_.clear();
+  snap_touched_.clear();
   start_ = -1;
   stats_ = Stats{};
 }

@@ -59,8 +59,22 @@ class CompiledDatapath {
   flow::ActionSetRegistry& actions() { return actions_; }
   const flow::ActionSetRegistry& actions() const { return actions_; }
 
-  /// One packet through the compiled pipeline.
+  /// One packet through the compiled pipeline.  This is the reference
+  /// implementation: process_burst() must be observably identical to n calls
+  /// of process() (verdicts, packet mutations, per-table and global stats).
   flow::Verdict process(net::Packet& pkt, MemTrace* trace = nullptr);
+
+  /// Burst fast path: `n` packets run to completion, one verdict per packet
+  /// written to `out[0..n)`.  Amortizes per-packet overhead the way a
+  /// DPDK-style loop does: the parse stage runs across the whole burst with
+  /// the next frame's header line prefetched, the per-slot atomic impl load
+  /// and miss-policy read are hoisted to once per burst (safe under the
+  /// single-writer quiescent-publication model — the writer never swaps a
+  /// trampoline while a reader is inside the datapath), per-table and global
+  /// stats accumulate in locals flushed once per burst, and each table's
+  /// prefetch() hint is issued for packet i+1 while packet i walks the
+  /// pipeline.  `n` may exceed kBurstSize; the loop chunks internally.
+  void process_burst(net::Packet* const* pkts, uint32_t n, flow::Verdict* out);
 
   /// Frees retired table objects.  Caller guarantees quiescence.
   void collect();
@@ -82,7 +96,27 @@ class CompiledDatapath {
     TableStats stats;
   };
 
+  /// Per-burst view of a slot: impl/miss hoisted out of the hot loop, local
+  /// stat deltas flushed when the burst ends.  `gen` stamps which burst the
+  /// snapshot belongs to so untouched slots cost nothing per burst.
+  struct SlotSnapshot {
+    const CompiledTable* impl = nullptr;
+    flow::FlowTable::MissPolicy miss = flow::FlowTable::MissPolicy::kDrop;
+    bool want_prefetch = false;
+    uint64_t gen = 0;
+    TableStats delta;
+  };
+
   static constexpr int kMaxHops = 8192;
+  /// Tables whose resident bytes fit in the private caches are skipped by the
+  /// prefetch hints: the hint recomputes the lookup key (hash templates pay
+  /// the key hash twice), which only amortizes when the lookup would
+  /// otherwise stall on LLC/DRAM.  Structures below this bound (L2-sized)
+  /// serve lookups from warm lines anyway.
+  static constexpr size_t kPrefetchMinBytes = 1024 * 1024;
+
+  SlotSnapshot& snapshot(int32_t slot);
+  void process_chunk(net::Packet* const* pkts, uint32_t n, flow::Verdict* out);
 
   std::deque<Slot> slots_;  // stable addresses for concurrent readers
   std::vector<std::unique_ptr<CompiledTable>> live_;
@@ -91,6 +125,13 @@ class CompiledDatapath {
   proto::ParserPlan plan_ = proto::ParserPlan::full();
   int32_t start_ = -1;
   Stats stats_;
+
+  // Burst scratch.  The datapath has a single reader (stats increments are
+  // plain stores already), so keeping this state in the object is safe and
+  // avoids a per-burst allocation.
+  std::vector<SlotSnapshot> snap_;
+  std::vector<int32_t> snap_touched_;
+  uint64_t snap_gen_ = 0;
 };
 
 }  // namespace esw::core

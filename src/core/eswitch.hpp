@@ -45,9 +45,17 @@ class Eswitch {
   /// atomically ("partial updates automatically rolled back").
   void apply_batch(const std::vector<flow::FlowMod>& fms);
 
-  /// Datapath fast path.
+  /// Datapath fast path (scalar reference implementation).
   flow::Verdict process(net::Packet& pkt, MemTrace* trace = nullptr) {
     return dp_.process(pkt, trace);
+  }
+
+  /// Datapath burst fast path: `n` packets run to completion, one verdict per
+  /// packet.  Observably identical to n process() calls but amortizes parse,
+  /// trampoline-load and stats overhead over the burst (see
+  /// CompiledDatapath::process_burst).
+  void process_burst(net::Packet* const* pkts, uint32_t n, flow::Verdict* out) {
+    dp_.process_burst(pkts, n, out);
   }
 
   const flow::Pipeline& pipeline() const { return pipeline_; }

@@ -51,4 +51,67 @@ RunStats run_loop(const TrafficSet& traffic, const std::function<void(Packet&)>&
   return st;
 }
 
+RunStats run_loop_burst(const TrafficSet& traffic, const BurstFn& fn,
+                        const RunOpts& opts) {
+  // The burst buffers model the mbuf array a DPDK rx_burst fills; heap-held
+  // because kBurstSize packets are 64 KiB of buffer.
+  std::vector<Packet> bufs(kBurstSize);
+  Packet* ptrs[kBurstSize];
+  for (uint32_t b = 0; b < kBurstSize; ++b) ptrs[b] = &bufs[b];
+
+  uint64_t i = 0;
+  size_t cursor = 0;  // division-free round-robin over the traffic set
+  const auto load_burst = [&] {
+    for (uint32_t b = 0; b < kBurstSize; ++b, ++i) traffic.load_next(cursor, bufs[b]);
+  };
+
+  for (uint64_t w = 0; w < opts.warmup_packets; w += kBurstSize) {
+    load_burst();
+    fn(ptrs, kBurstSize);
+  }
+
+  std::vector<uint64_t> samples;
+  samples.reserve(4096);
+  const uint32_t sample_every_bursts =
+      opts.latency_sample_every == 0
+          ? 0
+          : std::max<uint32_t>(1, opts.latency_sample_every / kBurstSize);
+
+  RunStats st;
+  const auto t0 = std::chrono::steady_clock::now();
+  const uint64_t c0 = rdtsc();
+  i = 0;
+  uint64_t bursts = 0;
+  for (;;) {
+    // 32 bursts (1024 packets) between clock checks, as in the scalar loop.
+    for (uint32_t k = 0; k < 1024 / kBurstSize; ++k, ++bursts) {
+      load_burst();
+      if (sample_every_bursts != 0 && bursts % sample_every_bursts == 0) {
+        const uint64_t s = rdtsc();
+        fn(ptrs, kBurstSize);
+        samples.push_back((rdtsc() - s) / kBurstSize);
+      } else {
+        fn(ptrs, kBurstSize);
+      }
+    }
+    const auto now = std::chrono::steady_clock::now();
+    const double sec = std::chrono::duration<double>(now - t0).count();
+    if (i >= opts.min_packets && sec >= opts.min_seconds) {
+      st.packets = i;
+      st.seconds = sec;
+      break;
+    }
+  }
+  const uint64_t c1 = rdtsc();
+
+  st.pps = static_cast<double>(st.packets) / st.seconds;
+  st.cycles_per_pkt = static_cast<double>(c1 - c0) / static_cast<double>(st.packets);
+  if (!samples.empty()) {
+    std::sort(samples.begin(), samples.end());
+    st.latency_p50_cycles = static_cast<double>(samples[samples.size() / 2]);
+    st.latency_p99_cycles = static_cast<double>(samples[samples.size() * 99 / 100]);
+  }
+  return st;
+}
+
 }  // namespace esw::net

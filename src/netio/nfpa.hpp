@@ -34,4 +34,17 @@ struct RunOpts {
 RunStats run_loop(const TrafficSet& traffic, const std::function<void(Packet&)>& fn,
                   const RunOpts& opts = {});
 
+/// A burst processor: handles `n` (≤ kBurstSize) packets run-to-completion.
+/// Verdict delivery is the processor's business — the harness only measures.
+using BurstFn = std::function<void(Packet* const*, uint32_t n)>;
+
+/// Burst-mode measurement loop: replays `traffic` round-robin in kBurstSize
+/// batches through `fn` (the DPDK-style rx_burst → process → tx_burst shape).
+/// The std::function indirection and the clock/latency sampling are paid once
+/// per burst instead of once per packet.  Latency percentiles are per-packet
+/// amortized burst latencies (burst cycles / burst size), sampled every
+/// `latency_sample_every` packets' worth of bursts.
+RunStats run_loop_burst(const TrafficSet& traffic, const BurstFn& fn,
+                        const RunOpts& opts = {});
+
 }  // namespace esw::net

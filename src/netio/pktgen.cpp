@@ -16,6 +16,8 @@ TrafficSet TrafficSet::from_flows(const std::vector<FlowSpec>& flows) {
     ts.arena_.insert(ts.arena_.end(), buf, buf + len);
     ts.frames_.push_back({off, len, fs.in_port});
   }
+  // Tail slack for the burst loader's fixed-width copy fast path.
+  ts.arena_.resize(ts.arena_.size() + kCopySlack, 0);
   return ts;
 }
 

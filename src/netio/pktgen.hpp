@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bits.hpp"
 #include "common/rng.hpp"
 #include "netio/packet.hpp"
 #include "proto/build.hpp"
@@ -24,6 +25,10 @@ struct FlowSpec {
 
 class TrafficSet {
  public:
+  /// Fixed copy width of the burst loader's fast path; the arena is padded by
+  /// this much so the copy may over-read.
+  static constexpr uint32_t kCopySlack = 128;
+
   /// Builds one frame per flow.  Throws if a spec does not serialize.
   static TrafficSet from_flows(const std::vector<FlowSpec>& flows);
 
@@ -33,6 +38,24 @@ class TrafficSet {
   void load(size_t i, Packet& out) const {
     const Frame& f = frames_[i % frames_.size()];
     out.assign(arena_.data() + f.offset, f.len);
+    out.set_in_port(f.in_port);
+  }
+
+  /// Division-free round-robin loader for the burst RX path: copies frame
+  /// `cursor` and advances it, wrapping by comparison.  `cursor` must be
+  /// < size() (start from 0).  Minimum-size frames take a fixed-width copy
+  /// that inlines to straight vector moves (the arena keeps kCopySlack bytes
+  /// of tail slack so the over-read never leaves the allocation; bytes past
+  /// len are dead — Packet semantics are governed by len alone).
+  void load_next(size_t& cursor, Packet& out) const {
+    const Frame& f = frames_[cursor];
+    if (++cursor == frames_.size()) cursor = 0;
+    if (ESW_LIKELY(f.len <= kCopySlack)) {
+      std::memcpy(out.data(), arena_.data() + f.offset, kCopySlack);
+      out.set_len(f.len);
+    } else {
+      out.assign(arena_.data() + f.offset, f.len);
+    }
     out.set_in_port(f.in_port);
   }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/bits.hpp"
 #include "common/check.hpp"
 
 namespace esw::ovs {
@@ -119,6 +120,13 @@ Verdict OvsSwitch::process(net::Packet& pkt, MemTrace* trace) {
   // Level 3: vswitchd slow path.
   ++stats_.upcalls;
   return slow_path(pkt, pi, trace);
+}
+
+void OvsSwitch::process_burst(net::Packet* const* pkts, uint32_t n, Verdict* out) {
+  for (uint32_t i = 0; i < n; ++i) {
+    if (i + 1 < n) esw_prefetch(pkts[i + 1]->data());
+    out[i] = process(*pkts[i]);
+  }
 }
 
 Verdict OvsSwitch::slow_path(net::Packet& pkt, proto::ParseInfo& pi, MemTrace* trace) {

@@ -51,6 +51,14 @@ class OvsSwitch {
   /// One packet through the datapath hierarchy.
   flow::Verdict process(net::Packet& pkt, MemTrace* trace = nullptr);
 
+  /// Burst entry point, so the baseline rides the same harness as ESWITCH.
+  /// Packets run in order through the scalar hierarchy (cache population is
+  /// order-dependent, so verdicts and stats match n process() calls exactly);
+  /// the only burst-level win is the next frame's header prefetch — the
+  /// cache hierarchy itself is looked up key-first and offers no cheap
+  /// ahead-of-time hint.
+  void process_burst(net::Packet* const* pkts, uint32_t n, flow::Verdict* out);
+
   struct Stats {
     uint64_t packets = 0;
     uint64_t microflow_hits = 0;

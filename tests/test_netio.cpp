@@ -118,6 +118,50 @@ TEST(TrafficSet, RoundRobinLoad) {
   EXPECT_EQ(flow::extract_field(flow::FieldId::kIpSrc, p.data(), pi), 2u);
 }
 
+TEST(TrafficSet, LoadNextMatchesLoad) {
+  std::vector<FlowSpec> flows;
+  for (int i = 0; i < 5; ++i) {
+    FlowSpec fs;
+    fs.pkt = test::udp_spec(i + 1, 100, 1000 + i, 53);
+    fs.in_port = i;
+    flows.push_back(fs);
+  }
+  auto ts = TrafficSet::from_flows(flows);
+  size_t cursor = 0;
+  Packet a, b;
+  for (size_t i = 0; i < 13; ++i) {  // wraps the 5-frame set twice
+    ts.load(i, a);
+    ts.load_next(cursor, b);
+    ASSERT_EQ(a.len(), b.len()) << i;
+    ASSERT_EQ(a.in_port(), b.in_port()) << i;
+    ASSERT_EQ(std::memcmp(a.data(), b.data(), a.len()), 0) << i;
+  }
+  EXPECT_EQ(cursor, 13 % 5);
+}
+
+TEST(RunLoopBurst, ReportsSaneStats) {
+  std::vector<FlowSpec> flows(3);
+  for (auto& f : flows) f.pkt = test::udp_spec(1, 2, 3, 4);
+  auto ts = TrafficSet::from_flows(flows);
+  uint64_t count = 0;
+  RunOpts opts;
+  opts.min_seconds = 0.01;
+  opts.min_packets = 1000;
+  opts.warmup_packets = 10;
+  auto st = run_loop_burst(
+      ts,
+      [&](Packet* const* pkts, uint32_t n) {
+        EXPECT_LE(n, kBurstSize);
+        for (uint32_t b = 0; b < n; ++b) count += pkts[b]->len() > 0 ? 1 : 0;
+      },
+      opts);
+  EXPECT_GT(st.pps, 0.0);
+  EXPECT_GT(st.packets, 1000u);
+  EXPECT_GT(st.cycles_per_pkt, 0.0);
+  EXPECT_GE(st.latency_p99_cycles, st.latency_p50_cycles);
+  EXPECT_EQ(count, st.packets + 32 /* warmup rounds up to one burst */);
+}
+
 TEST(RunLoop, ReportsSaneStats) {
   std::vector<FlowSpec> flows(1);
   flows[0].pkt = test::udp_spec(1, 2, 3, 4);
