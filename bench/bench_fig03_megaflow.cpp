@@ -29,7 +29,7 @@ void BM_Fig03_MegaflowOrderDependence(benchmark::State& state) {
       sw.process(p);
     }
     state.counters["megaflow_entries"] = static_cast<double>(sw.megaflow().size());
-    state.counters["upcalls"] = static_cast<double>(sw.stats().upcalls);
+    state.counters["upcalls"] = static_cast<double>(sw.cache_stats().upcalls);
   }
 }
 BENCHMARK(BM_Fig03_MegaflowOrderDependence)

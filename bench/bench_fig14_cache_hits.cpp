@@ -30,7 +30,7 @@ void BM_Fig14_OvsCacheHits(benchmark::State& state) {
       ts.load(warm + i, p);
       sw.process(p);
     }
-    const auto& st = sw.stats();
+    const auto& st = sw.cache_stats();
     const double total = static_cast<double>(st.packets);
     state.counters["microflow"] = static_cast<double>(st.microflow_hits) / total;
     state.counters["megaflow"] = static_cast<double>(st.megaflow_hits) / total;

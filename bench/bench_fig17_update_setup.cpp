@@ -1,18 +1,19 @@
 // Fig. 17: total time to program the load-balancer pipeline rule by rule, as
 // the number of services grows — via the direct management API ("CLI", the
-// in-process equivalent of ovs-ofctl against ESWITCH) and via the controller
-// channel (every flow-mod serialized with the OpenFlow 1.3 codec and shipped
+// in-process equivalent of ovs-ofctl against ESWITCH) and via the OpenFlow
+// agent session (every flow-mod serialized with the 1.3 codec and shipped
 // through a real AF_UNIX socketpair, as Ryu/ODL would).
 //
 // Expected shape: both switches scale linearly in rules; the channel cost
 // dominates the controller path so ES and OVS converge there ("with the
 // controller the two perform similarly"), while the CLI path exposes the raw
-// update cost of each switch.
+// update cost of each switch.  Both backends program through the unified
+// Dataplane `apply()` — no per-backend adapter.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 
-#include "usecases/controller.hpp"
+#include "usecases/of_agent.hpp"
 
 #include "bench_util.hpp"
 
@@ -35,6 +36,31 @@ std::vector<flow::FlowMod> lb_mods(size_t n_services) {
   return mods;
 }
 
+/// Programs a fresh backend with `mods`, directly or over an agent session,
+/// and returns the elapsed seconds.  Identical code for every backend: the
+/// unified `apply()` is the management API.
+template <core::Dataplane Switch>
+double program_rules(const std::vector<flow::FlowMod>& mods, bool via_controller) {
+  Switch sw;
+  sw.install(flow::Pipeline{});
+  const auto t0 = std::chrono::steady_clock::now();
+  if (via_controller) {
+    uc::OfAgent agent(uc::make_dataplane_callbacks(sw));
+    uc::OfController ctrl(agent.controller_fd());
+    uc::run_handshake(agent, ctrl);
+    for (const auto& fm : mods) {
+      ctrl.send_flow_mod(fm);
+      agent.poll();  // decode + apply on the switch side
+    }
+    ctrl.send_barrier();  // all mods confirmed applied before the clock stops
+    agent.poll();
+    ctrl.poll();
+  } else {
+    for (const auto& fm : mods) sw.apply(fm);
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
 // impl: 0 = OVS, 1 = ESWITCH; via_controller: wire codec + socketpair.
 void BM_Fig17_Setup(benchmark::State& state) {
   const size_t n_services = static_cast<size_t>(state.range(0));
@@ -43,40 +69,9 @@ void BM_Fig17_Setup(benchmark::State& state) {
   const auto mods = lb_mods(n_services);
 
   for (auto _ : state) {
-    double seconds = 0;
-    if (use_es) {
-      core::Eswitch sw;
-      sw.install(flow::Pipeline{});
-      auto apply = [&](const flow::FlowMod& fm) { sw.apply(fm); };
-      const auto t0 = std::chrono::steady_clock::now();
-      if (via_controller) {
-        uc::ControllerChannel chan(apply);
-        for (const auto& fm : mods) chan.send(fm);
-      } else {
-        for (const auto& fm : mods) apply(fm);
-      }
-      seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-                    .count();
-    } else {
-      ovs::OvsSwitch sw;
-      auto apply = [&](const flow::FlowMod& fm) {
-        flow::FlowEntry e;
-        e.match = fm.match;
-        e.priority = fm.priority;
-        e.actions = fm.actions;
-        e.goto_table = fm.goto_table;
-        sw.add_flow(fm.table_id, e);
-      };
-      const auto t0 = std::chrono::steady_clock::now();
-      if (via_controller) {
-        uc::ControllerChannel chan(apply);
-        for (const auto& fm : mods) chan.send(fm);
-      } else {
-        for (const auto& fm : mods) apply(fm);
-      }
-      seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-                    .count();
-    }
+    const double seconds = use_es
+                               ? program_rules<core::Eswitch>(mods, via_controller)
+                               : program_rules<ovs::OvsSwitch>(mods, via_controller);
     state.counters["setup_seconds"] = seconds;
     state.counters["rules"] = static_cast<double>(mods.size());
     state.counters["rules_per_sec"] = static_cast<double>(mods.size()) / seconds;

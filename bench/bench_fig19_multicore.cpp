@@ -32,15 +32,12 @@ void BM_Fig19_MultiCore(benchmark::State& state) {
     for (int c = 0; c < cores; ++c) {
       const auto ts = net::TrafficSet::from_flows(
           uc.traffic(shard, 42 + static_cast<uint64_t>(c)));
-      if (use_es) {
-        core::Eswitch sw;
-        sw.install(uc.pipeline);
-        aggregate += bench::measure_switch_burst(sw, ts, shard).pps;
-      } else {
-        ovs::OvsSwitch sw;
-        sw.install(uc.pipeline);
-        aggregate += bench::measure_switch_burst(sw, ts, shard).pps;
-      }
+      aggregate +=
+          (use_es ? bench::run_throughput_point<core::Eswitch>(
+                        uc, ts, shard, core::CompilerConfig{})
+                  : bench::run_throughput_point<ovs::OvsSwitch>(
+                        uc, ts, shard, ovs::OvsSwitch::Config{}))
+              .pps;
     }
     state.counters["pps"] = std::min(aggregate, kNicCapPps);
     state.counters["pps_uncapped"] = aggregate;

@@ -37,31 +37,37 @@ inline net::RunStats measure_burst(const net::BurstFn& fn, const net::TrafficSet
   return net::run_loop_burst(ts, fn, measure_opts(n_flows));
 }
 
-/// Measures a switch (Eswitch or OvsSwitch) through its burst entry point —
+/// Measures any `core::Dataplane` backend through its burst entry point —
 /// the production shape of the datapath, used by every throughput figure.
-template <typename Switch>
+template <core::Dataplane Switch>
 net::RunStats measure_switch_burst(Switch& sw, const net::TrafficSet& ts,
                                    size_t n_flows) {
   return measure_burst(uc::burst_fn(sw), ts, n_flows);
 }
 
+/// One throughput point for any backend: fresh instance per iteration
+/// (constructed from `cfg`), pipeline installed, burst loop measured.  Every
+/// backend rides the identical harness — the unified-interface contract.
+template <core::Dataplane Switch, typename Cfg>
+net::RunStats run_throughput_point(const uc::UseCase& uc, const net::TrafficSet& ts,
+                                   size_t n_flows, const Cfg& cfg) {
+  Switch sw(cfg);
+  sw.install(uc.pipeline);
+  return measure_switch_burst(sw, ts, n_flows);
+}
+
 /// Standard ES-vs-OVS throughput point for a use case (burst datapath).
+/// The backend choice is a bench axis (state.range), so it stays a runtime
+/// flag — but this `?:` is the single per-backend branch in the bench tree.
 inline void throughput_point(benchmark::State& state, const uc::UseCase& uc,
                              size_t n_flows, bool use_eswitch,
                              const core::CompilerConfig& cfg = {},
                              const ovs::OvsSwitch::Config& ocfg = {}) {
   const auto ts = net::TrafficSet::from_flows(uc.traffic(n_flows, 42));
   for (auto _ : state) {
-    net::RunStats st;
-    if (use_eswitch) {
-      core::Eswitch sw(cfg);
-      sw.install(uc.pipeline);
-      st = measure_switch_burst(sw, ts, n_flows);
-    } else {
-      ovs::OvsSwitch sw(ocfg);
-      sw.install(uc.pipeline);
-      st = measure_switch_burst(sw, ts, n_flows);
-    }
+    const net::RunStats st =
+        use_eswitch ? run_throughput_point<core::Eswitch>(uc, ts, n_flows, cfg)
+                    : run_throughput_point<ovs::OvsSwitch>(uc, ts, n_flows, ocfg);
     state.counters["pps"] = st.pps;
     state.counters["cycles_per_pkt"] = st.cycles_per_pkt;
   }

@@ -63,7 +63,7 @@ int main() {
               mpps(es_before), mpps(es_attack),
               100.0 * (1.0 - es_attack.pps / es_before.pps));
 
-  const auto& st = ovs_sw.stats();
+  const auto& st = ovs_sw.cache_stats();
   std::printf("\nOVS cache levels during the scan: %llu microflow, %llu megaflow, "
               "%llu slow-path upcalls\n",
               static_cast<unsigned long long>(st.microflow_hits),

@@ -1,63 +1,78 @@
-// Quickstart: program an ESWITCH with a few rules, look at what the compiler
-// made of them, and push packets through the compiled datapath.
+// Quickstart: program an ESWITCH, mount it in the port-based switch runtime
+// (`core::SwitchHost`) and watch packets flow rx → process → tx the way the
+// switch runs in production — verdicts are *executed*: output goes to a TX
+// port, flood fans out to every port except ingress, controller punts buffer
+// up as PACKET_IN events.
 //
 //   $ ./quickstart
 #include <cstdio>
 #include <iterator>
 
 #include "core/eswitch.hpp"
+#include "core/switch_host.hpp"
 #include "flow/dsl.hpp"
-#include "netio/pktgen.hpp"
 #include "proto/build.hpp"
 
 using namespace esw;
 
 namespace {
 
-const char* verdict_str(const flow::Verdict& v) {
-  static char buf[32];
-  switch (v.kind) {
-    case flow::Verdict::Kind::kOutput:
-      std::snprintf(buf, sizeof buf, "output:%u", v.port);
-      return buf;
-    case flow::Verdict::Kind::kDrop:
-      return "drop";
-    case flow::Verdict::Kind::kController:
-      return "to-controller";
-    case flow::Verdict::Kind::kFlood:
-      return "flood";
+using Host = core::SwitchHost<core::Eswitch>;
+
+/// Injects one frame, runs a scheduling round and reports where it went by
+/// draining the TX rings.
+void probe(Host& host, const char* what, const proto::PacketSpec& spec,
+           uint32_t in_port) {
+  uint8_t frame[256];
+  const uint32_t len = proto::build_packet(spec, frame, sizeof frame);
+  host.inject(in_port, frame, len);
+  const auto punted_before = host.counters().packet_ins;
+  host.poll();
+
+  std::printf("%-36s ->", what);
+  bool anywhere = false;
+  host.ports().for_each_except(0, [&](uint32_t no, net::Port&) {
+    const uint32_t n = host.drain_and_release_tx(no);
+    for (uint32_t i = 0; i < n; ++i) {
+      std::printf(" tx:%u", no);
+      anywhere = true;
+    }
+  });
+  if (host.counters().packet_ins > punted_before) {
+    std::printf(" packet-in (to controller)");
+    anywhere = true;
   }
-  return "?";
+  if (!anywhere) std::printf(" dropped");
+  std::printf("\n");
 }
 
 }  // namespace
 
 int main() {
-  // 1. Declare the pipeline in the ovs-ofctl-like rule syntax.
+  // 1. Declare the pipeline in the ovs-ofctl-like rule syntax.  Note the
+  //    flood rule: broadcasts must reach every port except ingress.
   flow::Pipeline pl;
   pl.table(0).add(flow::parse_rule("priority=100, in_port=1, actions=,goto:1"));
   pl.table(0).add(flow::parse_rule("priority=50, actions=drop"));
   pl.table(1).add(flow::parse_rule(
       "priority=20, ip_dst=192.0.2.0/24, tcp_dst=80, actions=dec_ttl, output:2"));
   pl.table(1).add(flow::parse_rule("priority=10, ip_dst=192.0.2.0/24, actions=output:3"));
+  pl.table(1).add(
+      flow::parse_rule("priority=5, eth_dst=ff:ff:ff:ff:ff:ff, actions=flood"));
   pl.table(1).add(flow::parse_rule("priority=1, actions=controller"));
 
-  // 2. Compile it.  ESWITCH picks a template per table and emits machine code
-  //    for the small ones.
-  core::Eswitch sw;
-  sw.install(pl);
-  for (const auto& t : sw.pipeline().tables())
+  // 2. Mount the switch in the runtime: four ports, an mbuf pool, and the
+  //    compiling backend.  ESWITCH picks a template per table and emits
+  //    machine code for the small ones.
+  Host host({.n_ports = 4, .port = {}, .pool_capacity = 512});
+  host.backend().install(pl);
+  for (const auto& t : host.backend().pipeline().tables())
     std::printf("table %u: %zu rules -> %s template%s\n", t.id(), t.size(),
-                core::to_string(sw.table_template(t.id())),
-                sw.is_decomposed(t.id()) ? " (decomposed)" : "");
+                core::to_string(host.backend().table_template(t.id())),
+                host.backend().is_decomposed(t.id()) ? " (decomposed)" : "");
 
-  // 3. Send packets — as one burst, the way the datapath runs in production
-  //    (scalar sw.process(pkt) works too and gives identical verdicts).
-  struct Probe {
-    const char* what;
-    proto::PacketSpec spec;
-    uint32_t in_port;
-  };
+  // 3. Send packets.  The runtime executes the verdicts; we just look at
+  //    which TX rings end up holding the frame.
   proto::PacketSpec http;
   http.kind = proto::PacketKind::kTcp;
   http.ip_dst = flow::parse_ipv4("192.0.2.7");
@@ -66,26 +81,16 @@ int main() {
   other_tcp.dport = 22;
   proto::PacketSpec elsewhere = http;
   elsewhere.ip_dst = flow::parse_ipv4("10.1.1.1");
+  proto::PacketSpec broadcast;
+  broadcast.kind = proto::PacketKind::kUdp;
+  broadcast.eth_dst = 0xFFFFFFFFFFFF;
+  broadcast.ip_dst = flow::parse_ipv4("10.255.255.255");
 
-  const Probe probes[] = {
-      {"HTTP to 192.0.2.7 from port 1", http, 1},
-      {"SSH to 192.0.2.7 from port 1", other_tcp, 1},
-      {"HTTP to 10.1.1.1 from port 1", elsewhere, 1},
-      {"HTTP to 192.0.2.7 from port 9", http, 9},
-  };
-  constexpr size_t kProbes = std::size(probes);
-  net::Packet bufs[kProbes];
-  net::Packet* burst[kProbes];
-  flow::Verdict verdicts[kProbes];
-  for (size_t i = 0; i < kProbes; ++i) {
-    bufs[i].set_len(
-        proto::build_packet(probes[i].spec, bufs[i].data(), net::Packet::kMaxFrame));
-    bufs[i].set_in_port(probes[i].in_port);
-    burst[i] = &bufs[i];
-  }
-  sw.process_burst(burst, kProbes, verdicts);
-  for (size_t i = 0; i < kProbes; ++i)
-    std::printf("%-34s -> %s\n", probes[i].what, verdict_str(verdicts[i]));
+  probe(host, "HTTP to 192.0.2.7 from port 1", http, 1);
+  probe(host, "SSH to 192.0.2.7 from port 1", other_tcp, 1);
+  probe(host, "HTTP to 10.1.1.1 from port 1", elsewhere, 1);
+  probe(host, "HTTP to 192.0.2.7 from port 4", http, 4);
+  probe(host, "broadcast from port 1", broadcast, 1);
 
   // 4. Update at runtime: flow-mods apply incrementally where the template
   //    allows, otherwise the table is rebuilt and swapped atomically.
@@ -94,17 +99,22 @@ int main() {
   fm.priority = 30;
   fm.match.set(flow::FieldId::kTcpDst, 22);
   fm.actions = {flow::Action::drop()};
-  sw.apply(fm);
-  net::Packet p;
-  p.set_len(proto::build_packet(other_tcp, p.data(), net::Packet::kMaxFrame));
-  p.set_in_port(1);
-  std::printf("after adding an SSH drop rule    -> %s\n", verdict_str(sw.process(p)));
+  host.backend().apply(fm);
+  probe(host, "SSH after adding a drop rule", other_tcp, 1);
 
-  const auto& st = sw.datapath().stats();
+  // 5. Both the runtime and the backend keep counters; the backend's are the
+  //    unified Dataplane shape every backend reports.
+  const core::DataplaneStats st = host.backend().stats();
+  const auto& hc = host.counters();
   std::printf("\ndatapath: %llu packets, %llu forwarded, %llu dropped, %llu punted\n",
               static_cast<unsigned long long>(st.packets),
               static_cast<unsigned long long>(st.outputs),
               static_cast<unsigned long long>(st.drops),
               static_cast<unsigned long long>(st.to_controller));
+  std::printf("runtime:  %llu rx, %llu tx (%llu flood copies), %llu packet-ins\n",
+              static_cast<unsigned long long>(hc.rx_packets),
+              static_cast<unsigned long long>(hc.tx_packets),
+              static_cast<unsigned long long>(hc.flood_copies),
+              static_cast<unsigned long long>(hc.packet_ins));
   return 0;
 }

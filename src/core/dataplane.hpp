@@ -1,0 +1,51 @@
+// The unified switch-backend interface.
+//
+// Both datapath implementations — the compiling `core::Eswitch` and the
+// flow-caching baseline `ovs::OvsSwitch` — satisfy the `Dataplane` concept,
+// so the runtime (`core::SwitchHost`), the agent session (`uc::OfAgent`
+// bridges), the measurement harness and every figure bench drive either
+// backend through one non-virtual surface: no per-backend adapter code, no
+// virtual dispatch on the per-packet path (the NFV dataplane-benchmarking
+// prescription: compare switches through the same harness).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <vector>
+
+#include "flow/pipeline.hpp"
+#include "flow/wire.hpp"
+#include "netio/packet.hpp"
+
+namespace esw::core {
+
+/// Verdict-level counters every backend reports in the same shape.
+/// Flood fan-outs count under `outputs` (one per processed packet — the
+/// per-copy accounting lives with the runtime's ports).
+struct DataplaneStats {
+  uint64_t packets = 0;
+  uint64_t outputs = 0;
+  uint64_t drops = 0;
+  uint64_t to_controller = 0;
+};
+
+/// What a switch backend must provide: bulk install, single and transactional
+/// batched flow-mods, scalar and burst processing, verdict-level stats and
+/// the authoritative rule store.  Compile-time (template/CRTP-style)
+/// polymorphism only — the per-packet calls inline into the harness loops.
+template <typename T>
+concept Dataplane = requires(T sw, const T csw, const flow::Pipeline& pl,
+                             const flow::FlowMod& fm,
+                             const std::vector<flow::FlowMod>& fms, net::Packet& pkt,
+                             net::Packet* const* pkts, uint32_t n,
+                             flow::Verdict* out) {
+  { sw.install(pl) };
+  { sw.apply(fm) };
+  { sw.apply_batch(fms) };
+  { sw.process(pkt) } -> std::same_as<flow::Verdict>;
+  { sw.process_burst(pkts, n, out) };
+  { csw.stats() } -> std::convertible_to<DataplaneStats>;
+  { csw.pipeline() } -> std::convertible_to<const flow::Pipeline&>;
+};
+
+}  // namespace esw::core

@@ -108,13 +108,7 @@ void Eswitch::apply_to_pipeline(flow::Pipeline& pl, const FlowMod& fm) {
         ESW_CHECK_MSG(pl.find_table(static_cast<uint8_t>(fm.goto_table)) != nullptr,
                       "goto_table target does not exist");
       }
-      FlowEntry e;
-      e.match = fm.match;
-      e.priority = fm.priority;
-      e.actions = fm.actions;
-      e.goto_table = fm.goto_table;
-      e.cookie = fm.cookie;
-      pl.table(fm.table_id).add(std::move(e));
+      pl.table(fm.table_id).add(flow::entry_from(fm));
       break;
     }
     case FlowMod::Cmd::kDelete: {
@@ -150,12 +144,7 @@ void Eswitch::apply(const FlowMod& fm) {
   // and the prerequisite still holds; otherwise rebuild (with fallback).
   if (impl != nullptr && !decomposed_[fm.table_id]) {
     if (fm.command == FlowMod::Cmd::kAdd) {
-      FlowEntry e;
-      e.match = fm.match;
-      e.priority = fm.priority;
-      e.actions = fm.actions;
-      e.goto_table = fm.goto_table;
-      e.cookie = fm.cookie;
+      const FlowEntry e = flow::entry_from(fm);
       if (impl->try_add(e, ctx)) {
         ++update_stats_.incremental;
         maybe_widen_plan(e);

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/compiler.hpp"
+#include "core/dataplane.hpp"
 #include "core/datapath.hpp"
 #include "flow/wire.hpp"
 
@@ -56,6 +57,12 @@ class Eswitch {
   /// CompiledDatapath::process_burst).
   void process_burst(net::Packet* const* pkts, uint32_t n, flow::Verdict* out) {
     dp_.process_burst(pkts, n, out);
+  }
+
+  /// Verdict-level counters in the unified Dataplane shape.
+  DataplaneStats stats() const {
+    const CompiledDatapath::Stats& s = dp_.stats();
+    return {s.packets, s.outputs, s.drops, s.to_controller};
   }
 
   const flow::Pipeline& pipeline() const { return pipeline_; }
@@ -99,5 +106,7 @@ class Eswitch {
   std::array<uint32_t, 256> decomposed_count_{};
   UpdateStats update_stats_;
 };
+
+static_assert(Dataplane<Eswitch>, "Eswitch must satisfy the unified interface");
 
 }  // namespace esw::core

@@ -1,0 +1,230 @@
+// The switch runtime: a port panel plus a Dataplane backend, run the way a
+// production switch runs — packets flow rx_burst → process_burst → tx_burst
+// and verdicts are *executed*, not returned to the caller:
+//
+//   * kOutput  — enqueued on the egress port (tail-dropped if the port's ring
+//     or rate cap rejects it);
+//   * kFlood   — fanned out to every port except ingress, one pool-allocated
+//     copy per egress port;
+//   * kController — the frame is buffered as a PacketInEvent (or handed to a
+//     sink, e.g. an OfAgent session that turns it into a PACKET_IN);
+//   * kDrop    — counted, buffer recycled.
+//
+// Buffer ownership is pool-based end to end: inject() allocates from the
+// host's MbufPool, verdict execution either passes ownership to a TX ring or
+// frees, and whoever drains a TX ring returns the buffers via release().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/dataplane.hpp"
+#include "netio/mbuf_pool.hpp"
+#include "netio/portset.hpp"
+#include "proto/parse.hpp"
+
+namespace esw::core {
+
+/// A controller-bound frame (the runtime-level precursor of a PACKET_IN).
+/// The datapath does not distinguish an explicit controller action from a
+/// kController table-miss policy, so no reason travels here; the agent layer
+/// defaults to "no match", the reactive case.
+struct PacketInEvent {
+  std::vector<uint8_t> frame;
+  uint32_t in_port = 0;
+};
+
+template <Dataplane Backend>
+class SwitchHost {
+ public:
+  struct Config {
+    uint32_t n_ports = 4;
+    net::Port::Config port{};
+    uint32_t pool_capacity = 4096;
+  };
+
+  struct Counters {
+    uint64_t rx_packets = 0;      // accepted by inject()
+    uint64_t tx_packets = 0;      // accepted by an egress port
+    uint64_t flood_copies = 0;    // per-egress-port flood copies transmitted
+    uint64_t drops = 0;           // kDrop verdicts
+    uint64_t packet_ins = 0;      // kController verdicts
+    uint64_t tx_rejected = 0;     // egress ring/rate-cap rejections
+    uint64_t rx_rejected = 0;     // inject() lost to a full RX ring
+    uint64_t bad_port = 0;        // kOutput/inject to a port that does not exist
+    uint64_t pool_exhausted = 0;  // flood/inject copies lost to an empty pool
+  };
+
+  using PacketInSink = std::function<void(const PacketInEvent&)>;
+
+  /// Constructs the backend in place from `args` (its config, typically) —
+  /// backends own atomics and are deliberately not movable.
+  template <typename... Args>
+  explicit SwitchHost(const Config& cfg = {}, Args&&... args)
+      : backend_(std::forward<Args>(args)...),
+        ports_(cfg.n_ports, cfg.port),
+        pool_(cfg.pool_capacity) {}
+
+  Backend& backend() { return backend_; }
+  const Backend& backend() const { return backend_; }
+  net::PortSet& ports() { return ports_; }
+  const net::PortSet& ports() const { return ports_; }
+  net::MbufPool& pool() { return pool_; }
+  const Counters& counters() const { return counters_; }
+
+  /// Copies a frame into a pool buffer and queues it on the port's RX ring
+  /// (what a NIC DMA would do).  False when the port does not exist or the
+  /// pool or the ring is full.
+  bool inject(uint32_t port_no, const uint8_t* frame, uint32_t len) {
+    if (!ports_.valid(port_no)) {
+      ++counters_.bad_port;
+      return false;
+    }
+    net::Packet* pkt = pool_.alloc();
+    if (pkt == nullptr) {
+      ++counters_.pool_exhausted;
+      return false;
+    }
+    pkt->assign(frame, len);
+    pkt->set_in_port(port_no);
+    if (ports_.port(port_no).inject_rx(&pkt, 1) != 1) {
+      ++counters_.rx_rejected;
+      pool_.free(pkt);
+      return false;
+    }
+    ++counters_.rx_packets;
+    return true;
+  }
+
+  /// One scheduling round: every port's RX ring is drained in kBurstSize
+  /// bursts through the backend and the verdicts are executed.  Returns the
+  /// number of packets processed.
+  uint32_t poll(uint64_t now_ns = 0) {
+    uint32_t processed = 0;
+    ports_.for_each_except(0, [&](uint32_t, net::Port& p) {
+      net::Packet* burst[net::kBurstSize];
+      flow::Verdict verdicts[net::kBurstSize];
+      uint32_t n;
+      while ((n = p.rx_burst(burst, net::kBurstSize)) > 0) {
+        backend_.process_burst(burst, n, verdicts);
+        for (uint32_t i = 0; i < n; ++i) execute(burst[i], verdicts[i], now_ns);
+        processed += n;
+      }
+    });
+    return processed;
+  }
+
+  /// Executes a controller-originated PACKET_OUT: the frame runs through the
+  /// action list (set-fields and all) and the resulting verdict is executed
+  /// as if the datapath had produced it.  False when no buffer is available.
+  bool packet_out(const uint8_t* frame, uint32_t len, uint32_t in_port,
+                  const flow::ActionList& actions, uint64_t now_ns = 0) {
+    net::Packet* pkt = pool_.alloc();
+    if (pkt == nullptr) {
+      ++counters_.pool_exhausted;
+      return false;
+    }
+    pkt->assign(frame, len);
+    pkt->set_in_port(in_port);
+    proto::ParseInfo pi;
+    proto::parse(pkt->data(), pkt->len(), proto::ParserPlan::full(), pi);
+    pi.in_port = in_port;
+    flow::ActionSetBuilder as;
+    as.merge(actions);
+    execute(pkt, as.execute(*pkt, pi), now_ns);
+    return true;
+  }
+
+  /// Drains up to `n` transmitted packets from a port.  The caller owns the
+  /// buffers and must hand each back via release().
+  uint32_t drain_tx(uint32_t port_no, net::Packet** out, uint32_t n) {
+    return ports_.port(port_no).drain_tx(out, n);
+  }
+
+  /// Returns a drained buffer to the pool.
+  void release(net::Packet* pkt) { pool_.free(pkt); }
+
+  /// Drains a port's whole TX ring back into the pool; returns the count
+  /// (a sink for benches and soak loops that don't inspect frames).
+  uint32_t drain_and_release_tx(uint32_t port_no) {
+    net::Packet* out[net::kBurstSize];
+    uint32_t total = 0, n;
+    while ((n = ports_.port(port_no).drain_tx(out, net::kBurstSize)) > 0) {
+      for (uint32_t i = 0; i < n; ++i) pool_.free(out[i]);
+      total += n;
+    }
+    return total;
+  }
+
+  /// Routes kController frames to `sink` as they happen instead of buffering
+  /// (pass nullptr to go back to buffering).
+  void set_packet_in_sink(PacketInSink sink) { sink_ = std::move(sink); }
+
+  /// Takes the buffered controller-bound frames.
+  std::vector<PacketInEvent> drain_packet_ins() { return std::exchange(pending_, {}); }
+
+ private:
+  void execute(net::Packet* pkt, const flow::Verdict& v, uint64_t now_ns) {
+    switch (v.kind) {
+      case flow::Verdict::Kind::kOutput:
+        tx_one(v.port, pkt, now_ns);
+        break;
+      case flow::Verdict::Kind::kFlood: {
+        const uint32_t ingress = pkt->in_port();
+        ports_.for_each_except(ingress, [&](uint32_t no, net::Port&) {
+          net::Packet* copy = pool_.alloc();
+          if (copy == nullptr) {
+            ++counters_.pool_exhausted;
+            return;
+          }
+          copy->assign(pkt->data(), pkt->len());
+          copy->set_in_port(ingress);
+          if (tx_one(no, copy, now_ns)) ++counters_.flood_copies;
+        });
+        pool_.free(pkt);
+        break;
+      }
+      case flow::Verdict::Kind::kController: {
+        ++counters_.packet_ins;
+        PacketInEvent ev{{pkt->data(), pkt->data() + pkt->len()}, pkt->in_port()};
+        pool_.free(pkt);
+        if (sink_)
+          sink_(ev);
+        else
+          pending_.push_back(std::move(ev));
+        break;
+      }
+      case flow::Verdict::Kind::kDrop:
+        ++counters_.drops;
+        pool_.free(pkt);
+        break;
+    }
+  }
+
+  /// Hands `pkt` to a TX ring (ownership moves) or recycles it on rejection.
+  bool tx_one(uint32_t port_no, net::Packet* pkt, uint64_t now_ns) {
+    if (!ports_.valid(port_no)) {
+      ++counters_.bad_port;
+      pool_.free(pkt);
+      return false;
+    }
+    if (ports_.port(port_no).tx_burst(&pkt, 1, now_ns) == 1) {
+      ++counters_.tx_packets;
+      return true;
+    }
+    ++counters_.tx_rejected;
+    pool_.free(pkt);
+    return false;
+  }
+
+  Backend backend_;
+  net::PortSet ports_;
+  net::MbufPool pool_;
+  Counters counters_;
+  PacketInSink sink_;
+  std::vector<PacketInEvent> pending_;
+};
+
+}  // namespace esw::core

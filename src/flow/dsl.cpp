@@ -74,13 +74,18 @@ void parse_field_value(FieldId f, std::string_view s, uint64_t& value, uint64_t&
   value = dotted ? parse_ipv4(val) : mac ? parse_mac(val) : parse_u64(val);
 
   if (!mask_part.empty()) {
+    const bool hex_mask = mask_part.size() > 2 && mask_part[0] == '0' &&
+                          (mask_part[1] == 'x' || mask_part[1] == 'X');
     if (dotted && mask_part.find('.') != std::string_view::npos) {
       mask = parse_ipv4(mask_part);
+    } else if (hex_mask) {
+      // An explicit 0x mask is always literal (the format_rule round-trip
+      // shape), even for IP fields where a bare number means a prefix length.
+      mask = parse_u64(mask_part);
     } else if (dotted || (f == FieldId::kIpSrc || f == FieldId::kIpDst)) {
       const uint64_t len = parse_u64(mask_part);  // prefix length
       ESW_CHECK_MSG(len <= 32, "bad prefix length");
       mask = len == 0 ? 0 : (low_bits(len) << (32 - len));
-      if (len == 0) mask = 0;
     } else {
       mask = parse_u64(mask_part);
     }
@@ -177,6 +182,7 @@ FlowEntry parse_rule(std::string_view text) {
 std::string format_rule(const FlowEntry& e) {
   std::ostringstream os;
   os << "priority=" << e.priority;
+  if (e.cookie != 0) os << ",cookie=0x" << std::hex << e.cookie << std::dec;
   if (!e.match.is_catch_all()) os << ',' << e.match.to_string();
   os << ",actions=" << to_string(e.actions);
   if (e.goto_table != kNoGoto) os << ",goto:" << e.goto_table;

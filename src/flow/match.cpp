@@ -98,7 +98,7 @@ std::string Match::to_string() const {
     first = false;
     const unsigned i = idx(f);
     os << field_info(f).name << "=0x" << std::hex << value_[i];
-    if (mask_[i] != field_full_mask(f)) os << '/' << mask_[i];
+    if (mask_[i] != field_full_mask(f)) os << "/0x" << mask_[i];
     os << std::dec;
   }
   return os.str();

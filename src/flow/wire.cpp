@@ -9,9 +9,6 @@ namespace esw::flow {
 
 namespace {
 
-constexpr uint8_t kOfVersion = 0x04;  // OpenFlow 1.3
-constexpr uint8_t kOfptFlowMod = 14;
-
 constexpr uint16_t kOxmClassBasic = 0x8000;
 // Private class for fields without a standard OF 1.3 OXM (ip_ttl).
 constexpr uint16_t kOxmClassPrivate = 0x0003;
@@ -28,6 +25,10 @@ constexpr uint16_t kActSetField = 25;
 
 constexpr uint32_t kPortController = 0xfffffffd;  // OFPP_CONTROLLER
 constexpr uint32_t kPortFlood = 0xfffffffb;       // OFPP_FLOOD
+constexpr uint32_t kPortAny = 0xffffffff;         // OFPP_ANY / OFPG_ANY
+
+constexpr uint16_t kMpFlow = 1;   // OFPMP_FLOW
+constexpr uint16_t kMpTable = 3;  // OFPMP_TABLE
 
 struct OxmInfo {
   uint16_t oxm_class;
@@ -91,6 +92,7 @@ class Writer {
     for (unsigned i = 0; i < width; ++i)
       buf_.push_back(static_cast<uint8_t>(v >> (8 * (width - 1 - i))));
   }
+  void bytes(const uint8_t* p, size_t n) { buf_.insert(buf_.end(), p, p + n); }
   void pad_to(size_t align) {
     while (buf_.size() % align) buf_.push_back(0);
   }
@@ -136,6 +138,12 @@ class Reader {
     need(n);
     p_ += n;
   }
+  const uint8_t* peek() const { return p_; }
+  std::vector<uint8_t> rest() {
+    std::vector<uint8_t> out(p_, end_);
+    p_ = end_;
+    return out;
+  }
   size_t remaining() const { return static_cast<size_t>(end_ - p_); }
 
  private:
@@ -143,6 +151,28 @@ class Reader {
   const uint8_t* p_;
   const uint8_t* end_;
 };
+
+// ---------------------------------------------------------------------------
+// Shared encode helpers
+// ---------------------------------------------------------------------------
+
+/// Writes the ofp_header with a length placeholder; finish_msg patches it.
+Writer begin_msg(MsgType type, uint32_t xid) {
+  Writer w;
+  w.u8(kOfVersion);
+  w.u8(static_cast<uint8_t>(type));
+  w.u16(0);  // length placeholder at offset 2
+  w.u32(xid);
+  return w;
+}
+
+std::vector<uint8_t> finish_msg(Writer& w) {
+  auto out = w.take();
+  ESW_CHECK_MSG(out.size() <= 0xFFFF, "OpenFlow message exceeds 64 KiB");
+  out[2] = static_cast<uint8_t>(out.size() >> 8);
+  out[3] = static_cast<uint8_t>(out.size());
+  return out;
+}
 
 void encode_oxm(Writer& w, FieldId f, uint64_t value, uint64_t mask, bool has_mask) {
   const OxmInfo info = oxm_info(f);
@@ -220,84 +250,56 @@ void encode_action(Writer& w, const Action& a) {
   }
 }
 
-}  // namespace
+void encode_actions(Writer& w, const ActionList& actions) {
+  for (const Action& a : actions) encode_action(w, a);
+}
 
-std::vector<uint8_t> encode_flow_mod(const FlowMod& fm) {
-  Writer w;
-  // ofp_header
-  w.u8(kOfVersion);
-  w.u8(kOfptFlowMod);
-  const size_t total_len_off = w.size();
-  w.u16(0);
-  w.u32(fm.xid);
-  // ofp_flow_mod
-  w.u64(fm.cookie);
-  w.u64(0);  // cookie_mask
-  w.u8(fm.table_id);
-  w.u8(static_cast<uint8_t>(fm.command));
-  w.u16(0);  // idle_timeout
-  w.u16(0);  // hard_timeout
-  w.u16(fm.priority);
-  w.u32(0xffffffff);  // buffer_id = OFP_NO_BUFFER
-  w.u32(0xffffffff);  // out_port = OFPP_ANY
-  w.u32(0xffffffff);  // out_group = OFPG_ANY
-  w.u16(0);           // flags
-  w.zeros(2);         // pad
-  encode_match(w, fm.match);
+bool is_explicit_drop(const ActionList& actions) {
+  return actions.size() == 1 && actions[0].type == ActionType::kDrop;
+}
 
+/// Write-actions + goto instructions (FLOW_MOD and flow-stats entries).
+void encode_instructions(Writer& w, const ActionList& actions, int16_t goto_table) {
   // push-vlan must precede the vlan_vid set-field inside a write-actions set;
   // our ActionList is already in intent order, encode verbatim.
-  if (!fm.actions.empty() &&
-      !(fm.actions.size() == 1 && fm.actions[0].type == ActionType::kDrop)) {
+  if (!actions.empty() && !is_explicit_drop(actions)) {
     const size_t instr_start = w.size();
     w.u16(kInstrWriteActions);
     const size_t len_off = w.size();
     w.u16(0);
     w.zeros(4);
-    for (const Action& a : fm.actions) encode_action(w, a);
+    encode_actions(w, actions);
     w.patch_u16(len_off, static_cast<uint16_t>(w.size() - instr_start));
   }
-  if (fm.goto_table != kNoGoto) {
+  if (goto_table != kNoGoto) {
     w.u16(kInstrGoto);
     w.u16(8);
-    w.u8(static_cast<uint8_t>(fm.goto_table));
+    w.u8(static_cast<uint8_t>(goto_table));
     w.zeros(3);
   }
-  auto out = w.take();
-  ESW_CHECK(out.size() <= 0xFFFF);
-  out[total_len_off] = static_cast<uint8_t>(out.size() >> 8);
-  out[total_len_off + 1] = static_cast<uint8_t>(out.size());
-  return out;
 }
 
-size_t openflow_frame_len(const uint8_t* data, size_t len) {
-  if (len < 8) return 0;
-  return load_be16(data + 2);
+// ---------------------------------------------------------------------------
+// Shared decode helpers
+// ---------------------------------------------------------------------------
+
+/// Validates version/type/length and returns a Reader bounded to this frame,
+/// positioned after the header, with the xid extracted.
+Reader begin_frame(const uint8_t* data, size_t len, MsgType expect, uint32_t& xid) {
+  ESW_CHECK_MSG(len >= 8, "truncated OpenFlow message");
+  ESW_CHECK_MSG(data[0] == kOfVersion, "bad OpenFlow version");
+  ESW_CHECK_MSG(data[1] == static_cast<uint8_t>(expect), "unexpected message type");
+  const uint16_t total = load_be16(data + 2);
+  ESW_CHECK_MSG(total >= 8, "bad length field");
+  ESW_CHECK_MSG(total <= len, "truncated OpenFlow message");
+  Reader r(data, total);
+  r.skip(4);
+  xid = r.u32();
+  return r;
 }
 
-FlowMod decode_flow_mod(const uint8_t* data, size_t len) {
-  Reader r(data, len);
-  FlowMod fm;
-
-  ESW_CHECK_MSG(r.u8() == kOfVersion, "bad OpenFlow version");
-  ESW_CHECK_MSG(r.u8() == kOfptFlowMod, "not a FLOW_MOD");
-  const uint16_t total = r.u16();
-  ESW_CHECK_MSG(total <= len, "truncated FLOW_MOD");
-  fm.xid = r.u32();
-  fm.cookie = r.u64();
-  r.u64();  // cookie_mask
-  fm.table_id = r.u8();
-  fm.command = static_cast<FlowMod::Cmd>(r.u8());
-  r.u16();  // idle
-  r.u16();  // hard
-  fm.priority = r.u16();
-  r.u32();  // buffer
-  r.u32();  // out_port
-  r.u32();  // out_group
-  r.u16();  // flags
-  r.skip(2);
-
-  // Match.
+Match decode_match(Reader& r) {
+  Match m;
   ESW_CHECK_MSG(r.u16() == 1, "expected OXM match");
   const uint16_t match_len = r.u16();
   ESW_CHECK_MSG(match_len >= 4, "bad match length");
@@ -312,6 +314,7 @@ FlowMod decode_flow_mod(const uint8_t* data, size_t len) {
     ESW_CHECK_MSG(f != FieldId::kCount, "unknown OXM field");
     const OxmInfo info = oxm_info(f);
     ESW_CHECK_MSG(tlv_len == info.wire_len * (has_mask ? 2 : 1), "bad OXM length");
+    ESW_CHECK_MSG(oxm_bytes >= size_t{4} + tlv_len, "bad OXM TLV");
     uint64_t value = r.be(info.wire_len);
     uint64_t mask = has_mask ? r.be(info.wire_len) : field_full_mask(f);
     if (f == FieldId::kVlanVid) {
@@ -319,76 +322,621 @@ FlowMod decode_flow_mod(const uint8_t* data, size_t len) {
       mask &= ~uint64_t{kVidPresent};
       if (mask == 0) mask = field_full_mask(f);
     }
-    fm.match.set(f, value, mask);
+    m.set(f, value, mask);
     oxm_bytes -= 4 + tlv_len;
   }
   // Match padding.
   const size_t pad = (8 - (match_len % 8)) % 8;
   r.skip(pad);
+  return m;
+}
 
-  // Instructions.
-  while (r.remaining() >= 4) {
+/// Decodes exactly `abytes` of actions.
+ActionList decode_actions(Reader& r, size_t abytes) {
+  ActionList out;
+  while (abytes > 0) {
+    ESW_CHECK_MSG(abytes >= 8, "bad action");
+    const uint16_t atype = r.u16();
+    const uint16_t alen = r.u16();
+    ESW_CHECK_MSG(alen >= 8 && alen <= abytes, "bad action length");
+    switch (atype) {
+      case kActOutput: {
+        ESW_CHECK_MSG(alen == 16, "bad action length");
+        const uint32_t port = r.u32();
+        r.u16();
+        r.skip(6);
+        if (port == kPortController)
+          out.push_back(Action::to_controller());
+        else if (port == kPortFlood)
+          out.push_back(Action::flood());
+        else
+          out.push_back(Action::output(port));
+        break;
+      }
+      case kActPushVlan:
+        ESW_CHECK_MSG(alen == 8, "bad action length");
+        r.u16();
+        r.skip(2);
+        out.push_back(Action::push_vlan(0));
+        break;
+      case kActPopVlan:
+        ESW_CHECK_MSG(alen == 8, "bad action length");
+        r.skip(4);
+        out.push_back(Action::pop_vlan());
+        break;
+      case kActDecNwTtl:
+        ESW_CHECK_MSG(alen == 8, "bad action length");
+        r.skip(4);
+        out.push_back(Action::dec_ttl());
+        break;
+      case kActSetField: {
+        const uint16_t oxm_class = r.u16();
+        const uint8_t fh = r.u8();
+        const uint8_t tlv_len = r.u8();
+        const FieldId f = field_from_oxm(oxm_class, fh >> 1);
+        ESW_CHECK_MSG(f != FieldId::kCount, "unknown set-field OXM");
+        ESW_CHECK_MSG(tlv_len == oxm_info(f).wire_len, "bad OXM length");
+        ESW_CHECK_MSG(alen >= 8u + tlv_len, "bad set-field length");
+        uint64_t value = r.be(tlv_len);
+        if (f == FieldId::kVlanVid) value &= ~uint64_t{kVidPresent};
+        out.push_back(Action::set_field(f, value));
+        r.skip(alen - 8 - tlv_len);  // padding
+        break;
+      }
+      default:
+        ESW_CHECK_MSG(false, "unknown action type");
+    }
+    abytes -= alen;
+  }
+  return out;
+}
+
+/// Decodes exactly `ibytes` of instructions into (actions, goto_table).
+void decode_instructions(Reader& r, size_t ibytes, ActionList& actions,
+                         int16_t& goto_table) {
+  while (ibytes > 0) {
+    ESW_CHECK_MSG(ibytes >= 4, "bad instruction");
     const uint16_t itype = r.u16();
     const uint16_t ilen = r.u16();
-    ESW_CHECK_MSG(ilen >= 4, "bad instruction length");
+    ESW_CHECK_MSG(ilen >= 4 && ilen <= ibytes, "bad instruction length");
     if (itype == kInstrGoto) {
-      fm.goto_table = r.u8();
+      ESW_CHECK_MSG(ilen == 8, "bad goto-table length");
+      goto_table = r.u8();
       r.skip(3);
     } else if (itype == kInstrWriteActions) {
+      ESW_CHECK_MSG(ilen >= 8, "bad write-actions length");
       r.skip(4);
-      size_t abytes = ilen - 8;
-      while (abytes > 0) {
-        ESW_CHECK_MSG(abytes >= 8, "bad action");
-        const uint16_t atype = r.u16();
-        const uint16_t alen = r.u16();
-        switch (atype) {
-          case kActOutput: {
-            const uint32_t port = r.u32();
-            r.u16();
-            r.skip(6);
-            if (port == kPortController)
-              fm.actions.push_back(Action::to_controller());
-            else if (port == kPortFlood)
-              fm.actions.push_back(Action::flood());
-            else
-              fm.actions.push_back(Action::output(port));
-            break;
-          }
-          case kActPushVlan:
-            r.u16();
-            r.skip(2);
-            fm.actions.push_back(Action::push_vlan(0));
-            break;
-          case kActPopVlan:
-            r.skip(4);
-            fm.actions.push_back(Action::pop_vlan());
-            break;
-          case kActDecNwTtl:
-            r.skip(4);
-            fm.actions.push_back(Action::dec_ttl());
-            break;
-          case kActSetField: {
-            const uint16_t oxm_class = r.u16();
-            const uint8_t fh = r.u8();
-            const uint8_t tlv_len = r.u8();
-            const FieldId f = field_from_oxm(oxm_class, fh >> 1);
-            ESW_CHECK_MSG(f != FieldId::kCount, "unknown set-field OXM");
-            uint64_t value = r.be(tlv_len);
-            if (f == FieldId::kVlanVid) value &= ~uint64_t{kVidPresent};
-            fm.actions.push_back(Action::set_field(f, value));
-            r.skip(alen - 8 - tlv_len);  // padding
-            break;
-          }
-          default:
-            ESW_CHECK_MSG(false, "unknown action type");
-        }
-        abytes -= alen;
-      }
+      ActionList decoded = decode_actions(r, ilen - 8);
+      actions.insert(actions.end(), decoded.begin(), decoded.end());
     } else {
       r.skip(ilen - 4);
     }
+    ibytes -= ilen;
   }
+}
+
+/// Multipart message prolog: mp_type(2) flags(2) pad(4) after the header.
+Reader begin_multipart(const uint8_t* data, size_t len, MsgType expect,
+                       uint16_t mp_expect, uint32_t& xid) {
+  Reader r = begin_frame(data, len, expect, xid);
+  ESW_CHECK_MSG(r.u16() == mp_expect, "unexpected multipart type");
+  r.u16();   // flags
+  r.skip(4); // pad
+  return r;
+}
+
+Writer begin_multipart_msg(MsgType type, uint16_t mp_type, uint32_t xid) {
+  Writer w = begin_msg(type, xid);
+  w.u16(mp_type);
+  w.u16(0);  // flags
+  w.zeros(4);
+  return w;
+}
+
+uint16_t multipart_type(const uint8_t* data, size_t len) {
+  ESW_CHECK_MSG(len >= 10, "truncated OpenFlow message");
+  return load_be16(data + 8);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Header
+// ---------------------------------------------------------------------------
+
+OfHeader peek_header(const uint8_t* data, size_t len) {
+  ESW_CHECK_MSG(len >= 8, "truncated OpenFlow header");
+  OfHeader h;
+  h.version = data[0];
+  h.type = static_cast<MsgType>(data[1]);
+  h.length = load_be16(data + 2);
+  h.xid = load_be32(data + 4);
+  return h;
+}
+
+size_t openflow_frame_len(const uint8_t* data, size_t len) {
+  if (len < 8) return 0;
+  return load_be16(data + 2);
+}
+
+// ---------------------------------------------------------------------------
+// Symmetric / trivial messages
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> encode_hello(const Hello& m) {
+  Writer w = begin_msg(MsgType::kHello, m.xid);
+  return finish_msg(w);
+}
+
+std::vector<uint8_t> encode_echo_request(const EchoRequest& m) {
+  Writer w = begin_msg(MsgType::kEchoRequest, m.xid);
+  w.bytes(m.payload.data(), m.payload.size());
+  return finish_msg(w);
+}
+
+std::vector<uint8_t> encode_echo_reply(const EchoReply& m) {
+  Writer w = begin_msg(MsgType::kEchoReply, m.xid);
+  w.bytes(m.payload.data(), m.payload.size());
+  return finish_msg(w);
+}
+
+std::vector<uint8_t> encode_features_request(const FeaturesRequest& m) {
+  Writer w = begin_msg(MsgType::kFeaturesRequest, m.xid);
+  return finish_msg(w);
+}
+
+std::vector<uint8_t> encode_features_reply(const FeaturesReply& m) {
+  Writer w = begin_msg(MsgType::kFeaturesReply, m.xid);
+  w.u64(m.datapath_id);
+  w.u32(m.n_buffers);
+  w.u8(m.n_tables);
+  w.u8(m.auxiliary_id);
+  w.zeros(2);  // pad
+  w.u32(m.capabilities);
+  w.u32(0);  // reserved
+  return finish_msg(w);
+}
+
+std::vector<uint8_t> encode_barrier_request(const BarrierRequest& m) {
+  Writer w = begin_msg(MsgType::kBarrierRequest, m.xid);
+  return finish_msg(w);
+}
+
+std::vector<uint8_t> encode_barrier_reply(const BarrierReply& m) {
+  Writer w = begin_msg(MsgType::kBarrierReply, m.xid);
+  return finish_msg(w);
+}
+
+std::vector<uint8_t> encode_error(const Error& m) {
+  Writer w = begin_msg(MsgType::kError, m.xid);
+  w.u16(m.type);
+  w.u16(m.code);
+  w.bytes(m.data.data(), m.data.size());
+  return finish_msg(w);
+}
+
+namespace {
+
+Hello decode_hello(const uint8_t* data, size_t len) {
+  Hello m;
+  Reader r = begin_frame(data, len, MsgType::kHello, m.xid);
+  r.rest();  // hello elements (version bitmaps) — tolerated, ignored
+  return m;
+}
+
+EchoRequest decode_echo_request(const uint8_t* data, size_t len) {
+  EchoRequest m;
+  Reader r = begin_frame(data, len, MsgType::kEchoRequest, m.xid);
+  m.payload = r.rest();
+  return m;
+}
+
+EchoReply decode_echo_reply(const uint8_t* data, size_t len) {
+  EchoReply m;
+  Reader r = begin_frame(data, len, MsgType::kEchoReply, m.xid);
+  m.payload = r.rest();
+  return m;
+}
+
+FeaturesRequest decode_features_request(const uint8_t* data, size_t len) {
+  FeaturesRequest m;
+  begin_frame(data, len, MsgType::kFeaturesRequest, m.xid);
+  return m;
+}
+
+FeaturesReply decode_features_reply(const uint8_t* data, size_t len) {
+  FeaturesReply m;
+  Reader r = begin_frame(data, len, MsgType::kFeaturesReply, m.xid);
+  m.datapath_id = r.u64();
+  m.n_buffers = r.u32();
+  m.n_tables = r.u8();
+  m.auxiliary_id = r.u8();
+  r.skip(2);
+  m.capabilities = r.u32();
+  r.u32();  // reserved
+  return m;
+}
+
+BarrierRequest decode_barrier_request(const uint8_t* data, size_t len) {
+  BarrierRequest m;
+  begin_frame(data, len, MsgType::kBarrierRequest, m.xid);
+  return m;
+}
+
+BarrierReply decode_barrier_reply(const uint8_t* data, size_t len) {
+  BarrierReply m;
+  begin_frame(data, len, MsgType::kBarrierReply, m.xid);
+  return m;
+}
+
+Error decode_error(const uint8_t* data, size_t len) {
+  Error m;
+  Reader r = begin_frame(data, len, MsgType::kError, m.xid);
+  m.type = r.u16();
+  m.code = r.u16();
+  m.data = r.rest();
+  return m;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FLOW_MOD
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> encode_flow_mod(const FlowMod& fm) {
+  Writer w = begin_msg(MsgType::kFlowMod, fm.xid);
+  w.u64(fm.cookie);
+  w.u64(0);  // cookie_mask
+  w.u8(fm.table_id);
+  w.u8(static_cast<uint8_t>(fm.command));
+  w.u16(0);  // idle_timeout
+  w.u16(0);  // hard_timeout
+  w.u16(fm.priority);
+  w.u32(kOfpNoBuffer);  // buffer_id
+  w.u32(kPortAny);      // out_port
+  w.u32(kPortAny);      // out_group
+  w.u16(fm.flags);
+  w.zeros(2);  // pad
+  encode_match(w, fm.match);
+  encode_instructions(w, fm.actions, fm.goto_table);
+  return finish_msg(w);
+}
+
+FlowMod decode_flow_mod(const uint8_t* data, size_t len) {
+  FlowMod fm;
+  Reader r = begin_frame(data, len, MsgType::kFlowMod, fm.xid);
+  fm.cookie = r.u64();
+  r.u64();  // cookie_mask
+  fm.table_id = r.u8();
+  const uint8_t cmd = r.u8();
+  ESW_CHECK_MSG(cmd == static_cast<uint8_t>(FlowMod::Cmd::kAdd) ||
+                    cmd == static_cast<uint8_t>(FlowMod::Cmd::kModify) ||
+                    cmd == static_cast<uint8_t>(FlowMod::Cmd::kDelete),
+                "unknown flow-mod command");
+  fm.command = static_cast<FlowMod::Cmd>(cmd);
+  r.u16();  // idle
+  r.u16();  // hard
+  fm.priority = r.u16();
+  r.u32();  // buffer
+  r.u32();  // out_port
+  r.u32();  // out_group
+  fm.flags = r.u16();
+  r.skip(2);
+  fm.match = decode_match(r);
+  decode_instructions(r, r.remaining(), fm.actions, fm.goto_table);
   return fm;
+}
+
+// ---------------------------------------------------------------------------
+// PACKET_IN / PACKET_OUT / FLOW_REMOVED
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> encode_packet_in(const PacketIn& m) {
+  Writer w = begin_msg(MsgType::kPacketIn, m.xid);
+  w.u32(m.buffer_id);
+  w.u16(static_cast<uint16_t>(m.frame.size()));  // total_len
+  w.u8(static_cast<uint8_t>(m.reason));
+  w.u8(m.table_id);
+  w.u64(m.cookie);
+  Match match;  // the ingress port travels as an OXM match, per spec
+  match.set(FieldId::kInPort, m.in_port);
+  encode_match(w, match);
+  w.zeros(2);  // pad before the frame
+  w.bytes(m.frame.data(), m.frame.size());
+  return finish_msg(w);
+}
+
+namespace {
+
+PacketIn decode_packet_in(const uint8_t* data, size_t len) {
+  PacketIn m;
+  Reader r = begin_frame(data, len, MsgType::kPacketIn, m.xid);
+  m.buffer_id = r.u32();
+  const uint16_t total_len = r.u16();
+  const uint8_t reason = r.u8();
+  ESW_CHECK_MSG(reason <= static_cast<uint8_t>(PacketIn::Reason::kAction),
+                "unknown packet-in reason");
+  m.reason = static_cast<PacketIn::Reason>(reason);
+  m.table_id = r.u8();
+  m.cookie = r.u64();
+  const Match match = decode_match(r);
+  if (match.has(FieldId::kInPort))
+    m.in_port = static_cast<uint32_t>(match.value(FieldId::kInPort));
+  r.skip(2);  // pad
+  m.frame = r.rest();
+  ESW_CHECK_MSG(m.frame.size() == total_len, "packet-in frame length mismatch");
+  return m;
+}
+
+}  // namespace
+
+std::vector<uint8_t> encode_packet_out(const PacketOut& m) {
+  Writer w = begin_msg(MsgType::kPacketOut, m.xid);
+  w.u32(m.buffer_id);
+  w.u32(m.in_port);
+  const size_t alen_off = w.size();
+  w.u16(0);  // actions_len placeholder
+  w.zeros(6);
+  const size_t actions_start = w.size();
+  encode_actions(w, m.actions);
+  w.patch_u16(alen_off, static_cast<uint16_t>(w.size() - actions_start));
+  w.bytes(m.frame.data(), m.frame.size());
+  return finish_msg(w);
+}
+
+namespace {
+
+PacketOut decode_packet_out(const uint8_t* data, size_t len) {
+  PacketOut m;
+  Reader r = begin_frame(data, len, MsgType::kPacketOut, m.xid);
+  m.buffer_id = r.u32();
+  m.in_port = r.u32();
+  const uint16_t actions_len = r.u16();
+  r.skip(6);
+  ESW_CHECK_MSG(actions_len <= r.remaining(), "bad actions length");
+  m.actions = decode_actions(r, actions_len);
+  m.frame = r.rest();
+  return m;
+}
+
+}  // namespace
+
+std::vector<uint8_t> encode_flow_removed(const FlowRemoved& m) {
+  Writer w = begin_msg(MsgType::kFlowRemoved, m.xid);
+  w.u64(m.cookie);
+  w.u16(m.priority);
+  w.u8(static_cast<uint8_t>(m.reason));
+  w.u8(m.table_id);
+  w.u32(0);  // duration_sec (no wall clock in the model)
+  w.u32(0);  // duration_nsec
+  w.u16(0);  // idle_timeout
+  w.u16(0);  // hard_timeout
+  w.u64(m.packet_count);
+  w.u64(m.byte_count);
+  encode_match(w, m.match);
+  return finish_msg(w);
+}
+
+namespace {
+
+FlowRemoved decode_flow_removed(const uint8_t* data, size_t len) {
+  FlowRemoved m;
+  Reader r = begin_frame(data, len, MsgType::kFlowRemoved, m.xid);
+  m.cookie = r.u64();
+  m.priority = r.u16();
+  const uint8_t reason = r.u8();
+  ESW_CHECK_MSG(reason <= static_cast<uint8_t>(FlowRemoved::Reason::kDelete),
+                "unknown flow-removed reason");
+  m.reason = static_cast<FlowRemoved::Reason>(reason);
+  m.table_id = r.u8();
+  r.u32();  // duration_sec
+  r.u32();  // duration_nsec
+  r.u16();  // idle
+  r.u16();  // hard
+  m.packet_count = r.u64();
+  m.byte_count = r.u64();
+  m.match = decode_match(r);
+  return m;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Multipart: flow stats, table stats
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> encode_flow_stats_request(const FlowStatsRequest& m) {
+  Writer w = begin_multipart_msg(MsgType::kMultipartRequest, kMpFlow, m.xid);
+  w.u8(m.table_id);
+  w.zeros(3);
+  w.u32(kPortAny);  // out_port
+  w.u32(kPortAny);  // out_group
+  w.zeros(4);
+  w.u64(0);  // cookie
+  w.u64(0);  // cookie_mask
+  encode_match(w, m.match);
+  return finish_msg(w);
+}
+
+std::vector<uint8_t> encode_flow_stats_reply(const FlowStatsReply& m) {
+  Writer w = begin_multipart_msg(MsgType::kMultipartReply, kMpFlow, m.xid);
+  for (const FlowStatsEntry& e : m.entries) {
+    const size_t entry_start = w.size();
+    w.u16(0);  // length placeholder
+    w.u8(e.table_id);
+    w.zeros(1);
+    w.u32(0);  // duration_sec
+    w.u32(0);  // duration_nsec
+    w.u16(e.priority);
+    w.u16(0);  // idle_timeout
+    w.u16(0);  // hard_timeout
+    w.u16(0);  // flags
+    w.zeros(4);
+    w.u64(e.cookie);
+    w.u64(e.packet_count);
+    w.u64(e.byte_count);
+    encode_match(w, e.match);
+    encode_instructions(w, e.actions, e.goto_table);
+    w.patch_u16(entry_start, static_cast<uint16_t>(w.size() - entry_start));
+  }
+  return finish_msg(w);
+}
+
+std::vector<uint8_t> encode_table_stats_request(const TableStatsRequest& m) {
+  Writer w = begin_multipart_msg(MsgType::kMultipartRequest, kMpTable, m.xid);
+  return finish_msg(w);
+}
+
+std::vector<uint8_t> encode_table_stats_reply(const TableStatsReply& m) {
+  Writer w = begin_multipart_msg(MsgType::kMultipartReply, kMpTable, m.xid);
+  for (const TableStatsEntry& e : m.entries) {
+    w.u8(e.table_id);
+    w.zeros(3);
+    w.u32(e.active_count);
+    w.u64(e.lookup_count);
+    w.u64(e.matched_count);
+  }
+  return finish_msg(w);
+}
+
+namespace {
+
+FlowStatsRequest decode_flow_stats_request(const uint8_t* data, size_t len) {
+  FlowStatsRequest m;
+  Reader r = begin_multipart(data, len, MsgType::kMultipartRequest, kMpFlow, m.xid);
+  m.table_id = r.u8();
+  r.skip(3);
+  r.u32();  // out_port
+  r.u32();  // out_group
+  r.skip(4);
+  r.u64();  // cookie
+  r.u64();  // cookie_mask
+  m.match = decode_match(r);
+  return m;
+}
+
+FlowStatsReply decode_flow_stats_reply(const uint8_t* data, size_t len) {
+  FlowStatsReply m;
+  Reader r = begin_multipart(data, len, MsgType::kMultipartReply, kMpFlow, m.xid);
+  while (r.remaining() > 0) {
+    const uint16_t entry_len = r.u16();
+    // ofp_flow_stats is 56 bytes including the 2-byte length and the minimal
+    // (empty, padded) match.
+    ESW_CHECK_MSG(entry_len >= 56 && entry_len - 2u <= r.remaining(),
+                  "bad flow-stats entry length");
+    FlowStatsEntry e;
+    e.table_id = r.u8();
+    r.skip(1);
+    r.u32();  // duration_sec
+    r.u32();  // duration_nsec
+    e.priority = r.u16();
+    r.u16();  // idle
+    r.u16();  // hard
+    r.u16();  // flags
+    r.skip(4);
+    e.cookie = r.u64();
+    e.packet_count = r.u64();
+    e.byte_count = r.u64();
+    const size_t fixed_consumed = 2 + 46;  // length field + fixed body so far
+    const size_t tail_before = r.remaining();
+    e.match = decode_match(r);
+    const size_t match_bytes = tail_before - r.remaining();
+    ESW_CHECK_MSG(entry_len >= fixed_consumed + match_bytes,
+                  "bad flow-stats entry length");
+    decode_instructions(r, entry_len - fixed_consumed - match_bytes, e.actions,
+                        e.goto_table);
+    m.entries.push_back(std::move(e));
+  }
+  return m;
+}
+
+TableStatsRequest decode_table_stats_request(const uint8_t* data, size_t len) {
+  TableStatsRequest m;
+  begin_multipart(data, len, MsgType::kMultipartRequest, kMpTable, m.xid);
+  return m;
+}
+
+TableStatsReply decode_table_stats_reply(const uint8_t* data, size_t len) {
+  TableStatsReply m;
+  Reader r = begin_multipart(data, len, MsgType::kMultipartReply, kMpTable, m.xid);
+  while (r.remaining() > 0) {
+    ESW_CHECK_MSG(r.remaining() >= 24, "bad table-stats entry");
+    TableStatsEntry e;
+    e.table_id = r.u8();
+    r.skip(3);
+    e.active_count = r.u32();
+    e.lookup_count = r.u64();
+    e.matched_count = r.u64();
+    m.entries.push_back(e);
+  }
+  return m;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Generic dispatch
+// ---------------------------------------------------------------------------
+
+OfMsg decode_message(const uint8_t* data, size_t len) {
+  const OfHeader h = peek_header(data, len);
+  switch (h.type) {
+    case MsgType::kHello:           return decode_hello(data, len);
+    case MsgType::kError:           return decode_error(data, len);
+    case MsgType::kEchoRequest:     return decode_echo_request(data, len);
+    case MsgType::kEchoReply:       return decode_echo_reply(data, len);
+    case MsgType::kFeaturesRequest: return decode_features_request(data, len);
+    case MsgType::kFeaturesReply:   return decode_features_reply(data, len);
+    case MsgType::kPacketIn:        return decode_packet_in(data, len);
+    case MsgType::kFlowRemoved:     return decode_flow_removed(data, len);
+    case MsgType::kPacketOut:       return decode_packet_out(data, len);
+    case MsgType::kFlowMod:         return decode_flow_mod(data, len);
+    case MsgType::kMultipartRequest:
+      return multipart_type(data, len) == kMpFlow
+                 ? OfMsg{decode_flow_stats_request(data, len)}
+                 : OfMsg{decode_table_stats_request(data, len)};
+    case MsgType::kMultipartReply:
+      return multipart_type(data, len) == kMpFlow
+                 ? OfMsg{decode_flow_stats_reply(data, len)}
+                 : OfMsg{decode_table_stats_reply(data, len)};
+    case MsgType::kBarrierRequest:  return decode_barrier_request(data, len);
+    case MsgType::kBarrierReply:    return decode_barrier_reply(data, len);
+  }
+  ESW_CHECK_MSG(false, "unsupported OpenFlow message type");
+  return Hello{};
+}
+
+std::vector<uint8_t> encode_message(const OfMsg& m) {
+  return std::visit(
+      [](const auto& msg) -> std::vector<uint8_t> {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, Hello>) return encode_hello(msg);
+        else if constexpr (std::is_same_v<T, EchoRequest>) return encode_echo_request(msg);
+        else if constexpr (std::is_same_v<T, EchoReply>) return encode_echo_reply(msg);
+        else if constexpr (std::is_same_v<T, FeaturesRequest>)
+          return encode_features_request(msg);
+        else if constexpr (std::is_same_v<T, FeaturesReply>)
+          return encode_features_reply(msg);
+        else if constexpr (std::is_same_v<T, BarrierRequest>)
+          return encode_barrier_request(msg);
+        else if constexpr (std::is_same_v<T, BarrierReply>) return encode_barrier_reply(msg);
+        else if constexpr (std::is_same_v<T, FlowMod>) return encode_flow_mod(msg);
+        else if constexpr (std::is_same_v<T, PacketIn>) return encode_packet_in(msg);
+        else if constexpr (std::is_same_v<T, PacketOut>) return encode_packet_out(msg);
+        else if constexpr (std::is_same_v<T, FlowRemoved>) return encode_flow_removed(msg);
+        else if constexpr (std::is_same_v<T, FlowStatsRequest>)
+          return encode_flow_stats_request(msg);
+        else if constexpr (std::is_same_v<T, FlowStatsReply>)
+          return encode_flow_stats_reply(msg);
+        else if constexpr (std::is_same_v<T, TableStatsRequest>)
+          return encode_table_stats_request(msg);
+        else if constexpr (std::is_same_v<T, TableStatsReply>)
+          return encode_table_stats_reply(msg);
+        else
+          return encode_error(msg);
+      },
+      m);
 }
 
 }  // namespace esw::flow

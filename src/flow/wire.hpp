@@ -1,40 +1,255 @@
-// OpenFlow 1.3 wire encoding of FLOW_MOD messages (header + OXM match +
-// instructions), used by the controller-channel model so that Fig. 17's
-// CLI-vs-controller comparison exercises a real serialize/deserialize path.
+// OpenFlow 1.3 wire codec: the message set a user-space switch needs to hold
+// a real controller session (the BOFUSS shape) — HELLO, ECHO, FEATURES,
+// BARRIER, FLOW_MOD, PACKET_IN, PACKET_OUT, FLOW_REMOVED, ERROR and the
+// flow/table-stats multipart pair — over the framed stream transport the
+// agent layer (`uc::OfAgent`) speaks.
 //
 // Faithful to the spec for all standard fields; ip_ttl (not a standard OF 1.3
-// OXM) travels in a private OXM class, clearly marked below.  An explicit
-// `drop` action encodes as an empty write-actions list (OpenFlow represents
-// drop as the absence of an output action).
+// OXM) travels in a private OXM class.  An explicit `drop` action encodes as
+// an empty write-actions list (OpenFlow represents drop as the absence of an
+// output action).
+//
+// Every decoder validates version, type and the header length field against
+// the caller's buffer, is bounded to its own frame (trailing bytes of a
+// back-to-back stream are never consumed), and throws CheckError on malformed
+// input without returning partial state.
 #pragma once
 
 #include <cstdint>
+#include <variant>
 #include <vector>
 
 #include "flow/table.hpp"
 
 namespace esw::flow {
 
+inline constexpr uint8_t kOfVersion = 0x04;  // OpenFlow 1.3
+inline constexpr uint32_t kOfpNoBuffer = 0xffffffff;
+inline constexpr uint8_t kAllTables = 0xff;  // OFPTT_ALL
+
+/// OFPT_* message types (the subset the agent session speaks).
+enum class MsgType : uint8_t {
+  kHello = 0,
+  kError = 1,
+  kEchoRequest = 2,
+  kEchoReply = 3,
+  kFeaturesRequest = 5,
+  kFeaturesReply = 6,
+  kPacketIn = 10,
+  kFlowRemoved = 11,
+  kPacketOut = 13,
+  kFlowMod = 14,
+  kMultipartRequest = 18,
+  kMultipartReply = 19,
+  kBarrierRequest = 20,
+  kBarrierReply = 21,
+};
+
+/// Decoded ofp_header.  `length` is the sender's claimed frame length.
+struct OfHeader {
+  uint8_t version = 0;
+  MsgType type = MsgType::kHello;
+  uint16_t length = 0;
+  uint32_t xid = 0;
+};
+
+/// Parses the 8-byte header; throws CheckError when len < 8.  Version and
+/// `length` are reported, not validated — framing loops peek the header first
+/// and wait for the rest of the frame; each decoder validates both.
+OfHeader peek_header(const uint8_t* data, size_t len);
+
+/// Frame length from an OpenFlow header (returns 0 if len < 8).
+size_t openflow_frame_len(const uint8_t* data, size_t len);
+
+// ---------------------------------------------------------------------------
+// Message structs
+// ---------------------------------------------------------------------------
+
+struct Hello {
+  uint32_t xid = 0;
+};
+
+struct EchoRequest {
+  uint32_t xid = 0;
+  std::vector<uint8_t> payload;
+};
+
+struct EchoReply {
+  uint32_t xid = 0;
+  std::vector<uint8_t> payload;
+};
+
+struct FeaturesRequest {
+  uint32_t xid = 0;
+};
+
+struct FeaturesReply {
+  uint32_t xid = 0;
+  uint64_t datapath_id = 0;
+  uint32_t n_buffers = 0;
+  uint8_t n_tables = 0;
+  uint8_t auxiliary_id = 0;
+  uint32_t capabilities = 0;
+};
+
+struct BarrierRequest {
+  uint32_t xid = 0;
+};
+
+struct BarrierReply {
+  uint32_t xid = 0;
+};
+
 struct FlowMod {
   enum class Cmd : uint8_t { kAdd = 0, kModify = 1, kDelete = 3 };
+
+  /// OFPFF_SEND_FLOW_REM: ask for a FLOW_REMOVED when the flow is deleted.
+  static constexpr uint16_t kFlagSendFlowRem = 1 << 0;
 
   Cmd command = Cmd::kAdd;
   uint8_t table_id = 0;
   uint16_t priority = 0;
   uint64_t cookie = 0;
+  uint16_t flags = 0;
   Match match;
-  ActionList actions;             // write-actions instruction
-  int16_t goto_table = kNoGoto;   // goto-table instruction
+  ActionList actions;            // write-actions instruction
+  int16_t goto_table = kNoGoto;  // goto-table instruction
   uint32_t xid = 0;
 };
 
-/// Serializes a FLOW_MOD; always succeeds for valid in-memory state.
-std::vector<uint8_t> encode_flow_mod(const FlowMod& fm);
+/// The rule-store form of a flow-mod's payload (shared by every backend's
+/// apply() so new FlowMod fields cannot silently diverge between them).
+inline FlowEntry entry_from(const FlowMod& fm) {
+  FlowEntry e;
+  e.match = fm.match;
+  e.priority = fm.priority;
+  e.actions = fm.actions;
+  e.goto_table = fm.goto_table;
+  e.cookie = fm.cookie;
+  return e;
+}
+
+struct PacketIn {
+  enum class Reason : uint8_t { kNoMatch = 0, kAction = 1 };
+
+  uint32_t xid = 0;
+  uint32_t buffer_id = kOfpNoBuffer;
+  Reason reason = Reason::kNoMatch;
+  uint8_t table_id = 0;
+  uint64_t cookie = 0;
+  uint32_t in_port = 0;  // travels as an OXM in_port match, per spec
+  std::vector<uint8_t> frame;
+};
+
+struct PacketOut {
+  uint32_t xid = 0;
+  uint32_t buffer_id = kOfpNoBuffer;
+  uint32_t in_port = 0;
+  ActionList actions;
+  std::vector<uint8_t> frame;
+};
+
+struct FlowRemoved {
+  enum class Reason : uint8_t { kIdleTimeout = 0, kHardTimeout = 1, kDelete = 2 };
+
+  uint32_t xid = 0;
+  uint64_t cookie = 0;
+  uint16_t priority = 0;
+  Reason reason = Reason::kDelete;
+  uint8_t table_id = 0;
+  uint64_t packet_count = 0;
+  uint64_t byte_count = 0;
+  Match match;
+};
+
+/// OFPMP_FLOW request: all flows of `table_id` (kAllTables = every table)
+/// whose match is subsumed by `match` (empty match = all).
+struct FlowStatsRequest {
+  uint32_t xid = 0;
+  uint8_t table_id = kAllTables;
+  Match match;
+};
+
+struct FlowStatsEntry {
+  uint8_t table_id = 0;
+  uint16_t priority = 0;
+  uint64_t cookie = 0;
+  uint64_t packet_count = 0;
+  uint64_t byte_count = 0;
+  Match match;
+  ActionList actions;
+  int16_t goto_table = kNoGoto;
+};
+
+struct FlowStatsReply {
+  uint32_t xid = 0;
+  std::vector<FlowStatsEntry> entries;
+};
+
+struct TableStatsRequest {
+  uint32_t xid = 0;
+};
+
+struct TableStatsEntry {
+  uint8_t table_id = 0;
+  uint32_t active_count = 0;
+  uint64_t lookup_count = 0;
+  uint64_t matched_count = 0;
+};
+
+struct TableStatsReply {
+  uint32_t xid = 0;
+  std::vector<TableStatsEntry> entries;
+};
+
+struct Error {
+  uint32_t xid = 0;
+  uint16_t type = 0;  // OFPET_*
+  uint16_t code = 0;
+  std::vector<uint8_t> data;  // ≥64 bytes of the offending message, per spec
+};
+
+// OFPET_* / code values the agent emits.
+inline constexpr uint16_t kErrTypeBadRequest = 1;      // OFPET_BAD_REQUEST
+inline constexpr uint16_t kErrCodeBadType = 1;         // OFPBRC_BAD_TYPE
+inline constexpr uint16_t kErrTypeFlowModFailed = 5;   // OFPET_FLOW_MOD_FAILED
+inline constexpr uint16_t kErrCodeFlowModUnknown = 0;  // OFPFMFC_UNKNOWN
+
+// ---------------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> encode_hello(const Hello& m);
+std::vector<uint8_t> encode_echo_request(const EchoRequest& m);
+std::vector<uint8_t> encode_echo_reply(const EchoReply& m);
+std::vector<uint8_t> encode_features_request(const FeaturesRequest& m);
+std::vector<uint8_t> encode_features_reply(const FeaturesReply& m);
+std::vector<uint8_t> encode_barrier_request(const BarrierRequest& m);
+std::vector<uint8_t> encode_barrier_reply(const BarrierReply& m);
+std::vector<uint8_t> encode_flow_mod(const FlowMod& m);
+std::vector<uint8_t> encode_packet_in(const PacketIn& m);
+std::vector<uint8_t> encode_packet_out(const PacketOut& m);
+std::vector<uint8_t> encode_flow_removed(const FlowRemoved& m);
+std::vector<uint8_t> encode_flow_stats_request(const FlowStatsRequest& m);
+std::vector<uint8_t> encode_flow_stats_reply(const FlowStatsReply& m);
+std::vector<uint8_t> encode_table_stats_request(const TableStatsRequest& m);
+std::vector<uint8_t> encode_table_stats_reply(const TableStatsReply& m);
+std::vector<uint8_t> encode_error(const Error& m);
 
 /// Parses a FLOW_MOD; throws CheckError on malformed input.
 FlowMod decode_flow_mod(const uint8_t* data, size_t len);
 
-/// Frame length from an OpenFlow header (returns 0 if len < 8).
-size_t openflow_frame_len(const uint8_t* data, size_t len);
+/// Any decoded message.  Multipart messages decode as their body type.
+using OfMsg = std::variant<Hello, EchoRequest, EchoReply, FeaturesRequest,
+                           FeaturesReply, BarrierRequest, BarrierReply, FlowMod,
+                           PacketIn, PacketOut, FlowRemoved, FlowStatsRequest,
+                           FlowStatsReply, TableStatsRequest, TableStatsReply, Error>;
+
+/// Decodes one frame (dispatching on the header type); throws CheckError on
+/// malformed input or message types outside the session's set.
+OfMsg decode_message(const uint8_t* data, size_t len);
+
+/// Encodes any message (inverse of decode_message).
+std::vector<uint8_t> encode_message(const OfMsg& m);
 
 }  // namespace esw::flow

@@ -1,0 +1,31 @@
+#include "netio/portset.hpp"
+
+namespace esw::net {
+
+PortSet::PortSet(uint32_t n, const Port::Config& cfg) {
+  ports_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) add_port(cfg);
+}
+
+uint32_t PortSet::add_port(const Port::Config& cfg) {
+  Port::Config named = cfg;
+  const uint32_t port_no = kFirstPort + size();
+  named.name = cfg.name + "-" + std::to_string(port_no);
+  ports_.push_back(std::make_unique<Port>(named));
+  return port_no;
+}
+
+PortCounters PortSet::totals() const {
+  PortCounters sum;
+  for (const auto& p : ports_) {
+    const PortCounters& c = p->counters();
+    sum.rx_packets += c.rx_packets;
+    sum.tx_packets += c.tx_packets;
+    sum.rx_bytes += c.rx_bytes;
+    sum.tx_bytes += c.tx_bytes;
+    sum.tx_drops += c.tx_drops;
+  }
+  return sum;
+}
+
+}  // namespace esw::net

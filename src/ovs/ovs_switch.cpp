@@ -80,6 +80,22 @@ void OvsSwitch::remove_flow(uint8_t table, const Match& m, uint16_t priority) {
   ++generation_;
 }
 
+void OvsSwitch::apply(const flow::FlowMod& fm) {
+  switch (fm.command) {
+    case flow::FlowMod::Cmd::kAdd:
+    case flow::FlowMod::Cmd::kModify:
+      add_flow(fm.table_id, flow::entry_from(fm));
+      break;
+    case flow::FlowMod::Cmd::kDelete:
+      remove_flow(fm.table_id, fm.match, fm.priority);
+      break;
+  }
+}
+
+void OvsSwitch::apply_batch(const std::vector<flow::FlowMod>& fms) {
+  for (const flow::FlowMod& fm : fms) apply(fm);
+}
+
 Verdict OvsSwitch::replay(const MegaflowCache::Entry& e, net::Packet& pkt,
                           proto::ParseInfo& pi) {
   flow::ActionSetBuilder as;
@@ -88,7 +104,25 @@ Verdict OvsSwitch::replay(const MegaflowCache::Entry& e, net::Packet& pkt,
 }
 
 Verdict OvsSwitch::process(net::Packet& pkt, MemTrace* trace) {
+  const Verdict v = classify(pkt, trace);
   ++stats_.packets;
+  switch (v.kind) {
+    case Verdict::Kind::kOutput:
+    case Verdict::Kind::kFlood:
+      ++stats_.outputs;
+      break;
+    case Verdict::Kind::kController:
+      ++stats_.to_controller;
+      break;
+    case Verdict::Kind::kDrop:
+      ++stats_.drops;
+      break;
+  }
+  return v;
+}
+
+Verdict OvsSwitch::classify(net::Packet& pkt, MemTrace* trace) {
+  ++cache_stats_.packets;
   proto::ParseInfo pi;
   proto::parse(pkt.data(), pkt.len(), proto::ParserPlan::full(), pi);
   pi.in_port = pkt.in_port();
@@ -101,7 +135,7 @@ Verdict OvsSwitch::process(net::Packet& pkt, MemTrace* trace) {
     const MicroflowCache::Ref mref = microflow_.lookup(key, generation_, trace);
     if (mref.idx >= 0) {
       if (const MegaflowCache::Entry* e = megaflow_.get(mref.idx, mref.stamp)) {
-        ++stats_.microflow_hits;
+        ++cache_stats_.microflow_hits;
         return replay(*e, pkt, pi);
       }
       // Stale pointer (megaflow evicted): treat as a miss.
@@ -111,14 +145,14 @@ Verdict OvsSwitch::process(net::Packet& pkt, MemTrace* trace) {
   // Level 2: megaflow cache (tuple space search).
   const MegaflowCache::Ref ref = megaflow_.lookup(pkt.data(), pi, trace);
   if (ref.idx >= 0) {
-    ++stats_.megaflow_hits;
+    ++cache_stats_.megaflow_hits;
     if (cfg_.enable_microflow)
       microflow_.insert(key, static_cast<uint64_t>(ref.idx), ref.stamp, generation_);
     return replay(*megaflow_.get(ref.idx, ref.stamp), pkt, pi);
   }
 
   // Level 3: vswitchd slow path.
-  ++stats_.upcalls;
+  ++cache_stats_.upcalls;
   return slow_path(pkt, pi, trace);
 }
 

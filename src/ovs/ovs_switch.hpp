@@ -20,7 +20,9 @@
 #include <vector>
 
 #include "cls/tuple_space.hpp"
+#include "core/dataplane.hpp"
 #include "flow/pipeline.hpp"
+#include "flow/wire.hpp"
 #include "netio/packet.hpp"
 #include "ovs/megaflow.hpp"
 #include "ovs/microflow.hpp"
@@ -48,6 +50,13 @@ class OvsSwitch {
   void add_flow(uint8_t table, const flow::FlowEntry& e);
   void remove_flow(uint8_t table, const flow::Match& m, uint16_t priority);
 
+  /// Unified Dataplane entry points: OpenFlow flow-mods mapped onto
+  /// add_flow/remove_flow.  The baseline applies batches sequentially — it
+  /// has no transactional rollback (neither does OVS; every mod already
+  /// invalidates the whole cache hierarchy).
+  void apply(const flow::FlowMod& fm);
+  void apply_batch(const std::vector<flow::FlowMod>& fms);
+
   /// One packet through the datapath hierarchy.
   flow::Verdict process(net::Packet& pkt, MemTrace* trace = nullptr);
 
@@ -59,14 +68,22 @@ class OvsSwitch {
   /// ahead-of-time hint.
   void process_burst(net::Packet* const* pkts, uint32_t n, flow::Verdict* out);
 
-  struct Stats {
+  /// Which cache level served each packet (the Fig. 14 axis).
+  struct CacheStats {
     uint64_t packets = 0;
     uint64_t microflow_hits = 0;
     uint64_t megaflow_hits = 0;
     uint64_t upcalls = 0;  // slow-path (vswitchd-level) traversals
   };
-  const Stats& stats() const { return stats_; }
-  void clear_stats() { stats_ = Stats{}; }
+  const CacheStats& cache_stats() const { return cache_stats_; }
+
+  /// Verdict-level counters in the unified Dataplane shape.
+  const core::DataplaneStats& stats() const { return stats_; }
+
+  void clear_stats() {
+    cache_stats_ = CacheStats{};
+    stats_ = core::DataplaneStats{};
+  }
 
   const MegaflowCache& megaflow() const { return megaflow_; }
   const flow::Pipeline& pipeline() const { return pipeline_; }
@@ -98,6 +115,7 @@ class OvsSwitch {
 
   TableCls* find_cls(uint8_t id);
   void rebuild_classifiers();
+  flow::Verdict classify(net::Packet& pkt, MemTrace* trace);
   flow::Verdict slow_path(net::Packet& pkt, proto::ParseInfo& pi, MemTrace* trace);
   flow::Verdict replay(const MegaflowCache::Entry& e, net::Packet& pkt,
                        proto::ParseInfo& pi);
@@ -108,7 +126,11 @@ class OvsSwitch {
   MicroflowCache microflow_;
   MegaflowCache megaflow_;
   uint64_t generation_ = 1;  // bumped on invalidation; stamps microflow slots
-  Stats stats_;
+  CacheStats cache_stats_;
+  core::DataplaneStats stats_;
 };
+
+static_assert(core::Dataplane<OvsSwitch>,
+              "OvsSwitch must satisfy the unified interface");
 
 }  // namespace esw::ovs

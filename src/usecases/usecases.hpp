@@ -12,18 +12,18 @@
 #include <functional>
 #include <vector>
 
+#include "core/dataplane.hpp"
 #include "flow/pipeline.hpp"
 #include "netio/nfpa.hpp"
 #include "netio/pktgen.hpp"
 
 namespace esw::uc {
 
-/// Adapts any switch exposing `process_burst(Packet**, n, Verdict*)`
-/// (core::Eswitch, ovs::OvsSwitch) into a net::BurstFn for run_loop_burst,
-/// which never passes bursts larger than kBurstSize.  Shared by the figure
-/// benches and the examples so the adapter tracks the process_burst contract
-/// in one place.
-template <typename Switch>
+/// Adapts any `core::Dataplane` backend into a net::BurstFn for
+/// run_loop_burst, which never passes bursts larger than kBurstSize.  Shared
+/// by the figure benches and the examples so the adapter tracks the
+/// process_burst contract in one place.
+template <core::Dataplane Switch>
 net::BurstFn burst_fn(Switch& sw) {
   return [&sw](net::Packet* const* pkts, uint32_t n) {
     flow::Verdict verdicts[net::kBurstSize];

@@ -335,8 +335,8 @@ TEST(BurstParity, OvsBaselineVerdictsAndCacheStats) {
     i += burst;
   }
 
-  const auto& sa = scalar_sw.stats();
-  const auto& sb = burst_sw.stats();
+  const auto& sa = scalar_sw.cache_stats();
+  const auto& sb = burst_sw.cache_stats();
   EXPECT_EQ(sa.packets, sb.packets);
   EXPECT_EQ(sa.microflow_hits, sb.microflow_hits);
   EXPECT_EQ(sa.megaflow_hits, sb.megaflow_hits);

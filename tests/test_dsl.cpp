@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "flow/dsl.hpp"
 
 namespace esw {
@@ -67,6 +68,116 @@ TEST(Dsl, Errors) {
   EXPECT_THROW(parse_rule("priority=1,actions=launch_missiles"), CheckError);
   EXPECT_THROW(parse_rule("priority=1,tcp_dst,actions=drop"), CheckError);
   EXPECT_THROW(parse_rule("ip_dst=1.2.3.4/33,actions=drop"), CheckError);
+}
+
+// --- round-trip property: parse_rule(format_rule(e)) == e -------------------
+
+void expect_round_trip(const FlowEntry& e) {
+  const std::string text = format_rule(e);
+  const FlowEntry back = parse_rule(text);
+  EXPECT_TRUE(back.match == e.match) << text;
+  EXPECT_EQ(back.priority, e.priority) << text;
+  EXPECT_EQ(back.actions, e.actions) << text;
+  EXPECT_EQ(back.goto_table, e.goto_table) << text;
+  EXPECT_EQ(back.cookie, e.cookie) << text;
+}
+
+Action random_action(Rng& rng) {
+  switch (static_cast<ActionType>(rng.below(8))) {
+    case ActionType::kOutput:
+      return Action::output(static_cast<uint32_t>(rng.next()));
+    case ActionType::kDrop:
+      return Action::drop();
+    case ActionType::kController:
+      return Action::to_controller();
+    case ActionType::kFlood:
+      return Action::flood();
+    case ActionType::kSetField: {
+      const FieldId f = static_cast<FieldId>(rng.below(kNumFields));
+      return Action::set_field(f, rng.next() & field_full_mask(f));
+    }
+    case ActionType::kPushVlan:
+      return Action::push_vlan(static_cast<uint16_t>(rng.below(0x1000)));
+    case ActionType::kPopVlan:
+      return Action::pop_vlan();
+    default:
+      return Action::dec_ttl();
+  }
+}
+
+FlowEntry random_entry(Rng& rng) {
+  FlowEntry e;
+  e.priority = static_cast<uint16_t>(rng.below(0x10000));
+  if (rng.below(2) != 0) e.cookie = rng.next();
+  for (unsigned i = 0; i < kNumFields; ++i) {
+    if (rng.below(4) != 0) continue;  // each field present w.p. 1/4
+    const FieldId f = static_cast<FieldId>(i);
+    const uint64_t full = field_full_mask(f);
+    const unsigned width = field_info(f).width_bits;
+    uint64_t mask;
+    switch (rng.below(3)) {  // exact / prefix / arbitrary sparse mask shapes
+      case 0:
+        mask = full;
+        break;
+      case 1: {
+        const unsigned len = static_cast<unsigned>(rng.range(1, width));
+        mask = (full >> (width - len)) << (width - len);
+        break;
+      }
+      default:
+        mask = rng.next() & full;
+        if (mask == 0) mask = full;
+        break;
+    }
+    e.match.set(f, rng.next() & full, mask);
+  }
+  const size_t n_actions = 1 + rng.below(3);
+  for (size_t i = 0; i < n_actions; ++i) e.actions.push_back(random_action(rng));
+  if (rng.below(2) != 0) e.goto_table = static_cast<int16_t>(rng.below(256));
+  return e;
+}
+
+TEST(Dsl, RoundTripEveryActionType) {
+  for (unsigned i = 0; i < 8; ++i) {
+    FlowEntry e;
+    e.priority = 42;
+    switch (static_cast<ActionType>(i)) {
+      case ActionType::kOutput:    e.actions = {Action::output(7)}; break;
+      case ActionType::kDrop:      e.actions = {Action::drop()}; break;
+      case ActionType::kController:e.actions = {Action::to_controller()}; break;
+      case ActionType::kFlood:     e.actions = {Action::flood()}; break;
+      case ActionType::kSetField:
+        e.actions = {Action::set_field(FieldId::kIpSrc, 0x0A010203)};
+        break;
+      case ActionType::kPushVlan:  e.actions = {Action::push_vlan(99)}; break;
+      case ActionType::kPopVlan:   e.actions = {Action::pop_vlan()}; break;
+      case ActionType::kDecTtl:    e.actions = {Action::dec_ttl()}; break;
+    }
+    expect_round_trip(e);
+  }
+}
+
+TEST(Dsl, RoundTripMaskShapes) {
+  FlowEntry e;
+  e.actions = {Action::output(1)};
+  e.match.set(FieldId::kIpSrc, 0x0A000000, 0xFF000000);      // prefix
+  e.match.set(FieldId::kEthDst, 0x010000000000, 0x010000000000);  // single bit
+  e.match.set(FieldId::kMetadata, 0x12340000, 0xFFFF00FF);   // sparse
+  e.match.set(FieldId::kTcpDst, 0x80, 0xFF80);               // sparse 16-bit
+  expect_round_trip(e);
+}
+
+TEST(Dsl, RoundTripGotoAndCookie) {
+  FlowEntry e;
+  e.actions = {Action::dec_ttl(), Action::output(3)};
+  e.goto_table = 200;
+  e.cookie = 0xDEADBEEFCAFEBABEULL;
+  expect_round_trip(e);
+}
+
+TEST(Dsl, RoundTripProperty) {
+  Rng rng(0xD51);
+  for (int i = 0; i < 2000; ++i) expect_round_trip(random_entry(rng));
 }
 
 }  // namespace

@@ -28,18 +28,18 @@ TEST(Ovs, CacheHierarchyProgression) {
 
   auto p1 = make_packet(test::tcp_spec(1, 2, 1000, 80));
   EXPECT_EQ(sw.process(p1), Verdict::output(1));
-  EXPECT_EQ(sw.stats().upcalls, 1u);  // first packet: slow path
+  EXPECT_EQ(sw.cache_stats().upcalls, 1u);  // first packet: slow path
 
   // Same flow again: microflow hit.
   auto p2 = make_packet(test::tcp_spec(1, 2, 1000, 80));
   EXPECT_EQ(sw.process(p2), Verdict::output(1));
-  EXPECT_EQ(sw.stats().microflow_hits, 1u);
+  EXPECT_EQ(sw.cache_stats().microflow_hits, 1u);
 
   // Same megaflow, different microflow (source port differs): megaflow hit.
   auto p3 = make_packet(test::tcp_spec(1, 2, 2000, 80));
   EXPECT_EQ(sw.process(p3), Verdict::output(1));
-  EXPECT_EQ(sw.stats().megaflow_hits, 1u);
-  EXPECT_EQ(sw.stats().upcalls, 1u);
+  EXPECT_EQ(sw.cache_stats().megaflow_hits, 1u);
+  EXPECT_EQ(sw.cache_stats().upcalls, 1u);
 }
 
 TEST(Ovs, TtlChangeMissesMicroflow) {
@@ -54,13 +54,13 @@ TEST(Ovs, TtlChangeMissesMicroflow) {
   sw.process(p1);
   auto p2 = make_packet(spec);
   sw.process(p2);
-  EXPECT_EQ(sw.stats().microflow_hits, 1u);
+  EXPECT_EQ(sw.cache_stats().microflow_hits, 1u);
 
   spec.ip_ttl = 63;  // TTL changed: same megaflow, microflow miss
   auto p3 = make_packet(spec);
   sw.process(p3);
-  EXPECT_EQ(sw.stats().microflow_hits, 1u);
-  EXPECT_EQ(sw.stats().megaflow_hits, 1u);
+  EXPECT_EQ(sw.cache_stats().microflow_hits, 1u);
+  EXPECT_EQ(sw.cache_stats().megaflow_hits, 1u);
 }
 
 TEST(Ovs, MegaflowAggregatesHighPortEntropy) {
@@ -74,7 +74,7 @@ TEST(Ovs, MegaflowAggregatesHighPortEntropy) {
     auto p = make_packet(test::tcp_spec(7, 8, sport, 80));
     ASSERT_EQ(sw.process(p), Verdict::output(1));
   }
-  EXPECT_EQ(sw.stats().upcalls, 1u);
+  EXPECT_EQ(sw.cache_stats().upcalls, 1u);
   EXPECT_EQ(sw.megaflow().size(), 1u);
 }
 
@@ -96,7 +96,7 @@ TEST(Ovs, HighPriorityRuleUnwildcardsConsidered) {
     ASSERT_EQ(sw.process(p), Verdict::output(1));
   }
   EXPECT_EQ(sw.megaflow().size(), 50u);
-  EXPECT_EQ(sw.stats().upcalls, 50u);
+  EXPECT_EQ(sw.cache_stats().upcalls, 50u);
 }
 
 TEST(Ovs, UpdateInvalidatesWholeCache) {
@@ -113,9 +113,9 @@ TEST(Ovs, UpdateInvalidatesWholeCache) {
 
   // Old traffic must repopulate through the slow path (and stay correct).
   auto p = make_packet(test::tcp_spec(7, 8, 1, 80));
-  const auto upcalls_before = sw.stats().upcalls;
+  const auto upcalls_before = sw.cache_stats().upcalls;
   EXPECT_EQ(sw.process(p), Verdict::output(1));
-  EXPECT_EQ(sw.stats().upcalls, upcalls_before + 1);
+  EXPECT_EQ(sw.cache_stats().upcalls, upcalls_before + 1);
 }
 
 TEST(Ovs, FlowLimitEvictsAndStampsProtectMicroflow) {
@@ -152,7 +152,7 @@ TEST(Ovs, MissCachesDropMegaflow) {
   EXPECT_EQ(sw.process(p1), Verdict::drop());
   auto p2 = make_packet(test::tcp_spec(1, 2, 3, 81));
   EXPECT_EQ(sw.process(p2), Verdict::drop());
-  EXPECT_EQ(sw.stats().upcalls, 1u);  // the drop decision was cached
+  EXPECT_EQ(sw.cache_stats().upcalls, 1u);  // the drop decision was cached
 
   // Non-IP traffic must not be swallowed by the drop megaflow's wildcard:
   // protocol fields are always unwildcarded in union mode.
@@ -160,7 +160,7 @@ TEST(Ovs, MissCachesDropMegaflow) {
   arp.kind = proto::PacketKind::kArp;
   auto p3 = make_packet(arp);
   EXPECT_EQ(sw.process(p3), Verdict::drop());
-  EXPECT_EQ(sw.stats().upcalls, 2u);  // distinct megaflow, not a false hit
+  EXPECT_EQ(sw.cache_stats().upcalls, 2u);  // distinct megaflow, not a false hit
 }
 
 TEST(Ovs, Fig3OrderDependence) {
@@ -199,8 +199,8 @@ TEST(Ovs, NatActionsReplayFromCache) {
     auto pi = test::parse_packet(p);
     EXPECT_EQ(extract_field(FieldId::kIpSrc, p.data(), pi), ip("100.64.0.1"));
   }
-  EXPECT_EQ(sw.stats().upcalls, 1u);
-  EXPECT_EQ(sw.stats().microflow_hits, 2u);
+  EXPECT_EQ(sw.cache_stats().upcalls, 1u);
+  EXPECT_EQ(sw.cache_stats().microflow_hits, 2u);
 }
 
 // Property: whatever the cache state, OVS-model verdicts equal the reference

@@ -2,7 +2,7 @@
 
 #include "core/eswitch.hpp"
 #include "test_util.hpp"
-#include "usecases/controller.hpp"
+#include "usecases/of_agent.hpp"
 #include "usecases/usecases.hpp"
 
 namespace esw {
@@ -172,19 +172,22 @@ TEST(UseCases, SnortAclsDecomposeBelowRuleCount) {
   }
 }
 
-TEST(UseCases, ControllerChannelDeliversFlowMods) {
+TEST(UseCases, AgentSessionDeliversFlowMods) {
   Eswitch sw;
   sw.install(Pipeline{});
-  uc::ControllerChannel chan([&](const FlowMod& fm) { sw.apply(fm); });
+  uc::OfAgent agent(uc::make_dataplane_callbacks(sw));
+  uc::OfController ctrl(agent.controller_fd());
+  uc::run_handshake(agent, ctrl);
 
   FlowMod fm;
   fm.table_id = 0;
   fm.priority = 5;
   fm.match.set(FieldId::kUdpDst, 53);
   fm.actions = {Action::output(2)};
-  chan.send(fm);
-  EXPECT_EQ(chan.messages(), 1u);
-  EXPECT_GT(chan.bytes(), 0u);
+  ctrl.send_flow_mod(fm);
+  agent.poll();
+  EXPECT_EQ(agent.stats().flow_mods, 1u);
+  EXPECT_GT(ctrl.bytes(), 0u);
 
   auto p = make_packet(test::udp_spec(1, 2, 9, 53));
   EXPECT_EQ(sw.process(p), Verdict::output(2));

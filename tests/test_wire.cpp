@@ -109,5 +109,362 @@ TEST(Wire, RejectsMalformedInput) {
   EXPECT_EQ(openflow_frame_len(bytes.data(), 4), 0u);
 }
 
+TEST(Wire, FlowModFlagsRoundTrip) {
+  FlowMod fm;
+  fm.command = FlowMod::Cmd::kDelete;
+  fm.flags = FlowMod::kFlagSendFlowRem;
+  fm.match.set(FieldId::kEthDst, 0x0A0B0C0D0E0F);
+  const auto bytes = encode_flow_mod(fm);
+  const FlowMod back = decode_flow_mod(bytes.data(), bytes.size());
+  EXPECT_EQ(back.flags, FlowMod::kFlagSendFlowRem);
+  EXPECT_EQ(back.command, FlowMod::Cmd::kDelete);
+}
+
+// --- the full session message set: round trips through encode/decode --------
+
+TEST(Wire, HelloEchoFeaturesBarrierRoundTrip) {
+  const auto hello = encode_hello({7});
+  EXPECT_EQ(std::get<Hello>(decode_message(hello.data(), hello.size())).xid, 7u);
+
+  const EchoRequest echo{9, {0xAA, 0xBB, 0xCC}};
+  const auto ebytes = encode_echo_request(echo);
+  const auto eback = std::get<EchoRequest>(decode_message(ebytes.data(), ebytes.size()));
+  EXPECT_EQ(eback.xid, 9u);
+  EXPECT_EQ(eback.payload, echo.payload);
+
+  const EchoReply erep{9, {0x01}};
+  const auto rbytes = encode_echo_reply(erep);
+  EXPECT_EQ(std::get<EchoReply>(decode_message(rbytes.data(), rbytes.size())).payload,
+            erep.payload);
+
+  FeaturesReply fr;
+  fr.xid = 11;
+  fr.datapath_id = 0xAABBCCDDEEFF0011ULL;
+  fr.n_buffers = 256;
+  fr.n_tables = 254;
+  fr.capabilities = 0x47;
+  const auto fbytes = encode_features_reply(fr);
+  const auto fback =
+      std::get<FeaturesReply>(decode_message(fbytes.data(), fbytes.size()));
+  EXPECT_EQ(fback.datapath_id, fr.datapath_id);
+  EXPECT_EQ(fback.n_buffers, fr.n_buffers);
+  EXPECT_EQ(fback.n_tables, fr.n_tables);
+  EXPECT_EQ(fback.capabilities, fr.capabilities);
+
+  const auto freq = encode_features_request({13});
+  EXPECT_EQ(std::get<FeaturesRequest>(decode_message(freq.data(), freq.size())).xid, 13u);
+  const auto breq = encode_barrier_request({15});
+  EXPECT_EQ(std::get<BarrierRequest>(decode_message(breq.data(), breq.size())).xid, 15u);
+  const auto brep = encode_barrier_reply({15});
+  EXPECT_EQ(std::get<BarrierReply>(decode_message(brep.data(), brep.size())).xid, 15u);
+}
+
+TEST(Wire, PacketInRoundTrip) {
+  PacketIn pin;
+  pin.xid = 21;
+  pin.reason = PacketIn::Reason::kAction;
+  pin.table_id = 5;
+  pin.cookie = 0x1234;
+  pin.in_port = 3;
+  for (int i = 0; i < 64; ++i) pin.frame.push_back(static_cast<uint8_t>(i));
+  const auto bytes = encode_packet_in(pin);
+  const auto back = std::get<PacketIn>(decode_message(bytes.data(), bytes.size()));
+  EXPECT_EQ(back.xid, pin.xid);
+  EXPECT_EQ(back.reason, pin.reason);
+  EXPECT_EQ(back.table_id, pin.table_id);
+  EXPECT_EQ(back.cookie, pin.cookie);
+  EXPECT_EQ(back.in_port, pin.in_port);
+  EXPECT_EQ(back.frame, pin.frame);
+}
+
+TEST(Wire, PacketOutRoundTrip) {
+  PacketOut po;
+  po.xid = 23;
+  po.in_port = 9;
+  po.actions = {Action::set_field(FieldId::kIpTtl, 9), Action::flood()};
+  po.frame = {1, 2, 3, 4, 5};
+  const auto bytes = encode_packet_out(po);
+  const auto back = std::get<PacketOut>(decode_message(bytes.data(), bytes.size()));
+  EXPECT_EQ(back.in_port, po.in_port);
+  EXPECT_EQ(back.actions, po.actions);
+  EXPECT_EQ(back.frame, po.frame);
+}
+
+TEST(Wire, FlowRemovedRoundTrip) {
+  FlowRemoved fr;
+  fr.xid = 27;
+  fr.cookie = 0xFEED;
+  fr.priority = 77;
+  fr.reason = FlowRemoved::Reason::kDelete;
+  fr.table_id = 4;
+  fr.packet_count = 1000;
+  fr.byte_count = 64000;
+  fr.match.set(FieldId::kUdpDst, 53);
+  const auto bytes = encode_flow_removed(fr);
+  const auto back = std::get<FlowRemoved>(decode_message(bytes.data(), bytes.size()));
+  EXPECT_EQ(back.cookie, fr.cookie);
+  EXPECT_EQ(back.priority, fr.priority);
+  EXPECT_EQ(back.reason, fr.reason);
+  EXPECT_EQ(back.table_id, fr.table_id);
+  EXPECT_EQ(back.packet_count, fr.packet_count);
+  EXPECT_EQ(back.byte_count, fr.byte_count);
+  EXPECT_TRUE(back.match == fr.match);
+}
+
+TEST(Wire, FlowStatsRoundTrip) {
+  FlowStatsRequest req;
+  req.xid = 31;
+  req.table_id = 2;
+  req.match.set(FieldId::kIpDst, test::ip("192.0.2.0"), 0xFFFFFF00);
+  const auto rbytes = encode_flow_stats_request(req);
+  const auto rback =
+      std::get<FlowStatsRequest>(decode_message(rbytes.data(), rbytes.size()));
+  EXPECT_EQ(rback.table_id, req.table_id);
+  EXPECT_TRUE(rback.match == req.match);
+
+  FlowStatsReply reply;
+  reply.xid = 31;
+  FlowStatsEntry e1;
+  e1.table_id = 2;
+  e1.priority = 10;
+  e1.cookie = 0xAB;
+  e1.packet_count = 5;
+  e1.byte_count = 320;
+  e1.match.set(FieldId::kTcpDst, 80);
+  e1.actions = {Action::dec_ttl(), Action::output(2)};
+  e1.goto_table = 9;
+  FlowStatsEntry e2;  // catch-all entry, explicit drop, no goto
+  e2.table_id = 3;
+  e2.actions = {Action::drop()};
+  reply.entries = {e1, e2};
+  const auto bytes = encode_flow_stats_reply(reply);
+  const auto back =
+      std::get<FlowStatsReply>(decode_message(bytes.data(), bytes.size()));
+  ASSERT_EQ(back.entries.size(), 2u);
+  EXPECT_EQ(back.entries[0].priority, e1.priority);
+  EXPECT_EQ(back.entries[0].cookie, e1.cookie);
+  EXPECT_EQ(back.entries[0].packet_count, e1.packet_count);
+  EXPECT_EQ(back.entries[0].byte_count, e1.byte_count);
+  EXPECT_TRUE(back.entries[0].match == e1.match);
+  EXPECT_EQ(back.entries[0].actions, e1.actions);
+  EXPECT_EQ(back.entries[0].goto_table, e1.goto_table);
+  EXPECT_EQ(back.entries[1].table_id, 3);
+  // An explicit drop encodes as an empty write-actions set, which decodes to
+  // an empty list (OpenFlow has no drop action).
+  EXPECT_TRUE(back.entries[1].actions.empty());
+  EXPECT_EQ(back.entries[1].goto_table, kNoGoto);
+}
+
+TEST(Wire, TableStatsRoundTrip) {
+  const auto req = encode_table_stats_request({37});
+  EXPECT_EQ(std::get<TableStatsRequest>(decode_message(req.data(), req.size())).xid,
+            37u);
+
+  TableStatsReply reply;
+  reply.xid = 37;
+  reply.entries = {{0, 12, 1000, 900}, {1, 1, 50, 50}};
+  const auto bytes = encode_table_stats_reply(reply);
+  const auto back =
+      std::get<TableStatsReply>(decode_message(bytes.data(), bytes.size()));
+  ASSERT_EQ(back.entries.size(), 2u);
+  EXPECT_EQ(back.entries[0].active_count, 12u);
+  EXPECT_EQ(back.entries[0].lookup_count, 1000u);
+  EXPECT_EQ(back.entries[1].matched_count, 50u);
+}
+
+TEST(Wire, ErrorRoundTrip) {
+  Error err;
+  err.xid = 41;
+  err.type = kErrTypeBadRequest;
+  err.code = kErrCodeBadType;
+  err.data = {0xDE, 0xAD};
+  const auto bytes = encode_error(err);
+  const auto back = std::get<Error>(decode_message(bytes.data(), bytes.size()));
+  EXPECT_EQ(back.type, err.type);
+  EXPECT_EQ(back.code, err.code);
+  EXPECT_EQ(back.data, err.data);
+}
+
+TEST(Wire, EncodeMessageMatchesPerTypeEncoders) {
+  const FlowMod fm = sample_mod();
+  EXPECT_EQ(encode_message(OfMsg{fm}), encode_flow_mod(fm));
+  EXPECT_EQ(encode_message(OfMsg{Hello{3}}), encode_hello({3}));
+  EXPECT_EQ(encode_message(OfMsg{BarrierReply{4}}), encode_barrier_reply({4}));
+}
+
+// --- robustness: every message type rejects malformed frames ----------------
+
+/// One encoded sample of every message type the session speaks.
+std::vector<std::vector<uint8_t>> sample_frames() {
+  PacketIn pin;
+  pin.in_port = 1;
+  pin.frame = {1, 2, 3, 4, 5, 6, 7, 8};
+  PacketOut po;
+  po.actions = {Action::output(2)};
+  po.frame = {9, 9, 9};
+  FlowRemoved fr;
+  fr.match.set(FieldId::kUdpDst, 53);
+  FlowStatsRequest fsr;
+  fsr.match.set(FieldId::kIpDst, 0x0A000000, 0xFF000000);
+  FlowStatsReply fsp;
+  FlowStatsEntry fse;
+  fse.match.set(FieldId::kTcpDst, 80);
+  fse.actions = {Action::output(1)};
+  fsp.entries = {fse};
+  TableStatsReply tsp;
+  tsp.entries = {{0, 1, 2, 3}};
+  return {
+      encode_hello({1}),
+      encode_echo_request({2, {0xAB}}),
+      encode_echo_reply({3, {0xCD}}),
+      encode_features_request({4}),
+      encode_features_reply({}),
+      encode_barrier_request({5}),
+      encode_barrier_reply({6}),
+      encode_flow_mod(sample_mod()),
+      encode_packet_in(pin),
+      encode_packet_out(po),
+      encode_flow_removed(fr),
+      encode_flow_stats_request(fsr),
+      encode_flow_stats_reply(fsp),
+      encode_table_stats_request({7}),
+      encode_table_stats_reply(tsp),
+      encode_error({8, 1, 1, {0xFF}}),
+  };
+}
+
+TEST(Wire, EverySampleDecodes) {
+  for (const auto& frame : sample_frames())
+    EXPECT_NO_THROW(decode_message(frame.data(), frame.size()))
+        << "type " << int(frame[1]);
+}
+
+TEST(Wire, EveryTypeRejectsTruncation) {
+  for (const auto& frame : sample_frames()) {
+    // Every strict prefix of the buffer must throw, never read past the end,
+    // and never return partial state.  (Frames whose trailing bytes are an
+    // optional payload — echo, error, hello elements — still throw below the
+    // 8-byte header or mid-fixed-part; the payload tail is legitimately
+    // variable, so truncate against the *claimed* length instead.)
+    EXPECT_THROW(decode_message(frame.data(), 4), CheckError) << int(frame[1]);
+    EXPECT_THROW(decode_message(frame.data(), 7), CheckError) << int(frame[1]);
+    // Header claims frame.size() bytes but fewer are available.
+    if (frame.size() > 8) {
+      EXPECT_THROW(decode_message(frame.data(), frame.size() - 1), CheckError)
+          << int(frame[1]);
+    }
+  }
+}
+
+TEST(Wire, EveryTypeRejectsBadVersion) {
+  for (auto frame : sample_frames()) {
+    frame[0] = 0x01;  // OpenFlow 1.0
+    EXPECT_THROW(decode_message(frame.data(), frame.size()), CheckError)
+        << int(frame[1]);
+    frame[0] = 0x05;  // OpenFlow 1.4
+    EXPECT_THROW(decode_message(frame.data(), frame.size()), CheckError)
+        << int(frame[1]);
+  }
+}
+
+TEST(Wire, EveryTypeRejectsOversizedLengthField) {
+  for (auto frame : sample_frames()) {
+    // The header claims more bytes than the caller has: must throw, not read
+    // beyond the buffer.
+    const uint16_t bogus = static_cast<uint16_t>(frame.size() + 8);
+    frame[2] = static_cast<uint8_t>(bogus >> 8);
+    frame[3] = static_cast<uint8_t>(bogus);
+    EXPECT_THROW(decode_message(frame.data(), frame.size()), CheckError)
+        << int(frame[1]);
+  }
+}
+
+TEST(Wire, EveryTypeRejectsUndersizedLengthField) {
+  for (auto frame : sample_frames()) {
+    frame[2] = 0;
+    frame[3] = 4;  // below the 8-byte header minimum
+    EXPECT_THROW(decode_message(frame.data(), frame.size()), CheckError)
+        << int(frame[1]);
+  }
+}
+
+/// Corrupts the first OXM TLV length byte inside a match-bearing message.
+void corrupt_oxm_len(std::vector<uint8_t>& frame, size_t match_off) {
+  // match_off points at the OFPMT_OXM type; TLV starts at +4, its length byte
+  // is TLV[3].
+  frame[match_off + 4 + 3] = 0xFF;
+}
+
+TEST(Wire, MatchBearingTypesRejectBadOxmLength) {
+  // Offsets of the ofp_match in each fixed layout (OF 1.3 spec).
+  auto fm = encode_flow_mod(sample_mod());
+  corrupt_oxm_len(fm, 48);
+  EXPECT_THROW(decode_message(fm.data(), fm.size()), CheckError);
+
+  PacketIn pin;
+  pin.in_port = 1;
+  pin.frame = {1, 2, 3};
+  auto pb = encode_packet_in(pin);
+  corrupt_oxm_len(pb, 24);
+  EXPECT_THROW(decode_message(pb.data(), pb.size()), CheckError);
+
+  FlowRemoved fr;
+  fr.match.set(FieldId::kUdpDst, 53);
+  auto fb = encode_flow_removed(fr);
+  corrupt_oxm_len(fb, 48);
+  EXPECT_THROW(decode_message(fb.data(), fb.size()), CheckError);
+
+  FlowStatsRequest fsr;
+  fsr.match.set(FieldId::kIpDst, 0x0A000000, 0xFF000000);
+  auto sb = encode_flow_stats_request(fsr);
+  corrupt_oxm_len(sb, 48);
+  EXPECT_THROW(decode_message(sb.data(), sb.size()), CheckError);
+}
+
+TEST(Wire, RejectsNonCanonicalActionLength) {
+  // ofp_packet_out: header(8) buffer(4) in_port(4) actions_len(2) pad(6);
+  // the first action's length field sits at offset 26.
+  PacketOut po;
+  po.actions = {Action::output(2)};
+  po.frame = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto bytes = encode_packet_out(po);
+  bytes[26] = 0;
+  bytes[27] = 8;  // OUTPUT must be 16 bytes; a lying 8 would desync the frame
+  EXPECT_THROW(decode_message(bytes.data(), bytes.size()), CheckError);
+
+  PacketOut po2;
+  po2.actions = {Action::pop_vlan()};
+  auto bytes2 = encode_packet_out(po2);
+  bytes2[27] = 16;  // POP_VLAN must be 8; 16 would swallow payload bytes
+  EXPECT_THROW(decode_message(bytes2.data(), bytes2.size()), CheckError);
+}
+
+TEST(Wire, RejectsUnknownMessageType) {
+  auto frame = encode_hello({1});
+  frame[1] = 99;  // not a known OFPT_*
+  EXPECT_THROW(decode_message(frame.data(), frame.size()), CheckError);
+  frame[1] = 4;  // EXPERIMENTER — real but outside the session's set
+  EXPECT_THROW(decode_message(frame.data(), frame.size()), CheckError);
+}
+
+TEST(Wire, RejectsTypeMismatchAgainstPerTypeDecoder) {
+  const auto hello = encode_hello({1});
+  EXPECT_THROW(decode_flow_mod(hello.data(), hello.size()), CheckError);
+}
+
+TEST(Wire, BoundedToOwnFrameInBackToBackStream) {
+  // Two frames concatenated: decoding the first must not consume the second.
+  auto a = encode_flow_mod(sample_mod());
+  const auto b = encode_barrier_request({77});
+  const size_t a_len = a.size();
+  a.insert(a.end(), b.begin(), b.end());
+  const FlowMod fm = decode_flow_mod(a.data(), a.size());
+  EXPECT_EQ(fm.priority, sample_mod().priority);
+  EXPECT_EQ(openflow_frame_len(a.data(), a.size()), a_len);
+  // The second frame is intact where the first one ends.
+  const auto second = decode_message(a.data() + a_len, a.size() - a_len);
+  EXPECT_EQ(std::get<BarrierRequest>(second).xid, 77u);
+}
+
 }  // namespace
 }  // namespace esw
