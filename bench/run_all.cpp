@@ -162,6 +162,47 @@ bool run_one(const fs::path& binary, const std::string& figure,
   return true;
 }
 
+/// fig19 point-shape contract: every point carries `threads`, one
+/// `pps_w<i>` per worker, and the per-worker rates sum to the aggregate
+/// `pps` (the true-thread measurement is per-worker and summed, so a
+/// mismatch means the bench or the distiller dropped a counter).
+bool check_fig19_shape(const esw::perf::BenchReport& report) {
+  bool ok = true;
+  for (const auto& series : report.series) {
+    for (const auto& pt : series.points) {
+      const auto threads_it = pt.counters.find("threads");
+      if (threads_it == pt.counters.end() || threads_it->second < 1) {
+        std::fprintf(stderr, "[run_all] fig19 %s: missing threads counter\n",
+                     pt.label.c_str());
+        ok = false;
+        continue;
+      }
+      const int threads = static_cast<int>(threads_it->second);
+      double sum = 0;
+      bool have_all = true;
+      for (int w = 0; w < threads; ++w) {
+        const auto it = pt.counters.find("pps_w" + std::to_string(w));
+        if (it == pt.counters.end()) {
+          std::fprintf(stderr, "[run_all] fig19 %s: missing pps_w%d\n",
+                       pt.label.c_str(), w);
+          have_all = false;
+          ok = false;
+          break;
+        }
+        sum += it->second;
+      }
+      if (have_all && pt.pps > 0 &&
+          (sum < pt.pps * 0.98 || sum > pt.pps * 1.02)) {
+        std::fprintf(stderr,
+                     "[run_all] fig19 %s: per-worker pps sum %.0f != aggregate %.0f\n",
+                     pt.label.c_str(), sum, pt.pps);
+        ok = false;
+      }
+    }
+  }
+  return ok;
+}
+
 /// Validates every BENCH_*.json in `dir` against the esw-bench-v1 schema.
 /// Returns the process exit code.
 int check_reports(const std::string& dir) {
@@ -185,6 +226,13 @@ int check_reports(const std::string& dir) {
     const auto report = esw::perf::report_from_json(buf.str());
     if (!report) {
       std::fprintf(stderr, "[run_all] SCHEMA VIOLATION: %s is not esw-bench-v1\n",
+                   entry.path().c_str());
+      ++bad;
+      continue;
+    }
+    if (report->figure == "fig19" && !check_fig19_shape(*report)) {
+      std::fprintf(stderr, "[run_all] SCHEMA VIOLATION: %s fails the fig19 "
+                   "multicore point shape\n",
                    entry.path().c_str());
       ++bad;
       continue;

@@ -7,10 +7,26 @@
 // lookup (the 13 + 2·Lx cycles atom of the paper's Fig. 20 model).
 // Incremental add/delete follow the rte_lpm algorithm: a deleted rule's range
 // is re-covered by its longest covering ancestor.
+//
+// Concurrency: like rte_lpm under RCU, the table supports one writer
+// mutating *in place* while readers look up concurrently.  Every table cell
+// is a single self-contained 32-bit word (valid/ext/depth/value packed
+// together), stored releases / loaded acquires, so a reader always sees a
+// well-formed entry — during a multi-cell range write it may see a mix of
+// pre- and post-update cells, i.e. either the old or the new route per
+// address, never garbage.  tbl8 storage is preallocated to its group budget
+// at construction so no reader-visible array ever reallocates.  Freed tbl8
+// groups are recycled without a grace period; the lookup therefore brackets
+// its two-level read with a generation counter that every group (re)allocation
+// bumps (seqlock-style) and retries when ownership changed underneath it —
+// a value-compare of the tbl24 cell alone would be ABA-unsafe, since the
+// LIFO freelist readily hands the same group back to the same /24.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -33,7 +49,8 @@ class LpmTable {
   /// longest covering ancestor (or to a miss).
   bool remove(uint32_t prefix, uint8_t len);
 
-  /// Longest-prefix lookup; nullopt on miss.
+  /// Longest-prefix lookup; nullopt on miss.  Safe concurrently with one
+  /// writer in add()/remove() (see the header comment for the guarantee).
   std::optional<uint32_t> lookup(uint32_t addr, MemTrace* trace = nullptr) const;
 
   /// Starts the tbl24 line for `addr` toward the core ahead of lookup()
@@ -42,12 +59,17 @@ class LpmTable {
   void prefetch(uint32_t addr) const { esw_prefetch(&tbl24_[addr >> 8]); }
 
   size_t num_rules() const { return rules_.size(); }
-  uint32_t tbl8_groups_used() const { return tbl8_used_; }
+  uint32_t tbl8_groups_used() const {
+    return tbl8_used_.load(std::memory_order_relaxed);
+  }
 
   /// Approximate resident bytes of the lookup structure (for working-set and
-  /// cache-model accounting).
+  /// cache-model accounting).  Counts the tbl8 high-water mark, matching the
+  /// previous grow-on-demand accounting.  Readers call this concurrently with
+  /// the writer's group allocation (the burst walker's prefetch gate), hence
+  /// the relaxed atomic.
   size_t memory_bytes() const {
-    return tbl24_.size() * 4 + tbl8_.size() * 4;
+    return size_t{1 << 24} * 4 + size_t{tbl8_groups_used()} * 256 * 4;
   }
 
  private:
@@ -68,10 +90,21 @@ class LpmTable {
   void write_tbl8_range(uint32_t group, uint32_t first, uint32_t last, uint32_t entry,
                         uint8_t at_depth);
 
-  std::vector<uint32_t> tbl24_;  // 2^24 entries
-  std::vector<uint32_t> tbl8_;   // groups of 256
+  // Cell accessors: the writer's read-modify-write cycles are not atomic as a
+  // whole (single-writer contract); atomics only order cell *publication*
+  // against concurrent readers.
+  uint32_t cell24(uint32_t i) const { return tbl24_[i].load(std::memory_order_acquire); }
+  void set_cell24(uint32_t i, uint32_t e) { tbl24_[i].store(e, std::memory_order_release); }
+  uint32_t cell8(size_t i) const { return tbl8_[i].load(std::memory_order_acquire); }
+  void set_cell8(size_t i, uint32_t e) { tbl8_[i].store(e, std::memory_order_release); }
+
+  std::unique_ptr<std::atomic<uint32_t>[]> tbl24_;  // 2^24 entries
+  std::unique_ptr<std::atomic<uint32_t>[]> tbl8_;   // groups of 256, preallocated
   uint32_t max_tbl8_groups_;
-  uint32_t tbl8_used_ = 0;
+  std::atomic<uint32_t> tbl8_used_{0};  // high-water mark; single writer
+  // Bumped (release) before a freed or fresh group is refilled: the lookup's
+  // ownership-stability check.  64-bit: never wraps.
+  std::atomic<uint64_t> tbl8_gen_{0};
   std::vector<uint32_t> free_tbl8_;
 
   // Rule store for ancestor recovery on delete: key = (len, prefix).

@@ -44,6 +44,21 @@ class TupleSpace {
     Value value;
   };
 
+  TupleSpace() = default;
+  /// Deep copy — the copy-on-write update path clones the classifier, mutates
+  /// the clone and publishes it, leaving the source (still visible to
+  /// concurrent readers) untouched.
+  TupleSpace(const TupleSpace& other) : size_(other.size_) {
+    tuples_.reserve(other.tuples_.size());
+    for (const auto& tp : other.tuples_) tuples_.push_back(std::make_unique<Tuple>(*tp));
+  }
+  TupleSpace& operator=(const TupleSpace& other) {
+    if (this != &other) *this = TupleSpace(other);
+    return *this;
+  }
+  TupleSpace(TupleSpace&&) noexcept = default;
+  TupleSpace& operator=(TupleSpace&&) noexcept = default;
+
   /// Adds an entry.  (match, rank) pairs must be unique.
   void add(const flow::Match& match, uint32_t rank, Value value) {
     Tuple* t = find_tuple(match);

@@ -1,0 +1,26 @@
+// Relaxed atomic counter idioms shared by every per-worker stats block
+// (datapath worker contexts, runtime worker blocks, port counters).
+//
+// Two disciplines, one header, so the single-writer reasoning is stated once:
+//   * counter_bump — the cell has exactly ONE writer (its owning worker), so
+//     load+store (not an RMW) is exact and costs plain moves on x86; the
+//     atomic type exists so aggregating readers are race-free.
+//   * counter_add — the cell is shared across writers (per-slot table stats,
+//     multi-producer TX counters): one relaxed fetch_add, amortized to once
+//     per burst by the callers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace esw::common {
+
+inline void counter_bump(std::atomic<uint64_t>& c, uint64_t d) {
+  if (d != 0) c.store(c.load(std::memory_order_relaxed) + d, std::memory_order_relaxed);
+}
+
+inline void counter_add(std::atomic<uint64_t>& c, uint64_t d) {
+  if (d != 0) c.fetch_add(d, std::memory_order_relaxed);
+}
+
+}  // namespace esw::common

@@ -223,7 +223,11 @@ uint32_t pmask32(uint8_t len) {
 std::unique_ptr<LpmTemplateTable> LpmTemplateTable::build(
     const std::vector<BuildEntry>& entries, FieldId field, BuildCtx& ctx,
     uint32_t max_tbl8_groups) {
-  auto t = std::unique_ptr<LpmTemplateTable>(new LpmTemplateTable(max_tbl8_groups));
+  // Distinct results ≤ entries; the extra headroom absorbs incremental adds
+  // before an overflow forces a (rare) rebuild at double the size.
+  const uint32_t results_cap = static_cast<uint32_t>(entries.size()) + 256;
+  auto t = std::unique_ptr<LpmTemplateTable>(
+      new LpmTemplateTable(max_tbl8_groups, results_cap));
   t->field_ = field;
   for (const BuildEntry& e : entries) {
     uint32_t prefix = 0;
@@ -240,9 +244,16 @@ std::unique_ptr<LpmTemplateTable> LpmTemplateTable::build(
 }
 
 uint32_t LpmTemplateTable::intern_result(uint64_t packed) {
-  const auto [it, inserted] =
-      result_index_.try_emplace(packed, static_cast<uint32_t>(results_.size()));
-  if (inserted) results_.push_back(packed);
+  const auto [it, inserted] = result_index_.try_emplace(packed, results_size_);
+  if (inserted) {
+    // Overflow throws like tbl8 exhaustion does: try_add turns it into a
+    // rebuild (which sizes a fresh, larger array).
+    if (results_size_ == results_cap_) {
+      result_index_.erase(it);
+      ESW_CHECK_MSG(false, "LPM result table full");
+    }
+    results_[results_size_++] = packed;
+  }
   return it->second;
 }
 

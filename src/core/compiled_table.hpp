@@ -67,6 +67,20 @@ class CompiledTable {
   /// caller must rebuild (possibly falling back along Fig. 4's chain).
   virtual bool try_add(const flow::FlowEntry&, BuildCtx&) { return false; }
   virtual bool try_remove(const flow::Match&, uint16_t) { return false; }
+
+  /// True when try_add/try_remove may mutate this table *in place* while
+  /// other threads are inside lookup() (single writer).  Only the LPM
+  /// template qualifies: its cells are self-contained words published with
+  /// release/acquire, the rte_lpm-under-RCU model.
+  virtual bool concurrent_update_safe() const { return false; }
+
+  /// Deep copy for the copy-on-write update path: with concurrent readers,
+  /// templates whose incremental update mutates reader-visible structure
+  /// (hash rebuilds, tuple-space chains) are cloned, updated privately and
+  /// republished via trampoline swap — same incremental data-structure work
+  /// as in place, plus an O(table) copy.  nullptr = not clonable (direct
+  /// code and range rebuild from scratch anyway).
+  virtual std::unique_ptr<CompiledTable> clone_for_update() const { return nullptr; }
 };
 
 // --- direct code -------------------------------------------------------------
@@ -109,10 +123,16 @@ class HashTemplateTable final : public CompiledTable {
 
   bool try_add(const flow::FlowEntry& e, BuildCtx& ctx) override;
   bool try_remove(const flow::Match& m, uint16_t priority) override;
+  std::unique_ptr<CompiledTable> clone_for_update() const override {
+    return std::unique_ptr<CompiledTable>(new HashTemplateTable(*this));
+  }
 
   uint64_t hash_rebuilds() const { return index_.rebuilds(); }
 
  private:
+  HashTemplateTable() = default;
+  HashTemplateTable(const HashTemplateTable&) = default;
+
   uint32_t key_from_match(const flow::Match& m, uint8_t* out) const;
   uint32_t key_from_packet(const uint8_t* pkt, const proto::ParseInfo& pi,
                            uint8_t* out) const;
@@ -150,19 +170,32 @@ class LpmTemplateTable final : public CompiledTable {
 
   bool try_add(const flow::FlowEntry& e, BuildCtx& ctx) override;
   bool try_remove(const flow::Match& m, uint16_t priority) override;
+  /// In-place incremental updates are reader-safe: LpmTable cells are
+  /// single-word acquire/release atomics and the results array below is
+  /// fixed-capacity (overflow falls back to a rebuild), so nothing a reader
+  /// dereferences ever moves.
+  bool concurrent_update_safe() const override { return true; }
 
  private:
   uint32_t intern_result(uint64_t packed);
 
   flow::FieldId field_ = flow::FieldId::kIpDst;
   cls::LpmTable lpm_;
-  std::vector<uint64_t> results_;
+  // Interned packed results, indexed by LPM cell value.  Fixed capacity so a
+  // concurrent reader's results_[v] never races a reallocation; a slot is
+  // written before the cell referencing it is released.
+  std::unique_ptr<uint64_t[]> results_;
+  uint32_t results_cap_ = 0;
+  uint32_t results_size_ = 0;
   std::map<uint64_t, uint32_t> result_index_;
   // (prefix, len) -> priority mirror for incremental prerequisite checks,
   // ordered by prefix so descendants form a contiguous range.
   std::map<std::pair<uint32_t, uint8_t>, uint16_t> prefix_prio_;
 
-  LpmTemplateTable(uint32_t max_tbl8) : lpm_(max_tbl8) {}
+  LpmTemplateTable(uint32_t max_tbl8, uint32_t results_cap)
+      : lpm_(max_tbl8),
+        results_(new uint64_t[results_cap]),
+        results_cap_(results_cap) {}
 };
 
 // --- range (extension template) ---------------------------------------------------
@@ -205,10 +238,16 @@ class LinkedListTable final : public CompiledTable {
 
   bool try_add(const flow::FlowEntry& e, BuildCtx& ctx) override;
   bool try_remove(const flow::Match& m, uint16_t priority) override;
+  std::unique_ptr<CompiledTable> clone_for_update() const override {
+    return std::unique_ptr<CompiledTable>(new LinkedListTable(*this));
+  }
 
   size_t num_tuples() const { return ts_.num_tuples(); }
 
  private:
+  LinkedListTable() = default;
+  LinkedListTable(const LinkedListTable&) = default;
+
   uint32_t rank_of(uint16_t priority) {
     return (static_cast<uint32_t>(0xFFFF - priority) << 16) | seq_++;
   }

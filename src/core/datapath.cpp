@@ -4,35 +4,14 @@
 
 #include "common/bits.hpp"
 #include "common/check.hpp"
+#include "common/counters.hpp"
 
 namespace esw::core {
 
-int32_t CompiledDatapath::add_slot(flow::FlowTable::MissPolicy miss) {
-  slots_.emplace_back();
-  slots_.back().miss = miss;
-  return static_cast<int32_t>(slots_.size() - 1);
-}
-
-void CompiledDatapath::set_impl(int32_t slot, std::unique_ptr<CompiledTable> impl) {
-  CompiledTable* fresh = impl.get();
-  live_.push_back(std::move(impl));
-  CompiledTable* old = slots_[slot].impl.exchange(fresh, std::memory_order_release);
-  if (old != nullptr) {
-    for (auto it = live_.begin(); it != live_.end(); ++it) {
-      if (it->get() == old) {
-        retired_.push_back(std::move(*it));
-        live_.erase(it);
-        break;
-      }
-    }
-  }
-}
-
-void CompiledDatapath::set_miss_policy(int32_t slot, flow::FlowTable::MissPolicy miss) {
-  slots_[slot].miss = miss;
-}
-
 namespace {
+
+using common::counter_add;   // multi-writer per-slot stats, once per burst
+using common::counter_bump;  // single-writer worker stat blocks
 
 /// Global-stat outcome of a verdict.  A controller verdict covers both the
 /// miss-policy punt and an explicit controller action; flood counts as
@@ -55,22 +34,152 @@ void count_verdict(const flow::Verdict& v, CompiledDatapath::Stats& st) {
 
 }  // namespace
 
-flow::Verdict CompiledDatapath::process(net::Packet& pkt, MemTrace* trace) {
-  ++stats_.packets;
-  if (ESW_UNLIKELY(start_ < 0)) {
-    ++stats_.drops;
+CompiledDatapath::CompiledDatapath()
+    : slots_(new Slot[kMaxSlots]), workers_(new Worker[kMaxWorkers + 1]) {
+  for (uint32_t i = 0; i <= kMaxWorkers; ++i) workers_[i].id_ = i;
+}
+
+// --- control plane -----------------------------------------------------------
+
+int32_t CompiledDatapath::add_slot(flow::FlowTable::MissPolicy miss) {
+  int32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = n_slots_.load(std::memory_order_relaxed);
+    ESW_CHECK_MSG(slot < kMaxSlots, "out of trampoline slots");
+    n_slots_.store(slot + 1, std::memory_order_release);
+  }
+  slots_[slot].miss.store(miss, std::memory_order_relaxed);
+  return slot;
+}
+
+std::unique_ptr<CompiledTable> CompiledDatapath::take_live(CompiledTable* old) {
+  for (auto it = live_.begin(); it != live_.end(); ++it) {
+    if (it->get() == old) {
+      std::unique_ptr<CompiledTable> taken = std::move(*it);
+      live_.erase(it);
+      return taken;
+    }
+  }
+  ESW_CHECK_MSG(false, "retiring an implementation the datapath does not own");
+  return nullptr;
+}
+
+void CompiledDatapath::retire_impl(CompiledTable* old) {
+  retired_impls_.retire(take_live(old), domain_.current_epoch());
+}
+
+void CompiledDatapath::set_impl(int32_t slot, std::unique_ptr<CompiledTable> impl) {
+  CompiledTable* fresh = impl.get();
+  live_.push_back(std::move(impl));
+  CompiledTable* old = slots_[slot].impl.exchange(fresh, std::memory_order_acq_rel);
+  if (old != nullptr) retire_impl(old);
+}
+
+void CompiledDatapath::retire_slot(int32_t slot) {
+  // The impl stays *published*: a reader mid-burst on the pre-swap root may
+  // still jump here and must find the old table, not a nullptr miss (the
+  // old-or-new verdict guarantee).  The slot only becomes unreachable for
+  // bursts that start after the swap, so pointer, object and slot id are all
+  // reclaimed together once the grace period ends (recycle_slot).
+  retired_slots_.retire(slot, domain_.current_epoch());
+}
+
+void CompiledDatapath::recycle_slot(int32_t slot) {
+  // Grace period over: no worker can reach this slot anymore (every burst
+  // started after the root swap), so unpublishing, destroying the impl and
+  // zeroing the counters cannot race anything.
+  CompiledTable* old = slots_[slot].impl.exchange(nullptr, std::memory_order_relaxed);
+  if (old != nullptr) take_live(old);  // destroyed here — grace already served
+  slots_[slot].lookups.store(0, std::memory_order_relaxed);
+  slots_[slot].hits.store(0, std::memory_order_relaxed);
+  slots_[slot].misses.store(0, std::memory_order_relaxed);
+  free_slots_.push_back(slot);
+}
+
+uint64_t CompiledDatapath::reclaim() {
+  if (retired_impls_.pending() == 0 && retired_slots_.pending() == 0) return 0;
+  const uint64_t horizon = domain_.advance_and_horizon();
+  uint64_t n = retired_impls_.reclaim(horizon);
+  n += retired_slots_.reclaim_into(horizon,
+                                   [this](int32_t slot) { recycle_slot(slot); });
+  return n;
+}
+
+void CompiledDatapath::set_miss_policy(int32_t slot, flow::FlowTable::MissPolicy miss) {
+  slots_[slot].miss.store(miss, std::memory_order_relaxed);
+}
+
+void CompiledDatapath::reset() {
+  ESW_CHECK_MSG(!domain_.has_workers(),
+                "reset()/install() is stop-the-world: unregister workers first");
+  const int32_t n = n_slots_.load(std::memory_order_relaxed);
+  for (int32_t i = 0; i < n; ++i) {
+    slots_[i].impl.store(nullptr, std::memory_order_relaxed);
+    slots_[i].miss.store(flow::FlowTable::MissPolicy::kDrop, std::memory_order_relaxed);
+    slots_[i].lookups.store(0, std::memory_order_relaxed);
+    slots_[i].hits.store(0, std::memory_order_relaxed);
+    slots_[i].misses.store(0, std::memory_order_relaxed);
+  }
+  n_slots_.store(0, std::memory_order_release);
+  free_slots_.clear();
+  live_.clear();
+  retired_impls_.clear();   // no workers: immediate free is safe
+  retired_slots_.clear();
+  start_.store(-1, std::memory_order_release);
+  clear_stats();
+}
+
+// --- worker management -------------------------------------------------------
+
+CompiledDatapath::Worker* CompiledDatapath::register_worker() {
+  for (uint32_t i = 1; i <= kMaxWorkers; ++i) {
+    Worker& w = workers_[i];
+    if (w.in_use_) continue;
+    w.epoch_ = domain_.register_worker();
+    ESW_CHECK(w.epoch_ != nullptr);
+    w.snap_gen_ = 0;
+    w.snap_.clear();
+    w.snap_touched_.clear();
+    w.in_use_ = true;
+    return &w;
+  }
+  return nullptr;
+}
+
+void CompiledDatapath::unregister_worker(Worker* w) {
+  ESW_CHECK(w != nullptr && w->in_use_ && w->epoch_ != nullptr);
+  domain_.unregister_worker(w->epoch_);
+  w->epoch_ = nullptr;
+  w->in_use_ = false;
+}
+
+// --- datapath ----------------------------------------------------------------
+
+flow::Verdict CompiledDatapath::process(Worker& w, net::Packet& pkt, MemTrace* trace) {
+  // Entry is a quiescent point: nothing from a previous packet survives here.
+  if (w.epoch_ != nullptr) domain_.quiescent(*w.epoch_);
+
+  Stats local;
+  local.packets = 1;
+  const int32_t start = start_.load(std::memory_order_acquire);
+  if (ESW_UNLIKELY(start < 0)) {
+    counter_bump(w.stats_.packets, 1);
+    counter_bump(w.stats_.drops, 1);
     return flow::Verdict::drop();
   }
 
   proto::ParseInfo pi;
-  proto::parse(pkt.data(), pkt.len(), plan_, pi);
+  proto::parse(pkt.data(), pkt.len(), plan_.load(std::memory_order_acquire), pi);
   pi.in_port = pkt.in_port();
   if (trace != nullptr) trace->touch(pkt.data(), 64);  // header cache line(s)
 
   // Hot-loop discipline: per-table counters accumulate in a local window and
-  // flush on return instead of read-modify-writing slots_[slot].stats two or
-  // three times per hop.  Real pipelines are a handful of hops deep; the
-  // window flushes mid-walk only on pathological goto chains.
+  // flush on return instead of read-modify-writing the shared slot counters
+  // two or three times per hop.  Real pipelines are a handful of hops deep;
+  // the window flushes mid-walk only on pathological goto chains.
   struct Visit {
     int32_t slot;
     bool hit;
@@ -79,32 +188,34 @@ flow::Verdict CompiledDatapath::process(net::Packet& pkt, MemTrace* trace) {
   uint32_t nv = 0;
   const auto flush_visits = [&] {
     for (uint32_t i = 0; i < nv; ++i) {
-      TableStats& ts = slots_[visited[i].slot].stats;
-      ++ts.lookups;
-      if (visited[i].hit)
-        ++ts.hits;
-      else
-        ++ts.misses;
+      Slot& s = slots_[visited[i].slot];
+      counter_add(s.lookups, 1);
+      counter_add(visited[i].hit ? s.hits : s.misses, 1);
     }
     nv = 0;
   };
   const auto finish = [&](flow::Verdict v) {
     flush_visits();
-    count_verdict(v, stats_);
+    count_verdict(v, local);
+    counter_bump(w.stats_.packets, local.packets);
+    counter_bump(w.stats_.outputs, local.outputs);
+    counter_bump(w.stats_.drops, local.drops);
+    counter_bump(w.stats_.to_controller, local.to_controller);
     return v;
   };
 
   flow::ActionSetBuilder action_set;
-  int32_t slot = start_;
+  int32_t slot = start;
   for (int hops = 0; hops < kMaxHops; ++hops) {
-    const Slot& s = slots_[slot];
+    Slot& s = slots_[slot];
     const CompiledTable* impl = s.impl.load(std::memory_order_acquire);
     if (ESW_UNLIKELY(nv == std::size(visited))) flush_visits();
     const uint64_t r =
         impl != nullptr ? impl->lookup(pkt.data(), pi, trace) : jit::kMissResult;
     if (ESW_UNLIKELY(r == jit::kMissResult)) {
       visited[nv++] = {slot, false};
-      return finish(s.miss == flow::FlowTable::MissPolicy::kController
+      return finish(s.miss.load(std::memory_order_relaxed) ==
+                            flow::FlowTable::MissPolicy::kController
                         ? flow::Verdict::controller()
                         : flow::Verdict::drop());
     }
@@ -119,59 +230,75 @@ flow::Verdict CompiledDatapath::process(net::Packet& pkt, MemTrace* trace) {
   return finish(flow::Verdict::drop());  // pathological loop guard
 }
 
-CompiledDatapath::SlotSnapshot& CompiledDatapath::snapshot(int32_t slot) {
-  SlotSnapshot& s = snap_[slot];
-  if (s.gen != snap_gen_) {
-    s.gen = snap_gen_;
+CompiledDatapath::SlotSnapshot& CompiledDatapath::snapshot(Worker& w, int32_t slot) {
+  // The scratch is sized at chunk start, but a swap landing *mid-chunk* can
+  // publish an impl whose goto targets are slots allocated after that — grow
+  // on demand (worker-private, so the resize races nothing).
+  if (ESW_UNLIKELY(static_cast<size_t>(slot) >= w.snap_.size()))
+    w.snap_.resize(static_cast<size_t>(slot) + 1);
+  SlotSnapshot& s = w.snap_[slot];
+  if (s.gen != w.snap_gen_) {
+    s.gen = w.snap_gen_;
     s.impl = slots_[slot].impl.load(std::memory_order_acquire);
-    s.miss = slots_[slot].miss;
+    s.miss = slots_[slot].miss.load(std::memory_order_relaxed);
     s.want_prefetch =
         s.impl != nullptr && s.impl->memory_bytes() >= kPrefetchMinBytes;
     s.delta = TableStats{};
-    snap_touched_.push_back(slot);
+    w.snap_touched_.push_back(slot);
   }
   return s;
 }
 
-void CompiledDatapath::process_burst(net::Packet* const* pkts, uint32_t n,
+void CompiledDatapath::process_burst(Worker& w, net::Packet* const* pkts, uint32_t n,
                                      flow::Verdict* out) {
   while (n > net::kBurstSize) {
-    process_chunk(pkts, net::kBurstSize, out);
+    process_chunk(w, pkts, net::kBurstSize, out);
     pkts += net::kBurstSize;
     out += net::kBurstSize;
     n -= net::kBurstSize;
   }
-  if (n > 0) process_chunk(pkts, n, out);
+  if (n > 0) process_chunk(w, pkts, n, out);
 }
 
-void CompiledDatapath::process_chunk(net::Packet* const* pkts, uint32_t n,
+void CompiledDatapath::process_chunk(Worker& w, net::Packet* const* pkts, uint32_t n,
                                      flow::Verdict* out) {
+  // Chunk entry is the worker's quiescent point: every pointer from the
+  // previous chunk's snapshots is dead, and the fresh snapshots below
+  // re-read the trampolines (acquire) — so anything retired before the
+  // writer observed this tick can never be loaded again.
+  if (w.epoch_ != nullptr) domain_.quiescent(*w.epoch_);
+
   Stats local;
   local.packets = n;
-  if (ESW_UNLIKELY(start_ < 0)) {
+  const int32_t start = start_.load(std::memory_order_acquire);
+  if (ESW_UNLIKELY(start < 0)) {
     local.drops = n;
     for (uint32_t i = 0; i < n; ++i) out[i] = flow::Verdict::drop();
-    stats_.packets += local.packets;
-    stats_.drops += local.drops;
+    counter_bump(w.stats_.packets, local.packets);
+    counter_bump(w.stats_.drops, local.drops);
     return;
   }
 
   // Stage 1: parse the whole burst, the next frame's header line in flight
   // while the current one parses.
+  const proto::ParserPlan plan = plan_.load(std::memory_order_acquire);
   proto::ParseInfo pis[net::kBurstSize];
   for (uint32_t i = 0; i < n; ++i) {
     if (i + 1 < n) esw_prefetch(pkts[i + 1]->data());
-    proto::parse(pkts[i]->data(), pkts[i]->len(), plan_, pis[i]);
+    proto::parse(pkts[i]->data(), pkts[i]->len(), plan, pis[i]);
     pis[i].in_port = pkts[i]->in_port();
   }
 
   // Stage 2: hoist the per-slot acquire loads and miss policies to once per
-  // burst.  Safe under the single-writer quiescent-publication model: the
-  // writer only swaps trampolines while no reader is inside the datapath, so
-  // a snapshot taken at burst start stays valid for the whole burst.
-  ++snap_gen_;
-  if (snap_.size() != slots_.size()) snap_.assign(slots_.size(), SlotSnapshot{});
-  const SlotSnapshot& start_snap = snapshot(start_);
+  // burst.  Safe under epoch reclamation: a snapshot taken here stays valid
+  // for the whole chunk because the writer frees a displaced impl only after
+  // this worker's *next* tick.
+  ++w.snap_gen_;
+  const size_t n_slots = static_cast<size_t>(n_slots_.load(std::memory_order_acquire));
+  if (w.snap_.size() < n_slots) w.snap_.resize(n_slots);
+  // By value: a mid-chunk goto into a just-allocated slot can grow w.snap_
+  // (see snapshot()), which would invalidate a reference held across the loop.
+  const SlotSnapshot start_snap = snapshot(w, start);
 
   // Stage 3: walk each packet with packet i+1's first table lookup lines in
   // flight (software pipelining within the burst), stats in locals.
@@ -185,9 +312,9 @@ void CompiledDatapath::process_chunk(net::Packet* const* pkts, uint32_t n,
     proto::ParseInfo& pi = pis[i];
     flow::ActionSetBuilder action_set;
     flow::Verdict v = flow::Verdict::drop();
-    int32_t slot = start_;
+    int32_t slot = start;
     for (int hops = 0; hops < kMaxHops; ++hops) {
-      SlotSnapshot& s = snapshot(slot);
+      SlotSnapshot& s = snapshot(w, slot);
       ++s.delta.lookups;
       const uint64_t r =
           s.impl != nullptr ? s.impl->lookup(pkt.data(), pi) : jit::kMissResult;
@@ -214,35 +341,61 @@ void CompiledDatapath::process_chunk(net::Packet* const* pkts, uint32_t n,
   }
 
   // Stage 4: flush the burst's stat deltas in one pass.
-  for (const int32_t slot : snap_touched_) {
-    TableStats& ts = slots_[slot].stats;
-    const TableStats& d = snap_[slot].delta;
-    ts.lookups += d.lookups;
-    ts.hits += d.hits;
-    ts.misses += d.misses;
+  for (const int32_t slot : w.snap_touched_) {
+    Slot& s = slots_[slot];
+    const TableStats& d = w.snap_[slot].delta;
+    counter_add(s.lookups, d.lookups);
+    counter_add(s.hits, d.hits);
+    counter_add(s.misses, d.misses);
   }
-  snap_touched_.clear();
-  stats_.packets += local.packets;
-  stats_.outputs += local.outputs;
-  stats_.drops += local.drops;
-  stats_.to_controller += local.to_controller;
+  w.snap_touched_.clear();
+  counter_bump(w.stats_.packets, local.packets);
+  counter_bump(w.stats_.outputs, local.outputs);
+  counter_bump(w.stats_.drops, local.drops);
+  counter_bump(w.stats_.to_controller, local.to_controller);
 }
 
-void CompiledDatapath::collect() { retired_.clear(); }
+// --- introspection -----------------------------------------------------------
 
-void CompiledDatapath::reset() {
-  slots_.clear();
-  live_.clear();
-  retired_.clear();
-  snap_.clear();
-  snap_touched_.clear();
-  start_ = -1;
-  stats_ = Stats{};
+CompiledDatapath::TableStats CompiledDatapath::table_stats(int32_t slot) const {
+  const Slot& s = slots_[slot];
+  return {s.lookups.load(std::memory_order_relaxed),
+          s.hits.load(std::memory_order_relaxed),
+          s.misses.load(std::memory_order_relaxed)};
+}
+
+CompiledDatapath::Stats CompiledDatapath::stats() const {
+  Stats out;
+  for (uint32_t i = 0; i <= kMaxWorkers; ++i) {
+    const Worker::StatBlock& b = workers_[i].stats_;
+    out.packets += b.packets.load(std::memory_order_relaxed);
+    out.outputs += b.outputs.load(std::memory_order_relaxed);
+    out.drops += b.drops.load(std::memory_order_relaxed);
+    out.to_controller += b.to_controller.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 void CompiledDatapath::clear_stats() {
-  stats_ = Stats{};
-  for (Slot& s : slots_) s.stats = TableStats{};
+  for (uint32_t i = 0; i <= kMaxWorkers; ++i) {
+    Worker::StatBlock& b = workers_[i].stats_;
+    b.packets.store(0, std::memory_order_relaxed);
+    b.outputs.store(0, std::memory_order_relaxed);
+    b.drops.store(0, std::memory_order_relaxed);
+    b.to_controller.store(0, std::memory_order_relaxed);
+  }
+  const int32_t n = n_slots_.load(std::memory_order_relaxed);
+  for (int32_t i = 0; i < n; ++i) {
+    slots_[i].lookups.store(0, std::memory_order_relaxed);
+    slots_[i].hits.store(0, std::memory_order_relaxed);
+    slots_[i].misses.store(0, std::memory_order_relaxed);
+  }
+}
+
+CompiledDatapath::ReclaimStats CompiledDatapath::reclaim_stats() const {
+  return {retired_impls_.retired_total() + retired_slots_.retired_total(),
+          retired_impls_.reclaimed_total() + retired_slots_.reclaimed_total(),
+          retired_impls_.pending() + retired_slots_.pending()};
 }
 
 size_t CompiledDatapath::memory_bytes() const {

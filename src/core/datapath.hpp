@@ -5,16 +5,31 @@
 // Trampolines realize §3.3/§3.4: a goto_table jump resolves through an atomic
 // slot, so a table can be rebuilt side by side and inserted "by atomically
 // redirecting all referring goto_table jumps to the address of the new code".
-// Retired table objects are kept until collect() — quiescent-state
-// reclamation; the single owner calls it when no reader is inside process().
+//
+// Concurrency model (one writer, N packet workers):
+//   * the control thread is the only mutator — it swaps trampolines
+//     (release) and retires the displaced objects into an epoch domain
+//     (`common/epoch.hpp`);
+//   * each packet worker runs inside a registered `Worker` context: its own
+//     burst scratch (trampoline snapshots), its own cacheline-padded verdict
+//     counters, and an epoch slot it ticks once per burst, at which point it
+//     provably holds no datapath pointers;
+//   * retired tables and recycled trampoline slots are freed by `reclaim()`
+//     once every registered worker has ticked past the retirement epoch —
+//     the old caller-coordinated `collect()` contract ("call when no
+//     process() is in flight") is gone;
+//   * the legacy `process()`/`process_burst()` entry points run in an
+//     implicit owner context: they are for single-threaded use (the control
+//     thread itself, or a thread that is the only one touching the object),
+//     which is trivially quiescent at every writer step.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
+#include "common/epoch.hpp"
 #include "core/compiled_table.hpp"
 #include "flow/pipeline.hpp"
 #include "netio/packet.hpp"
@@ -23,6 +38,13 @@ namespace esw::core {
 
 class CompiledDatapath {
  public:
+  /// Concurrent packet workers supported (excluding the owner context).
+  static constexpr uint32_t kMaxWorkers = common::EpochDomain::kMaxWorkers;
+  /// Trampoline slot capacity.  Fixed so workers never race a reallocating
+  /// slot container; retired slots are recycled through the epoch domain, so
+  /// this bounds *live* tables plus those still in their grace period.
+  static constexpr int32_t kMaxSlots = 4096;
+
   struct TableStats {
     uint64_t lookups = 0;
     uint64_t hits = 0;
@@ -34,68 +56,13 @@ class CompiledDatapath {
     uint64_t drops = 0;
     uint64_t to_controller = 0;
   };
-
-  /// Allocates a trampoline slot; returns its internal id.
-  int32_t add_slot(flow::FlowTable::MissPolicy miss);
-
-  /// Swaps the slot's implementation (release order); the old one is retired,
-  /// not destroyed, until collect().
-  void set_impl(int32_t slot, std::unique_ptr<CompiledTable> impl);
-
-  void set_miss_policy(int32_t slot, flow::FlowTable::MissPolicy miss);
-  void set_start(int32_t slot) { start_ = slot; }
-  void set_plan(const proto::ParserPlan& plan) { plan_ = plan; }
-
-  const CompiledTable* impl(int32_t slot) const {
-    return slots_[slot].impl.load(std::memory_order_acquire);
-  }
-  CompiledTable* impl_mut(int32_t slot) {
-    return slots_[slot].impl.load(std::memory_order_acquire);
-  }
-  int32_t num_slots() const { return static_cast<int32_t>(slots_.size()); }
-  int32_t start() const { return start_; }
-  const proto::ParserPlan& plan() const { return plan_; }
-
-  flow::ActionSetRegistry& actions() { return actions_; }
-  const flow::ActionSetRegistry& actions() const { return actions_; }
-
-  /// One packet through the compiled pipeline.  This is the reference
-  /// implementation: process_burst() must be observably identical to n calls
-  /// of process() (verdicts, packet mutations, per-table and global stats).
-  flow::Verdict process(net::Packet& pkt, MemTrace* trace = nullptr);
-
-  /// Burst fast path: `n` packets run to completion, one verdict per packet
-  /// written to `out[0..n)`.  Amortizes per-packet overhead the way a
-  /// DPDK-style loop does: the parse stage runs across the whole burst with
-  /// the next frame's header line prefetched, the per-slot atomic impl load
-  /// and miss-policy read are hoisted to once per burst (safe under the
-  /// single-writer quiescent-publication model — the writer never swaps a
-  /// trampoline while a reader is inside the datapath), per-table and global
-  /// stats accumulate in locals flushed once per burst, and each table's
-  /// prefetch() hint is issued for packet i+1 while packet i walks the
-  /// pipeline.  `n` may exceed kBurstSize; the loop chunks internally.
-  void process_burst(net::Packet* const* pkts, uint32_t n, flow::Verdict* out);
-
-  /// Frees retired table objects.  Caller guarantees quiescence.
-  void collect();
-
-  /// Drops all slots and state (full recompile path).
-  void reset();
-
-  const TableStats& table_stats(int32_t slot) const { return slots_[slot].stats; }
-  const Stats& stats() const { return stats_; }
-  void clear_stats();
-
-  /// Total resident bytes of all live compiled tables (working-set model).
-  size_t memory_bytes() const;
-
- private:
-  struct Slot {
-    std::atomic<CompiledTable*> impl{nullptr};
-    flow::FlowTable::MissPolicy miss = flow::FlowTable::MissPolicy::kDrop;
-    TableStats stats;
+  struct ReclaimStats {
+    uint64_t retired = 0;    // objects handed to the epoch domain
+    uint64_t reclaimed = 0;  // freed after their grace period
+    uint64_t pending = 0;    // retired, grace period not yet over
   };
 
+ private:
   /// Per-burst view of a slot: impl/miss hoisted out of the hot loop, local
   /// stat deltas flushed when the burst ends.  `gen` stamps which burst the
   /// snapshot belongs to so untouched slots cost nothing per burst.
@@ -107,6 +74,151 @@ class CompiledDatapath {
     TableStats delta;
   };
 
+ public:
+  /// A packet worker's execution context: burst scratch, padded verdict
+  /// counters and the epoch registration.  Obtain via register_worker(); one
+  /// thread drives a Worker at a time.
+  class Worker {
+   public:
+    uint32_t id() const { return id_; }
+
+   private:
+    friend class CompiledDatapath;
+    // Verdict-level counters: own cache line, single-writer (the worker),
+    // relaxed-atomic so aggregating readers are race-free.
+    struct alignas(64) StatBlock {
+      std::atomic<uint64_t> packets{0};
+      std::atomic<uint64_t> outputs{0};
+      std::atomic<uint64_t> drops{0};
+      std::atomic<uint64_t> to_controller{0};
+    };
+
+    StatBlock stats_;
+    std::vector<SlotSnapshot> snap_;
+    std::vector<int32_t> snap_touched_;
+    uint64_t snap_gen_ = 0;
+    common::EpochDomain::WorkerSlot* epoch_ = nullptr;  // null for the owner ctx
+    uint32_t id_ = 0;
+    bool in_use_ = false;  // control-thread bookkeeping
+  };
+
+  CompiledDatapath();
+
+  // --- control plane (single writer) ---------------------------------------
+
+  /// Allocates (or recycles) a trampoline slot; returns its internal id.
+  int32_t add_slot(flow::FlowTable::MissPolicy miss);
+
+  /// Swaps the slot's implementation (release order); the displaced one is
+  /// retired into the epoch domain and freed by a later reclaim().
+  void set_impl(int32_t slot, std::unique_ptr<CompiledTable> impl);
+
+  /// Retires a slot stranded by a root swap (a decomposed table's previous
+  /// sub-table chain).  Its impl stays published until the grace period ends
+  /// — pre-swap bursts may still jump into it and must see the old table —
+  /// then impl and slot id are reclaimed together for reuse.
+  void retire_slot(int32_t slot);
+
+  /// Frees every retirement whose grace period has elapsed (advances the
+  /// epoch first).  With no registered workers this reclaims everything
+  /// immediately.  Returns the number of objects freed.
+  uint64_t reclaim();
+
+  void set_miss_policy(int32_t slot, flow::FlowTable::MissPolicy miss);
+  void set_start(int32_t slot) { start_.store(slot, std::memory_order_release); }
+  void set_plan(const proto::ParserPlan& plan) {
+    plan_.store(plan, std::memory_order_release);
+  }
+
+  /// Drops all slots and state (full recompile path).  Requires no
+  /// registered workers: install() is a stop-the-world operation.
+  void reset();
+
+  // --- worker management ----------------------------------------------------
+
+  /// Registers a packet-worker context (control thread only; nullptr when
+  /// kMaxWorkers are active).  While any worker is registered, reader-visible
+  /// structures may only be updated via copy-and-swap or in-place algorithms
+  /// that are explicitly reader-safe (CompiledTable::concurrent_update_safe).
+  Worker* register_worker();
+  /// Unregisters (control thread only; the worker's thread must have
+  /// finished — joined or provably past its last burst).
+  void unregister_worker(Worker* w);
+  bool has_workers() const { return domain_.has_workers(); }
+
+  // --- datapath (readers) ---------------------------------------------------
+
+  /// One packet through the compiled pipeline in the owner context.  This is
+  /// the reference implementation: process_burst() must be observably
+  /// identical to n calls of process() (verdicts, packet mutations,
+  /// per-table and global stats).
+  flow::Verdict process(net::Packet& pkt, MemTrace* trace = nullptr) {
+    return process(workers_[0], pkt, trace);
+  }
+  /// Worker-context scalar path: per-hop acquire trampoline loads, one epoch
+  /// tick per packet.  Each Worker is single-threaded; concurrency comes
+  /// from running *different* workers on different threads (run-to-completion
+  /// sharding), never from sharing one context.
+  flow::Verdict process(Worker& w, net::Packet& pkt, MemTrace* trace = nullptr);
+
+  /// Burst fast path in the owner context; see the Worker overload.
+  void process_burst(net::Packet* const* pkts, uint32_t n, flow::Verdict* out) {
+    process_burst(workers_[0], pkts, n, out);
+  }
+  /// Burst fast path: `n` packets run to completion, one verdict per packet
+  /// written to `out[0..n)`.  Amortizes per-packet overhead the way a
+  /// DPDK-style loop does: the worker ticks its epoch slot, snapshots each
+  /// slot's impl pointer (acquire) and miss policy once per burst, runs the
+  /// parse stage across the burst with next-frame prefetch, walks packets
+  /// with one-ahead lookup prefetch, and flushes per-table and global stats
+  /// once per burst.  A snapshot taken at burst start stays valid for the
+  /// whole burst because a displaced impl survives at least until every
+  /// worker's next tick (epoch grace period).  `n` may exceed kBurstSize;
+  /// the loop chunks internally.
+  void process_burst(Worker& w, net::Packet* const* pkts, uint32_t n,
+                     flow::Verdict* out);
+
+  // --- introspection --------------------------------------------------------
+
+  const CompiledTable* impl(int32_t slot) const {
+    return slots_[slot].impl.load(std::memory_order_acquire);
+  }
+  CompiledTable* impl_mut(int32_t slot) {
+    return slots_[slot].impl.load(std::memory_order_acquire);
+  }
+  int32_t num_slots() const { return n_slots_.load(std::memory_order_acquire); }
+  int32_t start() const { return start_.load(std::memory_order_acquire); }
+  proto::ParserPlan plan() const { return plan_.load(std::memory_order_acquire); }
+
+  flow::ActionSetRegistry& actions() { return actions_; }
+  const flow::ActionSetRegistry& actions() const { return actions_; }
+
+  /// Per-slot counter snapshot (sums of all workers' flushed deltas).
+  TableStats table_stats(int32_t slot) const;
+  /// Verdict-level counters aggregated over the owner context and every
+  /// worker block (the per-worker blocks are only ever read here).
+  Stats stats() const;
+  /// Zeroes all counters.  Control-side; concurrent bursts may re-add their
+  /// in-flight deltas, so call it while processing is paused for exactness.
+  void clear_stats();
+
+  ReclaimStats reclaim_stats() const;
+
+  /// Total resident bytes of all live compiled tables (working-set model).
+  /// Control-side (walks the live-table list the writer owns).
+  size_t memory_bytes() const;
+
+ private:
+  struct Slot {
+    std::atomic<CompiledTable*> impl{nullptr};
+    std::atomic<flow::FlowTable::MissPolicy> miss{flow::FlowTable::MissPolicy::kDrop};
+    // Shared per-slot counters: workers flush burst-local deltas with relaxed
+    // fetch_add (a handful per burst), readers aggregate with relaxed loads.
+    std::atomic<uint64_t> lookups{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+  };
+
   static constexpr int kMaxHops = 8192;
   /// Tables whose resident bytes fit in the private caches are skipped by the
   /// prefetch hints: the hint recomputes the lookup key (hash templates pay
@@ -115,23 +227,31 @@ class CompiledDatapath {
   /// serve lookups from warm lines anyway.
   static constexpr size_t kPrefetchMinBytes = 1024 * 1024;
 
-  SlotSnapshot& snapshot(int32_t slot);
-  void process_chunk(net::Packet* const* pkts, uint32_t n, flow::Verdict* out);
+  SlotSnapshot& snapshot(Worker& w, int32_t slot);
+  void process_chunk(Worker& w, net::Packet* const* pkts, uint32_t n,
+                     flow::Verdict* out);
+  std::unique_ptr<CompiledTable> take_live(CompiledTable* old);
+  void retire_impl(CompiledTable* old);
+  void recycle_slot(int32_t slot);
 
-  std::deque<Slot> slots_;  // stable addresses for concurrent readers
+  std::unique_ptr<Slot[]> slots_;  // kMaxSlots, fixed — stable for readers
+  std::atomic<int32_t> n_slots_{0};
+  std::vector<int32_t> free_slots_;  // recycled ids (writer-side)
   std::vector<std::unique_ptr<CompiledTable>> live_;
-  std::vector<std::unique_ptr<CompiledTable>> retired_;
   flow::ActionSetRegistry actions_;
-  proto::ParserPlan plan_ = proto::ParserPlan::full();
-  int32_t start_ = -1;
-  Stats stats_;
+  std::atomic<proto::ParserPlan> plan_{proto::ParserPlan::full()};
+  std::atomic<int32_t> start_{-1};
 
-  // Burst scratch.  The datapath has a single reader (stats increments are
-  // plain stores already), so keeping this state in the object is safe and
-  // avoids a per-burst allocation.
-  std::vector<SlotSnapshot> snap_;
-  std::vector<int32_t> snap_touched_;
-  uint64_t snap_gen_ = 0;
+  common::EpochDomain domain_;
+  common::RetireList<std::unique_ptr<CompiledTable>> retired_impls_;
+  common::RetireList<int32_t> retired_slots_;
+
+  // workers_[0] is the implicit owner context; 1..kMaxWorkers are
+  // registerable packet workers.
+  std::unique_ptr<Worker[]> workers_;
 };
+
+static_assert(std::atomic<proto::ParserPlan>::is_always_lock_free,
+              "parser plan must publish without a lock");
 
 }  // namespace esw::core

@@ -25,7 +25,7 @@ void Eswitch::compile_all() {
   dp_.reset();
   goto_map_.assign(256, -1);
   decomposed_.fill(false);
-  decomposed_count_.fill(0);
+  for (auto& v : sub_slots_) v.clear();
 
   // Root slots first so any goto resolves, then table bodies.
   for (const FlowTable& t : pipeline_.tables())
@@ -43,8 +43,12 @@ void Eswitch::rebuild_logical(uint8_t id) {
   dp_.set_miss_policy(root, t->miss_policy());
 
   ++update_stats_.table_rebuilds;
+  // The outgoing sub-table chain (if any) becomes unreachable once the root
+  // swaps below; retire it behind the swap so its slots recycle after the
+  // grace period instead of leaking until the next install().
+  std::vector<int32_t> stale_subs = std::move(sub_slots_[id]);
+  sub_slots_[id].clear();
   decomposed_[id] = false;
-  decomposed_count_[id] = 0;
 
   if (cfg_.enable_decomposition &&
       analyze_table(*t, cfg_).chosen == TableTemplate::kLinkedList) {
@@ -69,7 +73,8 @@ void Eswitch::rebuild_logical(uint8_t id) {
         if (i == 0) root_template_[id] = kind;
       }
       decomposed_[id] = true;
-      decomposed_count_[id] = static_cast<uint32_t>(d.tables.size());
+      sub_slots_[id].assign(slot_of.begin() + 1, slot_of.end());
+      for (const int32_t s : stale_subs) dp_.retire_slot(s);
       return;
     }
   }
@@ -78,6 +83,7 @@ void Eswitch::rebuild_logical(uint8_t id) {
   auto impl = build_table_impl(to_build_entries(*t), cfg_, ctx, &kind);
   dp_.set_impl(root, std::move(impl));
   root_template_[id] = kind;
+  for (const int32_t s : stale_subs) dp_.retire_slot(s);
 }
 
 void Eswitch::refresh_start_and_plan() {
@@ -119,7 +125,64 @@ void Eswitch::apply_to_pipeline(flow::Pipeline& pl, const FlowMod& fm) {
   }
 }
 
-void Eswitch::apply(const FlowMod& fm) {
+/// §3.4's non-destructive incremental update, in the shape the concurrency
+/// mode allows:
+///   * no registered workers — mutate the published impl in place (the
+///     single-threaded fast path; the caller is the only thread inside the
+///     datapath between its own calls);
+///   * workers registered + template is reader-safe in place (LPM) — same;
+///   * workers registered otherwise — clone, update the private copy, and
+///     publish it with a trampoline swap; the displaced impl retires through
+///     the epoch domain.  Inside a batch (`cow` non-null) the clone is made
+///     once per table, accumulates every mod of the batch, and is published
+///     by apply_batch with one swap.
+bool Eswitch::try_incremental(uint8_t table, const FlowMod& fm, CowMap* cow) {
+  const int32_t root = goto_map_[table];
+  CompiledTable* published = root >= 0 ? dp_.impl_mut(root) : nullptr;
+  if (published == nullptr || decomposed_[table]) return false;
+  const bool is_add = fm.command == FlowMod::Cmd::kAdd;
+  if (!is_add && fm.command != FlowMod::Cmd::kDelete) return false;
+  BuildCtx ctx{dp_.actions(), goto_map_};
+
+  // Resolve the mutation target: the published impl (in place), the batch's
+  // pending clone, or a fresh clone.
+  CompiledTable* target = published;
+  std::unique_ptr<CompiledTable> fresh;
+  const bool in_place = !dp_.has_workers() || published->concurrent_update_safe();
+  if (!in_place) {
+    const auto it = cow != nullptr ? cow->find(table) : CowMap::iterator{};
+    if (cow != nullptr && it != cow->end()) {
+      target = it->second.get();
+    } else {
+      fresh = published->clone_for_update();
+      if (fresh == nullptr) return false;
+      target = fresh.get();
+    }
+  }
+
+  // A failed try_* leaves its target untouched, so a pending batch clone
+  // stays valid and the caller falls back to a rebuild.
+  if (is_add) {
+    const FlowEntry e = flow::entry_from(fm);
+    if (!target->try_add(e, ctx)) return false;
+    maybe_widen_plan(e);
+  } else {
+    if (!target->try_remove(fm.match, fm.priority)) return false;
+  }
+  ++update_stats_.incremental;
+
+  if (fresh != nullptr) {
+    if (cow != nullptr) {
+      cow->emplace(table, std::move(fresh));  // published at batch commit
+    } else {
+      dp_.set_impl(root, std::move(fresh));
+      ++update_stats_.cow_swaps;
+    }
+  }
+  return true;
+}
+
+void Eswitch::apply_one(const FlowMod& fm, CowMap* cow) {
   const bool new_table =
       fm.command != FlowMod::Cmd::kDelete && pipeline_.find_table(fm.table_id) == nullptr;
 
@@ -136,29 +199,18 @@ void Eswitch::apply(const FlowMod& fm) {
     return;
   }
 
-  const int32_t root = goto_map_[fm.table_id];
-  CompiledTable* impl = root >= 0 ? dp_.impl_mut(root) : nullptr;
-  BuildCtx ctx{dp_.actions(), goto_map_};
-
-  // §3.4: non-destructive incremental update when the template supports it
-  // and the prerequisite still holds; otherwise rebuild (with fallback).
-  if (impl != nullptr && !decomposed_[fm.table_id]) {
-    if (fm.command == FlowMod::Cmd::kAdd) {
-      const FlowEntry e = flow::entry_from(fm);
-      if (impl->try_add(e, ctx)) {
-        ++update_stats_.incremental;
-        maybe_widen_plan(e);
-        return;
-      }
-    } else if (fm.command == FlowMod::Cmd::kDelete) {
-      if (impl->try_remove(fm.match, fm.priority)) {
-        ++update_stats_.incremental;
-        return;
-      }
-    }
+  if (!try_incremental(fm.table_id, fm, cow)) {
+    // Rebuilding from the pipeline (which already carries this batch's mods
+    // for the table) obsoletes any pending clone.
+    if (cow != nullptr) cow->erase(fm.table_id);
+    rebuild_logical(fm.table_id);
+    refresh_start_and_plan();
   }
-  rebuild_logical(fm.table_id);
-  refresh_start_and_plan();
+}
+
+void Eswitch::apply(const FlowMod& fm) {
+  apply_one(fm, nullptr);
+  dp_.reclaim();
 }
 
 void Eswitch::apply_batch(const std::vector<FlowMod>& fms) {
@@ -170,8 +222,16 @@ void Eswitch::apply_batch(const std::vector<FlowMod>& fms) {
 
   // Commit through the regular path: validated mods cannot throw, and each
   // lands incrementally where its table's template allows, so a batch of
-  // route adds does not force wholesale LPM rebuilds.
-  for (const FlowMod& fm : fms) apply(fm);
+  // route adds does not force wholesale LPM rebuilds.  Under concurrent
+  // workers, clone-and-swap tables are cloned once for the whole batch and
+  // published here with a single trampoline swap each.
+  CowMap cow;
+  for (const FlowMod& fm : fms) apply_one(fm, &cow);
+  for (auto& [table, impl] : cow) {
+    dp_.set_impl(goto_map_[table], std::move(impl));
+    ++update_stats_.cow_swaps;
+  }
+  dp_.reclaim();
 }
 
 }  // namespace esw::core

@@ -13,12 +13,22 @@
 //   * batches are transactional — validated against a scratch pipeline first,
 //     so a bad mod in the middle leaves no partial state behind.
 //
+// Concurrency: apply()/apply_batch() run on one control thread while any
+// number of registered packet workers process bursts.  While workers are
+// registered, incremental updates take one of two reader-safe shapes —
+// in place for templates that publish per-cell (LPM), or clone-update-swap
+// for the rest — and every displaced object is retired through the datapath's
+// epoch domain (freed only after all workers tick past the retirement; see
+// common/epoch.hpp).  install() is stop-the-world: no workers registered.
+//
 // Decomposed logical tables occupy a fixed root slot; a rebuild appends fresh
-// sub-table slots and swaps the root, so cross-table gotos stay valid.  Stale
-// sub-slots are reclaimed on the next full install().
+// sub-table slots and swaps the root, so cross-table gotos stay valid.  The
+// previous sub-table chain is retired behind the swap and its slots are
+// recycled after the grace period.
 #pragma once
 
 #include <array>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -31,14 +41,19 @@ namespace esw::core {
 
 class Eswitch {
  public:
+  /// Packet-worker execution context (see CompiledDatapath::Worker).
+  using Worker = CompiledDatapath::Worker;
+
   explicit Eswitch(const CompilerConfig& cfg = CompilerConfig{});
 
   /// Replaces the whole configuration and recompiles from scratch.
+  /// Stop-the-world: requires no registered workers.
   void install(const flow::Pipeline& pl);
 
   /// Applies one flow-mod (add / modify / delete), updating the datapath
   /// incrementally where the template allows.  Throws CheckError on invalid
-  /// mods, leaving all state untouched.
+  /// mods, leaving all state untouched.  Safe concurrently with registered
+  /// workers' process_burst.
   void apply(const flow::FlowMod& fm);
 
   /// Transactional batch: every mod validated against a scratch pipeline
@@ -46,22 +61,38 @@ class Eswitch {
   /// atomically ("partial updates automatically rolled back").
   void apply_batch(const std::vector<flow::FlowMod>& fms);
 
-  /// Datapath fast path (scalar reference implementation).
+  /// Datapath fast path (scalar reference implementation, owner context).
   flow::Verdict process(net::Packet& pkt, MemTrace* trace = nullptr) {
     return dp_.process(pkt, trace);
+  }
+  /// Worker-context scalar path (per-hop trampoline reload, per-packet tick).
+  flow::Verdict process(Worker& w, net::Packet& pkt, MemTrace* trace = nullptr) {
+    return dp_.process(w, pkt, trace);
   }
 
   /// Datapath burst fast path: `n` packets run to completion, one verdict per
   /// packet.  Observably identical to n process() calls but amortizes parse,
   /// trampoline-load and stats overhead over the burst (see
-  /// CompiledDatapath::process_burst).
+  /// CompiledDatapath::process_burst).  Owner context — single-threaded use.
   void process_burst(net::Packet* const* pkts, uint32_t n, flow::Verdict* out) {
     dp_.process_burst(pkts, n, out);
   }
+  /// Worker-context burst path — the entry concurrent packet threads use.
+  void process_burst(Worker& w, net::Packet* const* pkts, uint32_t n,
+                     flow::Verdict* out) {
+    dp_.process_burst(w, pkts, n, out);
+  }
+
+  /// Registers a packet-worker context (control thread only; nullptr when the
+  /// datapath's kMaxWorkers are active).
+  Worker* register_worker() { return dp_.register_worker(); }
+  /// Unregisters a worker whose thread has finished (joined).
+  void unregister_worker(Worker* w) { dp_.unregister_worker(w); }
+  bool has_workers() const { return dp_.has_workers(); }
 
   /// Verdict-level counters in the unified Dataplane shape.
   DataplaneStats stats() const {
-    const CompiledDatapath::Stats& s = dp_.stats();
+    const CompiledDatapath::Stats s = dp_.stats();
     return {s.packets, s.outputs, s.drops, s.to_controller};
   }
 
@@ -77,24 +108,32 @@ class Eswitch {
   /// Number of decomposition-internal tables behind a logical table (0 when
   /// not decomposed).
   uint32_t decomposed_table_count(uint8_t logical) const {
-    return decomposed_count_[logical];
+    return static_cast<uint32_t>(sub_slots_[logical].size()) + decomposed_[logical];
   }
 
   struct UpdateStats {
-    uint64_t incremental = 0;     // served by try_add/try_remove
+    uint64_t incremental = 0;     // served by try_add/try_remove (either shape)
+    uint64_t cow_swaps = 0;       // of which: clone-update-swap publications
     uint64_t table_rebuilds = 0;  // side-by-side rebuild + trampoline swap
   };
   const UpdateStats& update_stats() const { return update_stats_; }
 
-  /// Frees retired compiled tables (call from the datapath owner when no
-  /// process() call is in flight).
-  void collect() { dp_.collect(); }
+  /// Retire/reclaim counters of the epoch-based reclamation path (the only
+  /// reclamation path; the old caller-coordinated collect() is gone).
+  CompiledDatapath::ReclaimStats reclaim_stats() const { return dp_.reclaim_stats(); }
 
  private:
+  /// Pending clone-and-swap copies during a batch: each touched table is
+  /// cloned once, mutated across the whole batch and published with a single
+  /// trampoline swap at commit — not K clones for K mods.
+  using CowMap = std::map<uint8_t, std::unique_ptr<CompiledTable>>;
+
   void compile_all();
   void rebuild_logical(uint8_t id);
   void refresh_start_and_plan();
   void maybe_widen_plan(const flow::FlowEntry& e);
+  void apply_one(const flow::FlowMod& fm, CowMap* cow);
+  bool try_incremental(uint8_t table, const flow::FlowMod& fm, CowMap* cow);
   static void apply_to_pipeline(flow::Pipeline& pl, const flow::FlowMod& fm);
 
   CompilerConfig cfg_;
@@ -103,7 +142,9 @@ class Eswitch {
   GotoMap goto_map_ = GotoMap(256, -1);
   std::array<TableTemplate, 256> root_template_{};
   std::array<bool, 256> decomposed_{};
-  std::array<uint32_t, 256> decomposed_count_{};
+  // Decomposition-internal (non-root) slots behind each logical table,
+  // retired wholesale when the logical table rebuilds.
+  std::array<std::vector<int32_t>, 256> sub_slots_{};
   UpdateStats update_stats_;
 };
 

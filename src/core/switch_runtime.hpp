@@ -1,0 +1,363 @@
+// The multicore switch runtime: N run-to-completion packet workers over one
+// shared backend — the paper's Fig. 19 execution model, for real this time.
+//
+// `SwitchHost` (switch_host.hpp) is the single-threaded runtime: one thread
+// polls every port.  `SwitchRuntime` shards the port panel's RX rings across
+// std::thread workers, each running the DPDK-style loop
+//
+//   rx_burst -> Backend::process_burst(worker ctx) -> execute verdicts
+//
+// while the control thread keeps exclusive ownership of the update plane
+// (`apply`/`apply_batch`, or a `uc::OfAgent` session bridged to the backend)
+// and of table-memory reclamation, which rides the backend's epoch domain —
+// workers tick once per burst inside process_burst.
+//
+// Shared-state discipline, piece by piece:
+//   * RX rings — single-producer/single-consumer: each port belongs to
+//     exactly one worker (round-robin sharding), and that worker is also the
+//     only injector when a traffic source is configured;
+//   * TX rings — any worker may output to any port: multi-producer enqueue
+//     (Ring::enqueue_burst_mp); the owning worker drains its ports' TX back
+//     into the pool when `sink_tx` is on (the wire carrying frames away);
+//   * buffers — one shared MbufPool, accessed only through per-worker
+//     MbufCaches (bulk refill/spill, lock-free per packet);
+//   * counters — per-worker cacheline-padded blocks of single-writer relaxed
+//     atomics, aggregated only in counters() readers;
+//   * packet-ins — bounded, mutex-protected handoff to the control thread
+//     (the slow path by definition).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/counters.hpp"
+#include "core/dataplane.hpp"
+#include "netio/mbuf_pool.hpp"
+#include "netio/portset.hpp"
+
+namespace esw::core {
+
+/// A controller-bound frame captured by a worker (mirrors
+/// SwitchHost::PacketInEvent without requiring that header).
+struct RuntimePacketIn {
+  std::vector<uint8_t> frame;
+  uint32_t in_port = 0;
+};
+
+/// A backend the multi-worker runtime can drive: the unified Dataplane
+/// surface plus per-worker execution contexts wired to epoch reclamation.
+template <typename T>
+concept ConcurrentDataplane =
+    Dataplane<T> && requires(T sw, typename T::Worker* w, net::Packet* const* pkts,
+                             uint32_t n, flow::Verdict* out) {
+      { sw.register_worker() } -> std::same_as<typename T::Worker*>;
+      sw.unregister_worker(w);
+      sw.process_burst(*w, pkts, n, out);
+    };
+
+template <ConcurrentDataplane Backend>
+class SwitchRuntime {
+ public:
+  struct Config {
+    uint32_t n_workers = 2;
+    uint32_t n_ports = 4;  // sharded round-robin: port p -> worker (p-1) % n
+    net::Port::Config port{};
+    uint32_t pool_capacity = 8192;
+    uint32_t worker_cache = 128;  // per-worker mbuf cache size
+    bool sink_tx = true;          // workers drain their ports' TX back to pool
+    uint32_t max_pending_packet_ins = 1024;
+  };
+
+  /// Verdict-execution counters; one padded block per worker, aggregated on
+  /// read.  `processed` is the throughput counter Fig. 19 reports.
+  struct Counters {
+    uint64_t polls = 0;          // worker loop iterations
+    uint64_t processed = 0;      // packets through process_burst
+    uint64_t source_packets = 0; // injected by the traffic source hook
+    uint64_t tx_packets = 0;
+    uint64_t flood_copies = 0;
+    uint64_t drops = 0;
+    uint64_t packet_ins = 0;
+    uint64_t tx_rejected = 0;
+    uint64_t bad_port = 0;
+    uint64_t pool_exhausted = 0;
+  };
+
+  /// Per-worker traffic source (bench/generator mode), called on the worker
+  /// thread with `n` pool buffers to fill (frame + in_port); returns how many
+  /// were filled.  Unfilled buffers go back to the cache.  The filled ones
+  /// are injected into the worker's first port and processed by the normal
+  /// rx path — the measurement loop pays the same ring costs production
+  /// traffic would.
+  using SourceFn = std::function<uint32_t(uint32_t worker, net::Packet** bufs,
+                                          uint32_t n)>;
+
+  /// Constructs the backend in place from `args` (its config, typically).
+  template <typename... Args>
+  explicit SwitchRuntime(const Config& cfg = {}, Args&&... args)
+      : cfg_(cfg),
+        backend_(std::forward<Args>(args)...),
+        ports_(cfg.n_ports, cfg.port),
+        pool_(cfg.pool_capacity) {
+    ESW_CHECK(cfg_.n_workers >= 1);
+  }
+
+  ~SwitchRuntime() { stop(); }
+  SwitchRuntime(const SwitchRuntime&) = delete;
+  SwitchRuntime& operator=(const SwitchRuntime&) = delete;
+
+  Backend& backend() { return backend_; }
+  const Backend& backend() const { return backend_; }
+  net::PortSet& ports() { return ports_; }
+  net::MbufPool& pool() { return pool_; }
+  uint32_t n_workers() const { return cfg_.n_workers; }
+  bool running() const { return !workers_.empty(); }
+
+  /// Installs the per-worker traffic source.  Set before start().
+  void set_source(SourceFn source) {
+    ESW_CHECK_MSG(!running(), "set_source before start()");
+    source_ = std::move(source);
+  }
+
+  /// Registers the worker contexts and launches the worker threads.  The
+  /// control plane (install) must be loaded first; apply/apply_batch remain
+  /// legal — that is the point — on this thread while workers run.
+  void start() {
+    ESW_CHECK_MSG(!running(), "already started");
+    for (uint32_t no = net::PortSet::kFirstPort;
+         no < net::PortSet::kFirstPort + ports_.size(); ++no)
+      ESW_CHECK_MSG(!ports_.port(no).rate_capped(),
+                    "multi-worker TX requires uncapped ports");
+    stop_.store(false, std::memory_order_release);
+    workers_.reserve(cfg_.n_workers);
+    for (uint32_t i = 0; i < cfg_.n_workers; ++i) {
+      auto ws = std::make_unique<WorkerState>(pool_, cfg_.worker_cache);
+      ws->id = i;
+      ws->ctx = backend_.register_worker();
+      ESW_CHECK_MSG(ws->ctx != nullptr, "backend worker limit exceeded");
+      for (uint32_t no = net::PortSet::kFirstPort;
+           no < net::PortSet::kFirstPort + ports_.size(); ++no)
+        if ((no - net::PortSet::kFirstPort) % cfg_.n_workers == i)
+          ws->owned_ports.push_back(no);
+      workers_.push_back(std::move(ws));
+    }
+    for (auto& ws : workers_)
+      ws->thread = std::thread([this, w = ws.get()] { worker_main(*w); });
+  }
+
+  /// Stops and joins the workers, unregisters their contexts.  Their counters
+  /// fold into the retired aggregate so counters() stays monotone across
+  /// start/stop cycles.  Idempotent.
+  void stop() {
+    if (!running()) return;
+    stop_.store(true, std::memory_order_release);
+    for (auto& ws : workers_) ws->thread.join();
+    final_worker_counters_.assign(workers_.size(), Counters{});
+    for (auto& ws : workers_) {
+      backend_.unregister_worker(ws->ctx);
+      add_block(retired_counters_, ws->stats);
+      add_block(final_worker_counters_[ws->id], ws->stats);
+    }
+    workers_.clear();
+  }
+
+  /// Aggregated over all workers (past and, while running, live blocks).
+  Counters counters() const {
+    Counters sum = retired_counters_;
+    for (const auto& ws : workers_) add_block(sum, ws->stats);
+    return sum;
+  }
+  /// One worker's counter snapshot; worker ids are 0..n_workers-1.  Live
+  /// while running; after stop() returns that run's final per-worker totals
+  /// (until the next start()).
+  Counters worker_counters(uint32_t worker) const {
+    Counters out;
+    if (running()) {
+      ESW_CHECK(worker < workers_.size());
+      add_block(out, workers_[worker]->stats);
+    } else {
+      ESW_CHECK(worker < final_worker_counters_.size());
+      out = final_worker_counters_[worker];
+    }
+    return out;
+  }
+
+  /// Copies a frame into a pool buffer and queues it on the port's RX ring.
+  /// Control-thread injection: only for ports whose worker has no source
+  /// configured (one RX producer at a time).
+  bool inject(uint32_t port_no, const uint8_t* frame, uint32_t len) {
+    if (!ports_.valid(port_no)) return false;
+    net::Packet* pkt = pool_.alloc();
+    if (pkt == nullptr) return false;
+    pkt->assign(frame, len);
+    pkt->set_in_port(port_no);
+    if (ports_.port(port_no).inject_rx(&pkt, 1) != 1) {
+      pool_.free(pkt);
+      return false;
+    }
+    return true;
+  }
+
+  /// Takes the buffered controller-bound frames (control thread).
+  std::vector<RuntimePacketIn> drain_packet_ins() {
+    std::lock_guard<std::mutex> lock(pin_mu_);
+    return std::exchange(pending_pins_, {});
+  }
+
+ private:
+  /// Single-writer relaxed counter cell (aggregators read concurrently).
+  struct alignas(64) StatBlock {
+    std::atomic<uint64_t> polls{0}, processed{0}, source_packets{0}, tx_packets{0},
+        flood_copies{0}, drops{0}, packet_ins{0}, tx_rejected{0}, bad_port{0},
+        pool_exhausted{0};
+  };
+
+  struct WorkerState {
+    WorkerState(net::MbufPool& pool, uint32_t cache_size) : cache(pool, cache_size) {}
+    uint32_t id = 0;
+    typename Backend::Worker* ctx = nullptr;
+    std::vector<uint32_t> owned_ports;
+    net::MbufCache cache;
+    StatBlock stats;
+    std::thread thread;
+  };
+
+  static void bump(std::atomic<uint64_t>& c, uint64_t d) {
+    common::counter_bump(c, d);  // single writer: the owning worker
+  }
+  static void add_block(Counters& sum, const StatBlock& b) {
+    sum.polls += b.polls.load(std::memory_order_relaxed);
+    sum.processed += b.processed.load(std::memory_order_relaxed);
+    sum.source_packets += b.source_packets.load(std::memory_order_relaxed);
+    sum.tx_packets += b.tx_packets.load(std::memory_order_relaxed);
+    sum.flood_copies += b.flood_copies.load(std::memory_order_relaxed);
+    sum.drops += b.drops.load(std::memory_order_relaxed);
+    sum.packet_ins += b.packet_ins.load(std::memory_order_relaxed);
+    sum.tx_rejected += b.tx_rejected.load(std::memory_order_relaxed);
+    sum.bad_port += b.bad_port.load(std::memory_order_relaxed);
+    sum.pool_exhausted += b.pool_exhausted.load(std::memory_order_relaxed);
+  }
+
+  void worker_main(WorkerState& ws) {
+    net::Packet* burst[net::kBurstSize];
+    flow::Verdict verdicts[net::kBurstSize];
+    while (!stop_.load(std::memory_order_acquire)) {
+      bump(ws.stats.polls, 1);
+      uint32_t did = 0;
+      if (source_ && !ws.owned_ports.empty()) did += pull_source(ws);
+      for (const uint32_t no : ws.owned_ports) {
+        net::Port& p = ports_.port(no);
+        const uint32_t n = p.rx_burst(burst, net::kBurstSize);
+        if (n == 0) continue;
+        backend_.process_burst(*ws.ctx, burst, n, verdicts);
+        for (uint32_t i = 0; i < n; ++i) execute(ws, burst[i], verdicts[i]);
+        bump(ws.stats.processed, n);
+        did += n;
+      }
+      if (cfg_.sink_tx) {
+        for (const uint32_t no : ws.owned_ports) {
+          net::Packet* out[net::kBurstSize];
+          uint32_t n;
+          while ((n = ports_.port(no).drain_tx(out, net::kBurstSize)) > 0)
+            for (uint32_t i = 0; i < n; ++i) ws.cache.free(out[i]);
+        }
+      }
+      if (did == 0) std::this_thread::yield();
+    }
+    ws.cache.flush();
+  }
+
+  /// Generator mode: hand the source up to a burst of buffers, inject the
+  /// filled ones into this worker's first port (we are its only RX producer).
+  uint32_t pull_source(WorkerState& ws) {
+    net::Packet* bufs[net::kBurstSize];
+    uint32_t got = 0;
+    while (got < net::kBurstSize) {
+      net::Packet* p = ws.cache.alloc();
+      if (p == nullptr) break;
+      bufs[got++] = p;
+    }
+    if (got == 0) {
+      bump(ws.stats.pool_exhausted, 1);
+      return 0;
+    }
+    const uint32_t filled = source_(ws.id, bufs, got);
+    net::Port& p = ports_.port(ws.owned_ports.front());
+    const uint32_t accepted = filled > 0 ? p.inject_rx(bufs, filled) : 0;
+    for (uint32_t i = accepted; i < got; ++i) ws.cache.free(bufs[i]);
+    bump(ws.stats.source_packets, accepted);
+    return accepted;
+  }
+
+  void execute(WorkerState& ws, net::Packet* pkt, const flow::Verdict& v) {
+    switch (v.kind) {
+      case flow::Verdict::Kind::kOutput:
+        tx_one(ws, v.port, pkt);
+        break;
+      case flow::Verdict::Kind::kFlood: {
+        const uint32_t ingress = pkt->in_port();
+        for (uint32_t no = net::PortSet::kFirstPort;
+             no < net::PortSet::kFirstPort + ports_.size(); ++no) {
+          if (no == ingress) continue;
+          net::Packet* copy = ws.cache.alloc();
+          if (copy == nullptr) {
+            bump(ws.stats.pool_exhausted, 1);
+            continue;
+          }
+          copy->assign(pkt->data(), pkt->len());
+          copy->set_in_port(ingress);
+          if (tx_one(ws, no, copy)) bump(ws.stats.flood_copies, 1);
+        }
+        ws.cache.free(pkt);
+        break;
+      }
+      case flow::Verdict::Kind::kController: {
+        bump(ws.stats.packet_ins, 1);
+        {
+          std::lock_guard<std::mutex> lock(pin_mu_);
+          if (pending_pins_.size() < cfg_.max_pending_packet_ins)
+            pending_pins_.push_back(
+                {{pkt->data(), pkt->data() + pkt->len()}, pkt->in_port()});
+        }
+        ws.cache.free(pkt);
+        break;
+      }
+      case flow::Verdict::Kind::kDrop:
+        bump(ws.stats.drops, 1);
+        ws.cache.free(pkt);
+        break;
+    }
+  }
+
+  bool tx_one(WorkerState& ws, uint32_t port_no, net::Packet* pkt) {
+    if (!ports_.valid(port_no)) {
+      bump(ws.stats.bad_port, 1);
+      ws.cache.free(pkt);
+      return false;
+    }
+    if (ports_.port(port_no).tx_burst_mp(&pkt, 1) == 1) {
+      bump(ws.stats.tx_packets, 1);
+      return true;
+    }
+    bump(ws.stats.tx_rejected, 1);
+    ws.cache.free(pkt);
+    return false;
+  }
+
+  Config cfg_;
+  Backend backend_;
+  net::PortSet ports_;
+  net::MbufPool pool_;
+  SourceFn source_;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  Counters retired_counters_;  // folded-in blocks of stopped workers
+  std::vector<Counters> final_worker_counters_;  // last run's per-worker totals
+  std::atomic<bool> stop_{false};
+  std::mutex pin_mu_;
+  std::vector<RuntimePacketIn> pending_pins_;
+};
+
+}  // namespace esw::core

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/bits.hpp"
+#include "common/check.hpp"
 #include "proto/headers.hpp"
 
 namespace esw::flow {
@@ -129,8 +130,14 @@ uint32_t ActionSetRegistry::intern(const ActionList& actions) {
     key.push_back(static_cast<char>(a.field));
     for (int i = 0; i < 8; ++i) key.push_back(static_cast<char>(a.value >> (8 * i)));
   }
-  auto [it, inserted] = index_.try_emplace(key, static_cast<uint32_t>(lists_.size()));
-  if (inserted) lists_.push_back(actions);
+  auto [it, inserted] = index_.try_emplace(key, size_);
+  if (inserted) {
+    ESW_CHECK_MSG((size_ >> kChunkBits) < kMaxChunks, "action registry full");
+    auto& chunk = chunks_[size_ >> kChunkBits];
+    if (!chunk) chunk = std::make_unique<ActionList[]>(kChunkSize);
+    chunk[size_ & (kChunkSize - 1)] = actions;
+    ++size_;
+  }
   return it->second;
 }
 

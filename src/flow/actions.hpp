@@ -8,8 +8,9 @@
 // "Identical action sets are shared across flows").
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -98,18 +99,29 @@ class ActionSetBuilder {
 /// action lists by id so identical sets share storage.
 ///
 /// Single-writer (the control plane); readers may call get() concurrently for
-/// already-published ids — storage is a deque so published references stay
-/// stable across interning.
+/// already-published ids.  Storage is chunked with a fixed-size chunk-pointer
+/// directory: interning never moves existing lists *and* never mutates any
+/// bookkeeping a reader traverses (a deque's block map would reallocate).  A
+/// reader only learns an id through an acquire-published lookup result, which
+/// happens-after the chunk write that stored the list — so plain reads of the
+/// directory and the list are race-free.
 class ActionSetRegistry {
  public:
   /// Returns the id for `actions`, interning on first sight.
   uint32_t intern(const ActionList& actions);
 
-  const ActionList& get(uint32_t id) const { return lists_[id]; }
-  size_t size() const { return lists_.size(); }
+  const ActionList& get(uint32_t id) const {
+    return chunks_[id >> kChunkBits][id & (kChunkSize - 1)];
+  }
+  size_t size() const { return size_; }
 
  private:
-  std::deque<ActionList> lists_;
+  static constexpr uint32_t kChunkBits = 8;
+  static constexpr uint32_t kChunkSize = 1u << kChunkBits;
+  static constexpr uint32_t kMaxChunks = 1024;  // 256K distinct action sets
+
+  std::array<std::unique_ptr<ActionList[]>, kMaxChunks> chunks_;
+  uint32_t size_ = 0;
   std::unordered_map<std::string, uint32_t> index_;  // serialized key -> id
 };
 

@@ -12,8 +12,9 @@ MbufPool::MbufPool(uint32_t capacity) : capacity_(capacity) {
 }
 
 Packet* MbufPool::alloc() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (free_.empty()) {
-    ++alloc_failures_;
+    alloc_failures_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
   Packet* p = free_.back();
@@ -23,7 +24,27 @@ Packet* MbufPool::alloc() {
 
 void MbufPool::free(Packet* pkt) {
   ESW_DCHECK(pkt >= storage_.get() && pkt < storage_.get() + capacity_);
+  std::lock_guard<std::mutex> lock(mu_);
   free_.push_back(pkt);
+}
+
+uint32_t MbufPool::alloc_bulk(Packet** out, uint32_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t got = n < free_.size() ? n : static_cast<uint32_t>(free_.size());
+  for (uint32_t i = 0; i < got; ++i) {
+    out[i] = free_.back();
+    free_.pop_back();
+  }
+  if (got < n) alloc_failures_.fetch_add(1, std::memory_order_relaxed);
+  return got;
+}
+
+void MbufPool::free_bulk(Packet* const* pkts, uint32_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t i = 0; i < n; ++i) {
+    ESW_DCHECK(pkts[i] >= storage_.get() && pkts[i] < storage_.get() + capacity_);
+    free_.push_back(pkts[i]);
+  }
 }
 
 }  // namespace esw::net

@@ -5,8 +5,20 @@
 // The cap is enforced in *virtual time*: the caller advances a nanosecond
 // clock and tx_burst drops packets exceeding rate × elapsed-time, exactly how
 // a saturated NIC would tail-drop.
+//
+// Threading (the multi-worker runtime's shape):
+//   * RX side — one producer (the injector) and one consumer (the worker the
+//     port is sharded to);
+//   * TX side — any number of producers via tx_burst_mp (verdict execution
+//     on any worker may output here), one drainer;
+//   * counters — cacheline-padded relaxed atomics updated once per burst and
+//     aggregated only by readers (counters()/PortSet::totals()), so hot
+//     bursts never share a counter line with another port;
+//   * the rate cap keeps plain state and therefore requires a single TX
+//     caller — tx_burst_mp insists the port is uncapped.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -33,31 +45,57 @@ class Port {
   Port() : Port(Config{}) {}
   explicit Port(const Config& cfg);
 
-  /// Injects packets into the RX side (what a NIC DMA would do).
+  /// Injects packets into the RX side (what a NIC DMA would do).  Single
+  /// producer at a time.
   uint32_t inject_rx(Packet* const* pkts, uint32_t n);
 
-  /// Polls up to `n` received packets (poll-mode driver model).
+  /// Polls up to `n` received packets (poll-mode driver model).  Single
+  /// consumer — the worker owning this port.
   uint32_t rx_burst(Packet** out, uint32_t n);
 
   /// Transmits a burst at virtual time `now_ns`; returns packets accepted.
   /// Excess packets above the rate cap are counted as tx_drops and NOT
-  /// enqueued — the caller still owns them.
+  /// enqueued — the caller still owns them.  Single TX caller.
   uint32_t tx_burst(Packet* const* pkts, uint32_t n, uint64_t now_ns = 0);
 
+  /// Multi-producer transmit: safe from any number of workers concurrently.
+  /// Requires an uncapped port (the virtual-time token bucket is inherently
+  /// single-caller state).
+  uint32_t tx_burst_mp(Packet* const* pkts, uint32_t n);
+
   /// Drains up to `n` transmitted packets (what the wire would carry).
+  /// Single drainer.
   uint32_t drain_tx(Packet** out, uint32_t n);
 
-  const PortCounters& counters() const { return counters_; }
+  /// Counter snapshot (relaxed-aggregated; exact once producers pause).
+  PortCounters counters() const {
+    return {counters_.rx_packets.load(std::memory_order_relaxed),
+            counters_.tx_packets.load(std::memory_order_relaxed),
+            counters_.rx_bytes.load(std::memory_order_relaxed),
+            counters_.tx_bytes.load(std::memory_order_relaxed),
+            counters_.tx_drops.load(std::memory_order_relaxed)};
+  }
   const std::string& name() const { return name_; }
+  bool rate_capped() const { return max_tx_pps_ > 0.0; }
 
  private:
+  /// Padded so a burst's counter flush never false-shares with the adjacent
+  /// port's counters or the ring indexes.
+  struct alignas(64) Counters {
+    std::atomic<uint64_t> rx_packets{0};
+    std::atomic<uint64_t> tx_packets{0};
+    std::atomic<uint64_t> rx_bytes{0};
+    std::atomic<uint64_t> tx_bytes{0};
+    std::atomic<uint64_t> tx_drops{0};
+  };
+
   std::string name_;
   Ring rx_;
   Ring tx_;
   double max_tx_pps_;
   double tx_credit_ = 0.0;
   uint64_t last_tx_ns_ = 0;
-  PortCounters counters_;
+  Counters counters_;
 };
 
 }  // namespace esw::net

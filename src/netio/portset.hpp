@@ -41,7 +41,9 @@ class PortSet {
       if (no != skip) fn(no, *ports_[index(no)]);
   }
 
-  /// Aggregate counters over all ports.
+  /// Aggregate counters over all ports.  Pure read-side aggregation: each
+  /// port keeps its own cacheline-padded counter block (no shared aggregate
+  /// line for hot bursts to contend on), summed only here.
   PortCounters totals() const;
 
  private:

@@ -1,13 +1,24 @@
-// Single-producer/single-consumer ring of packet pointers, the DPDK
-// rte_ring analogue used to hand bursts between pipeline stages and ports.
+// Ring of packet pointers, the DPDK rte_ring analogue used to hand bursts
+// between pipeline stages and ports.
 //
-// Lock-free for the SPSC case: producer writes head, consumer writes tail,
-// both with acquire/release ordering.
+// Lock-free with rte_ring's three-index layout: producers claim space by
+// advancing prod_head, write their slots, then publish by advancing
+// prod_tail in claim order; the consumer reads up to prod_tail and retires
+// space by advancing cons_tail.
+//
+//   * enqueue_burst    — single-producer fast path (no CAS);
+//   * enqueue_burst_mp — multi-producer (CAS claim + in-order publication),
+//     the path the multi-worker runtime uses for TX fan-in;
+//   * dequeue_burst    — single-consumer (each ring has one owner draining
+//     it: the port's RX worker, or the TX drainer).
+//
+// SP and MP producers must not be mixed on one ring at the same time.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <thread>
 
 #include "common/check.hpp"
 #include "netio/packet.hpp"
@@ -22,30 +33,61 @@ class Ring {
     slots_ = std::make_unique<Packet*[]>(capacity);
   }
 
-  /// Enqueues up to `n` packets; returns how many were accepted.
+  /// Enqueues up to `n` packets (single producer); returns how many were
+  /// accepted.
   uint32_t enqueue_burst(Packet* const* pkts, uint32_t n) {
-    const uint32_t head = head_.load(std::memory_order_relaxed);
-    const uint32_t tail = tail_.load(std::memory_order_acquire);
+    const uint32_t head = prod_head_.load(std::memory_order_relaxed);
+    const uint32_t tail = cons_tail_.load(std::memory_order_acquire);
     const uint32_t room = mask_ + 1 - (head - tail);
     const uint32_t count = n < room ? n : room;
     for (uint32_t i = 0; i < count; ++i) slots_[(head + i) & mask_] = pkts[i];
-    head_.store(head + count, std::memory_order_release);
+    prod_head_.store(head + count, std::memory_order_relaxed);
+    prod_tail_.store(head + count, std::memory_order_release);
     return count;
   }
 
-  /// Dequeues up to `n` packets; returns how many were produced.
+  /// Multi-producer enqueue: CAS-claims a range, writes it, then waits for
+  /// earlier claimants to publish before publishing its own (rte_ring's MP
+  /// protocol).  The wait spins briefly and then yields — a preempted
+  /// predecessor on an oversubscribed machine must get CPU time to finish.
+  uint32_t enqueue_burst_mp(Packet* const* pkts, uint32_t n) {
+    uint32_t head = prod_head_.load(std::memory_order_relaxed);
+    uint32_t count;
+    do {
+      const uint32_t tail = cons_tail_.load(std::memory_order_acquire);
+      const uint32_t room = mask_ + 1 - (head - tail);
+      count = n < room ? n : room;
+      if (count == 0) return 0;
+    } while (!prod_head_.compare_exchange_weak(head, head + count,
+                                               std::memory_order_relaxed,
+                                               std::memory_order_relaxed));
+    for (uint32_t i = 0; i < count; ++i) slots_[(head + i) & mask_] = pkts[i];
+    for (int spins = 0;
+         prod_tail_.load(std::memory_order_acquire) != head; ++spins) {
+      if (spins >= 64) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+    prod_tail_.store(head + count, std::memory_order_release);
+    return count;
+  }
+
+  /// Dequeues up to `n` packets (single consumer); returns how many were
+  /// produced.
   uint32_t dequeue_burst(Packet** out, uint32_t n) {
-    const uint32_t tail = tail_.load(std::memory_order_relaxed);
-    const uint32_t head = head_.load(std::memory_order_acquire);
+    const uint32_t tail = cons_tail_.load(std::memory_order_relaxed);
+    const uint32_t head = prod_tail_.load(std::memory_order_acquire);
     const uint32_t avail = head - tail;
     const uint32_t count = n < avail ? n : avail;
     for (uint32_t i = 0; i < count; ++i) out[i] = slots_[(tail + i) & mask_];
-    tail_.store(tail + count, std::memory_order_release);
+    cons_tail_.store(tail + count, std::memory_order_release);
     return count;
   }
 
   uint32_t size() const {
-    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
+    return prod_tail_.load(std::memory_order_acquire) -
+           cons_tail_.load(std::memory_order_acquire);
   }
   uint32_t capacity() const { return mask_ + 1; }
   bool empty() const { return size() == 0; }
@@ -53,8 +95,9 @@ class Ring {
  private:
   uint32_t mask_;
   std::unique_ptr<Packet*[]> slots_;
-  alignas(64) std::atomic<uint32_t> head_{0};
-  alignas(64) std::atomic<uint32_t> tail_{0};
+  alignas(64) std::atomic<uint32_t> prod_head_{0};  // claimed by producers
+  alignas(64) std::atomic<uint32_t> prod_tail_{0};  // published to the consumer
+  alignas(64) std::atomic<uint32_t> cons_tail_{0};  // retired by the consumer
 };
 
 }  // namespace esw::net
