@@ -7,14 +7,52 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 
 #include "core/eswitch.hpp"
 #include "netio/nfpa.hpp"
+#include "netio/pcap.hpp"
+#include "netio/trace_source.hpp"
 #include "ovs/ovs_switch.hpp"
 #include "usecases/usecases.hpp"
 
 namespace esw::bench {
+
+/// Trace input mode (`run_all --trace FILE` / env ESW_TRACE_PCAP): throughput
+/// figures replay a real capture instead of the use case's generated mix —
+/// the CAIDA-slice / attack-trace / corner-case on-ramp.  ESW_TRACE_PORT
+/// (default 1) sets the ingress port stamped on every frame.  Loaded once;
+/// a bad capture aborts the bench rather than silently measuring nothing.
+struct TraceInput {
+  bool active = false;
+  net::TrafficSet ts;
+};
+
+inline const TraceInput& trace_input() {
+  static const TraceInput ti = [] {
+    TraceInput t;
+    const char* path = std::getenv("ESW_TRACE_PCAP");
+    if (path == nullptr || *path == '\0') return t;
+    const net::PcapReader r = net::PcapReader::from_file(path);
+    if (!r.ok()) {
+      std::fprintf(stderr, "[bench] ESW_TRACE_PCAP=%s: %s\n", path,
+                   r.error().c_str());
+      std::exit(2);
+    }
+    net::TraceSource::Options so;
+    if (const char* p = std::getenv("ESW_TRACE_PORT")) so.in_port = std::atoi(p);
+    const net::TraceSource src(r, so);
+    if (src.skipped() > 0)
+      std::fprintf(stderr, "[bench] trace: skipped %llu unusable records\n",
+                   static_cast<unsigned long long>(src.skipped()));
+    t.ts = src.to_traffic_set();
+    t.active = true;
+    return t;
+  }();
+  return ti;
+}
 
 inline net::RunOpts measure_opts(size_t n_flows) {
   net::RunOpts opts;
@@ -63,13 +101,22 @@ inline void throughput_point(benchmark::State& state, const uc::UseCase& uc,
                              size_t n_flows, bool use_eswitch,
                              const core::CompilerConfig& cfg = {},
                              const ovs::OvsSwitch::Config& ocfg = {}) {
-  const auto ts = net::TrafficSet::from_flows(uc.traffic(n_flows, 42));
+  // Trace mode replaces the generated mix with the capture's frames; the
+  // pipeline (and the flows axis label) stay the figure's own.  Bind by
+  // reference — a real capture's arena is too big to copy per point.
+  const TraceInput& trace = trace_input();
+  const net::TrafficSet generated =
+      trace.active ? net::TrafficSet{} : net::TrafficSet::from_flows(uc.traffic(n_flows, 42));
+  const net::TrafficSet& ts = trace.active ? trace.ts : generated;
   for (auto _ : state) {
     const net::RunStats st =
         use_eswitch ? run_throughput_point<core::Eswitch>(uc, ts, n_flows, cfg)
                     : run_throughput_point<ovs::OvsSwitch>(uc, ts, n_flows, ocfg);
     state.counters["pps"] = st.pps;
     state.counters["cycles_per_pkt"] = st.cycles_per_pkt;
+    // Schema marker (`run_all --check` gates it on fig10/fig11): which input
+    // fed this point — 1 = pcap trace, 0 = generated traffic.
+    state.counters["trace"] = trace.active ? 1 : 0;
   }
 }
 

@@ -4,13 +4,18 @@
 // This seeds the perf trajectory that later PRs diff against.
 //
 //   run_all --bin-dir build/bench --out-dir bench-results
-//           [--git-sha <sha>] [--only fig10,fig13] [-- <benchmark flags...>]
+//           [--git-sha <sha>] [--only fig10,fig13] [--trace FILE.pcap]
+//           [-- <benchmark flags...>]
 //   run_all --check bench-results
 //
 // Flags after `--` are forwarded verbatim to every bench binary, e.g.
 // `-- --benchmark_filter=es:1` or `--benchmark_min_time=0.01s`.
+// `--trace FILE` puts the throughput figures in trace input mode: every bench
+// runs with ESW_TRACE_PCAP=FILE and replays the capture instead of generated
+// traffic (see docs/BENCHMARKS.md).
 // `--check DIR` validates every BENCH_*.json in DIR against the esw-bench-v1
-// schema and exits non-zero on any malformed report (CI gate).
+// schema — including the fig10/fig11 `trace` counter contract — and exits
+// non-zero on any malformed report (CI gate).
 #include <sys/wait.h>
 
 #include <algorithm>
@@ -34,6 +39,7 @@ struct Options {
   std::string out_dir = ".";
   std::string git_sha = "unknown";
   std::string check_dir;             // non-empty: validate reports and exit
+  std::string trace_pcap;            // non-empty: trace input mode
   std::vector<std::string> only;    // figure ids; empty = all
   std::vector<std::string> forward;  // flags forwarded to every binary
 };
@@ -41,7 +47,8 @@ struct Options {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--bin-dir DIR] [--out-dir DIR] [--git-sha SHA]\n"
-               "          [--only fig10,fig13,...] [-- <benchmark flags...>]\n"
+               "          [--only fig10,fig13,...] [--trace FILE.pcap]\n"
+               "          [-- <benchmark flags...>]\n"
                "       %s --check DIR\n",
                argv0, argv0);
 }
@@ -68,6 +75,10 @@ bool parse_args(int argc, char** argv, Options* opts) {
       const char* v = next();
       if (v == nullptr) return false;
       opts->check_dir = v;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->trace_pcap = v;
     } else if (arg == "--only") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -203,6 +214,29 @@ bool check_fig19_shape(const esw::perf::BenchReport& report) {
   return ok;
 }
 
+/// Trace-capable figures' point-shape contract: every throughput point must
+/// carry the `trace` counter (1 = replayed from a pcap via --trace, 0 =
+/// generated traffic), so a results directory is self-describing about what
+/// fed each measurement — the esw-bench-v1 schema stays stable either way.
+bool check_trace_shape(const esw::perf::BenchReport& report) {
+  bool ok = true;
+  for (const auto& series : report.series) {
+    for (const auto& pt : series.points) {
+      const auto it = pt.counters.find("trace");
+      if (it == pt.counters.end()) {
+        std::fprintf(stderr, "[run_all] %s %s: missing trace counter\n",
+                     report.figure.c_str(), pt.label.c_str());
+        ok = false;
+      } else if (it->second != 0 && it->second != 1) {
+        std::fprintf(stderr, "[run_all] %s %s: trace counter must be 0 or 1\n",
+                     report.figure.c_str(), pt.label.c_str());
+        ok = false;
+      }
+    }
+  }
+  return ok;
+}
+
 /// Validates every BENCH_*.json in `dir` against the esw-bench-v1 schema.
 /// Returns the process exit code.
 int check_reports(const std::string& dir) {
@@ -237,6 +271,14 @@ int check_reports(const std::string& dir) {
       ++bad;
       continue;
     }
+    if ((report->figure == "fig10" || report->figure == "fig11") &&
+        !check_trace_shape(*report)) {
+      std::fprintf(stderr, "[run_all] SCHEMA VIOLATION: %s fails the "
+                   "trace-mode point shape\n",
+                   entry.path().c_str());
+      ++bad;
+      continue;
+    }
     std::printf("[run_all] %s ok (figure=%s, %zu series)\n", name.c_str(),
                 report->figure.c_str(), report->series.size());
   }
@@ -257,6 +299,11 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (!opts.check_dir.empty()) return check_reports(opts.check_dir);
+  if (!opts.trace_pcap.empty()) {
+    // Children inherit the trace input mode (bench_util reads the env var).
+    ::setenv("ESW_TRACE_PCAP", opts.trace_pcap.c_str(), 1);
+    std::printf("[run_all] trace input mode: %s\n", opts.trace_pcap.c_str());
+  }
   std::error_code ec;
   fs::create_directories(opts.out_dir, ec);
   if (ec) {

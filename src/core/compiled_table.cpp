@@ -236,9 +236,12 @@ std::unique_ptr<LpmTemplateTable> LpmTemplateTable::build(
       prefix = static_cast<uint32_t>(e.match.value(field));
       len = static_cast<uint8_t>(prefix_len(e.match.mask(field), 32));
     }
-    const uint32_t idx = t->intern_result(resolve_result(e, ctx));
+    const uint64_t packed = resolve_result(e, ctx);
+    const uint32_t idx = t->intern_result(packed);
     t->lpm_.add(prefix, len, idx);
     t->prefix_prio_[{prefix, len}] = e.priority;
+    if (e.match.is_catch_all())
+      t->proto_absent_result_.store(packed, std::memory_order_relaxed);
   }
   return t;
 }
@@ -259,7 +262,10 @@ uint32_t LpmTemplateTable::intern_result(uint64_t packed) {
 
 uint64_t LpmTemplateTable::lookup(const uint8_t* pkt, const proto::ParseInfo& pi,
                                   MemTrace* trace) const {
-  if (!pi.has(proto::kProtoIpv4)) return jit::kMissResult;
+  // Non-IPv4 frames can still match the catch-all default (an empty match
+  // has no protocol prerequisite) — only the prefixed entries need the field.
+  if (!pi.has(proto::kProtoIpv4))
+    return proto_absent_result_.load(std::memory_order_acquire);
   const uint32_t addr =
       static_cast<uint32_t>(flow::extract_field(field_, pkt, pi));
   const auto v = lpm_.lookup(addr, trace);
@@ -300,14 +306,16 @@ bool LpmTemplateTable::try_add(const FlowEntry& e, BuildCtx& ctx) {
   }
 
   const BuildEntry be{e.match, e.priority, e.actions, e.goto_table, -1};
-  uint32_t idx;
+  uint64_t packed;
   try {
-    idx = intern_result(resolve_result(be, ctx));
-    lpm_.add(prefix, len, idx);
+    packed = resolve_result(be, ctx);
+    lpm_.add(prefix, len, intern_result(packed));
   } catch (const CheckError&) {
     return false;  // e.g. out of tbl8 groups: rebuild with a bigger budget
   }
   prefix_prio_[{prefix, len}] = e.priority;
+  if (e.match.is_catch_all())
+    proto_absent_result_.store(packed, std::memory_order_release);
   return true;
 }
 
@@ -324,6 +332,8 @@ bool LpmTemplateTable::try_remove(const Match& m, uint16_t priority) {
   if (it == prefix_prio_.end() || it->second != priority) return false;
   lpm_.remove(prefix, len);
   prefix_prio_.erase(it);
+  if (m.is_catch_all())
+    proto_absent_result_.store(jit::kMissResult, std::memory_order_release);
   return true;
 }
 
@@ -345,6 +355,10 @@ std::unique_ptr<RangeTemplateTable> RangeTemplateTable::build(
     if (e.match.is_catch_all()) {
       r.lo = 0;
       r.hi = low_bits(width);
+      // First catch-all in priority order: what packets missing the field's
+      // protocol layers (which no prefixed entry can match) fall through to.
+      if (t->proto_absent_result_ == jit::kMissResult)
+        t->proto_absent_result_ = resolve_result(e, ctx);
     } else {
       const uint64_t mask = e.match.mask(field);
       r.lo = e.match.value(field);
@@ -361,7 +375,8 @@ std::unique_ptr<RangeTemplateTable> RangeTemplateTable::build(
 
 uint64_t RangeTemplateTable::lookup(const uint8_t* pkt, const proto::ParseInfo& pi,
                                     MemTrace* trace) const {
-  if ((pi.proto_mask & proto_required_) != proto_required_) return jit::kMissResult;
+  if ((pi.proto_mask & proto_required_) != proto_required_)
+    return proto_absent_result_;
   const uint64_t key = flow::extract_field(field_, pkt, pi);
   const auto v = tree_.lookup(key, trace);
   if (!v) return jit::kMissResult;

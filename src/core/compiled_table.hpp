@@ -8,6 +8,7 @@
 // template"); the direct-code template always rebuilds, per the paper.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -180,6 +181,12 @@ class LpmTemplateTable final : public CompiledTable {
   uint32_t intern_result(uint64_t packed);
 
   flow::FieldId field_ = flow::FieldId::kIpDst;
+  // The catch-all default's result for packets that do not carry IPv4 at all:
+  // an empty match still matches them (reference semantics), even though the
+  // /0 cell it occupies inside the LPM is only reachable for IPv4 packets.
+  // Atomic because the catch-all may be added/removed by in-place incremental
+  // updates while readers are live.
+  std::atomic<uint64_t> proto_absent_result_{jit::kMissResult};
   cls::LpmTable lpm_;
   // Interned packed results, indexed by LPM cell value.  Fixed capacity so a
   // concurrent reader's results_[v] never races a reallocation; a slot is
@@ -218,6 +225,9 @@ class RangeTemplateTable final : public CompiledTable {
  private:
   flow::FieldId field_ = flow::FieldId::kTcpDst;
   uint32_t proto_required_ = 0;
+  // Highest-priority catch-all's result: packets missing the field's
+  // protocol layers can match nothing else (reference semantics).
+  uint64_t proto_absent_result_ = jit::kMissResult;
   cls::RangeTree tree_;
   std::vector<uint64_t> results_;
 };

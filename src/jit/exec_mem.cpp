@@ -2,15 +2,29 @@
 
 #include <sys/mman.h>
 
+#include <atomic>
 #include <cstring>
 
 namespace esw::jit {
+
+namespace {
+std::atomic<bool> g_force_failure{false};
+}  // namespace
+
+void ExecBuffer::force_failure_for_testing(bool fail) {
+  // Run the real capability probe before lying: supported() caches its first
+  // answer, and a probe under the forced failure would pin it to false for
+  // the rest of the process.
+  if (fail) (void)supported();
+  g_force_failure.store(fail, std::memory_order_relaxed);
+}
 
 ExecBuffer::~ExecBuffer() {
   if (mem_ != nullptr) ::munmap(mem_, mapped_);
 }
 
 bool ExecBuffer::load(const uint8_t* code, size_t size) {
+  if (g_force_failure.load(std::memory_order_relaxed)) return false;
   if (mem_ != nullptr) {
     ::munmap(mem_, mapped_);
     mem_ = nullptr;

@@ -32,6 +32,11 @@ class ExecBuffer {
   /// True when this process can create executable memory at all (probed once).
   static bool supported();
 
+  /// Test hook: while set, every load() fails as if the platform refused the
+  /// mapping, so the interpreter-fallback path is exercisable on machines
+  /// where executable memory works.  Not for production use.
+  static void force_failure_for_testing(bool fail);
+
  private:
   void swap(ExecBuffer& other) {
     void* m = mem_;

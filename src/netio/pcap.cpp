@@ -1,0 +1,164 @@
+#include "netio/pcap.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace esw::net {
+
+namespace {
+
+constexpr uint32_t kMagicMicro = 0xa1b2c3d4;
+constexpr uint32_t kMagicNano = 0xa1b23c4d;
+constexpr uint32_t kMagicMicroSwapped = 0xd4c3b2a1;
+constexpr uint32_t kMagicNanoSwapped = 0x4d3cb2a1;
+constexpr size_t kGlobalHeader = 24;
+constexpr size_t kRecordHeader = 16;
+
+uint32_t bswap32(uint32_t v) { return __builtin_bswap32(v); }
+uint16_t bswap16(uint16_t v) { return __builtin_bswap16(v); }
+
+uint32_t load32(const uint8_t* p, bool swapped) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return swapped ? bswap32(v) : v;
+}
+
+}  // namespace
+
+// --- reader ------------------------------------------------------------------
+
+PcapReader PcapReader::from_buffer(std::vector<uint8_t> buf) {
+  PcapReader r;
+  r.buf_ = std::move(buf);
+  r.parse();
+  return r;
+}
+
+PcapReader PcapReader::from_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    PcapReader r;
+    r.error_ = "cannot open " + path;
+    return r;
+  }
+  std::vector<uint8_t> buf;
+  uint8_t chunk[65536];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0)
+    buf.insert(buf.end(), chunk, chunk + n);
+  std::fclose(f);
+  return from_buffer(std::move(buf));
+}
+
+void PcapReader::parse() {
+  if (buf_.size() < kGlobalHeader) {
+    error_ = "truncated global header (" + std::to_string(buf_.size()) +
+             " of 24 bytes)";
+    return;
+  }
+  uint32_t magic;
+  std::memcpy(&magic, buf_.data(), 4);
+  switch (magic) {
+    case kMagicMicro:
+      break;
+    case kMagicNano:
+      nanosecond_ = true;
+      break;
+    case kMagicMicroSwapped:
+      swapped_ = true;
+      break;
+    case kMagicNanoSwapped:
+      swapped_ = true;
+      nanosecond_ = true;
+      break;
+    default:
+      error_ = "bad magic";
+      return;
+  }
+  snaplen_ = load32(buf_.data() + 16, swapped_);
+  linktype_ = load32(buf_.data() + 20, swapped_);
+
+  const uint64_t subsec_scale = nanosecond_ ? 1 : 1000;
+  size_t off = kGlobalHeader;
+  while (off < buf_.size()) {
+    if (buf_.size() - off < kRecordHeader) {
+      error_ = "truncated record header at offset " + std::to_string(off);
+      return;
+    }
+    const uint32_t ts_sec = load32(buf_.data() + off, swapped_);
+    const uint32_t ts_sub = load32(buf_.data() + off + 4, swapped_);
+    const uint32_t incl_len = load32(buf_.data() + off + 8, swapped_);
+    const uint32_t orig_len = load32(buf_.data() + off + 12, swapped_);
+    off += kRecordHeader;
+    if (buf_.size() - off < incl_len) {
+      error_ = "record " + std::to_string(recs_.size()) + " truncated (" +
+               std::to_string(buf_.size() - off) + " of " +
+               std::to_string(incl_len) + " bytes)";
+      return;
+    }
+    // A captured length beyond the stated snaplen means a corrupt header (a
+    // capture never stores more than it was told to keep).
+    if (snaplen_ != 0 && incl_len > snaplen_) {
+      error_ = "record " + std::to_string(recs_.size()) +
+               " captured length exceeds snaplen";
+      return;
+    }
+    recs_.push_back({uint64_t{ts_sec} * 1'000'000'000ull + uint64_t{ts_sub} * subsec_scale,
+                     off, incl_len, orig_len});
+    off += incl_len;
+  }
+}
+
+// --- writer ------------------------------------------------------------------
+
+PcapWriter::PcapWriter(const Options& opts) : opts_(opts) {
+  put32(opts_.nanosecond ? kMagicNano : kMagicMicro);
+  put16(2);  // version 2.4
+  put16(4);
+  put32(0);  // thiszone
+  put32(0);  // sigfigs
+  put32(opts_.snaplen);
+  put32(opts_.linktype);
+}
+
+// resize+memcpy instead of vector::insert: GCC 12's -O2 stringop-overflow
+// pass false-positives on fixed 2/4-byte range inserts.
+void PcapWriter::put16(uint16_t v) {
+  if (opts_.swapped) v = bswap16(v);
+  const size_t off = buf_.size();
+  buf_.resize(off + 2);
+  std::memcpy(buf_.data() + off, &v, 2);
+}
+
+void PcapWriter::put32(uint32_t v) {
+  if (opts_.swapped) v = bswap32(v);
+  const size_t off = buf_.size();
+  buf_.resize(off + 4);
+  std::memcpy(buf_.data() + off, &v, 4);
+}
+
+void PcapWriter::add(const uint8_t* frame, uint32_t len, uint64_t ts_ns,
+                     uint32_t orig_len) {
+  if (orig_len == 0) orig_len = len;
+  // snaplen 0 means "no limit" (libpcap convention, and how the reader
+  // interprets it) — not "keep zero bytes".
+  const uint32_t cap = opts_.snaplen == 0 ? UINT32_MAX : opts_.snaplen;
+  const uint32_t stored = len < cap ? len : cap;
+  put32(static_cast<uint32_t>(ts_ns / 1'000'000'000ull));
+  const uint64_t sub = ts_ns % 1'000'000'000ull;
+  put32(static_cast<uint32_t>(opts_.nanosecond ? sub : sub / 1000));
+  put32(stored);
+  put32(orig_len);
+  buf_.insert(buf_.end(), frame, frame + stored);
+  ++packets_;
+}
+
+bool PcapWriter::save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const size_t n = std::fwrite(buf_.data(), 1, buf_.size(), f);
+  const int rc = std::fclose(f);
+  return n == buf_.size() && rc == 0;
+}
+
+}  // namespace esw::net

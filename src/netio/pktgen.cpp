@@ -21,4 +21,20 @@ TrafficSet TrafficSet::from_flows(const std::vector<FlowSpec>& flows) {
   return ts;
 }
 
+TrafficSet TrafficSet::from_frames(
+    const std::vector<std::pair<const uint8_t*, uint32_t>>& frames,
+    uint32_t in_port) {
+  ESW_CHECK_MSG(!frames.empty(), "traffic set needs at least one frame");
+  TrafficSet ts;
+  ts.frames_.reserve(frames.size());
+  for (const auto& [data, len] : frames) {
+    ESW_CHECK_MSG(len > 0 && len <= Packet::kMaxFrame, "bad trace frame length");
+    const uint32_t off = static_cast<uint32_t>(ts.arena_.size());
+    ts.arena_.insert(ts.arena_.end(), data, data + len);
+    ts.frames_.push_back({off, len, in_port});
+  }
+  ts.arena_.resize(ts.arena_.size() + kCopySlack, 0);
+  return ts;
+}
+
 }  // namespace esw::net

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/bits.hpp"
@@ -31,6 +32,13 @@ class TrafficSet {
 
   /// Builds one frame per flow.  Throws if a spec does not serialize.
   static TrafficSet from_flows(const std::vector<FlowSpec>& flows);
+
+  /// Builds from pre-serialized frames (trace replay: the bytes ARE the
+  /// workload).  Every frame gets the same ingress port.  Throws on empty
+  /// input or frames over Packet::kMaxFrame.
+  static TrafficSet from_frames(
+      const std::vector<std::pair<const uint8_t*, uint32_t>>& frames,
+      uint32_t in_port);
 
   size_t size() const { return frames_.size(); }
 

@@ -5,21 +5,26 @@ namespace esw::ovs {
 MegaflowCache::Ref MegaflowCache::lookup(const uint8_t* pkt,
                                          const proto::ParseInfo& pi,
                                          MemTrace* trace) const {
-  const auto* e = index_.lookup(pkt, pi, nullptr, trace);
+  // Only megaflows learned from packets with this exact layer structure are
+  // candidates; everything else upcalls (and installs its own shard entry).
+  const auto shard = index_.find(pi.proto_mask);
+  if (shard == index_.end()) return {};
+  const auto* e = shard->second.lookup(pkt, pi, nullptr, trace);
   if (e == nullptr) return {};
   const size_t idx = static_cast<size_t>(e->value);
   return {static_cast<int64_t>(idx), entries_[idx].stamp};
 }
 
 MegaflowCache::Ref MegaflowCache::insert(const flow::Match& match,
-                                         flow::ActionList actions) {
+                                         flow::ActionList actions,
+                                         uint32_t proto_mask) {
   if (live_count_ >= flow_limit_ && !fifo_.empty()) {
     // Flow limit reached: evict the oldest megaflow.
     const size_t victim = fifo_.front();
     fifo_.pop_front();
     Entry& v = entries_[victim];
     if (v.live) {
-      index_.remove(v.match, v.rank);
+      index_[v.proto_mask].remove(v.match, v.rank);
       v.live = false;
       --live_count_;
       ++evictions_;
@@ -40,8 +45,9 @@ MegaflowCache::Ref MegaflowCache::insert(const flow::Match& match,
   e.actions = std::move(actions);
   e.stamp = next_stamp_++;
   e.rank = static_cast<uint32_t>(next_rank_++);
+  e.proto_mask = proto_mask;
   e.live = true;
-  index_.add(match, e.rank, static_cast<uint64_t>(idx));
+  index_[proto_mask].add(match, e.rank, static_cast<uint64_t>(idx));
   fifo_.push_back(idx);
   ++live_count_;
   return {static_cast<int64_t>(idx), e.stamp};

@@ -5,10 +5,19 @@
 // (evicting oldest first, mirroring OVS's flow limit + revalidator pressure);
 // whole-cache invalidation is the paper's footnote-2 "brute-force strategy to
 // invalidate the entire cache after essentially all changes".
+//
+// The cache is sharded by the packet's protocol bitmask: a real OVS flow key
+// always carries the packet's layer structure (ethertype, VLAN TCI presence,
+// L4 kind), so a megaflow learned from an untagged frame can never swallow a
+// VLAN-tagged one even when the wildcarded fields happen to agree — the
+// divergence the differential oracle caught when presence was not part of
+// the key.  A Match can only require fields to be present, not absent, so
+// presence must travel beside it.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <vector>
 
 #include "cls/tuple_space.hpp"
@@ -25,6 +34,7 @@ class MegaflowCache {
     flow::ActionList actions;  // concatenated write-actions of the slow-path walk
     uint64_t stamp = 0;        // uniquifies reused slots for microflow pointers
     uint32_t rank = 0;         // index key within the tuple space
+    uint32_t proto_mask = 0;   // layer structure of the learning packet
     bool live = false;
   };
 
@@ -43,20 +53,31 @@ class MegaflowCache {
     return e.live && e.stamp == stamp ? &e : nullptr;
   }
 
-  /// Inserts a megaflow (evicting the oldest entry at the flow limit);
-  /// returns its reference.
-  Ref insert(const flow::Match& match, flow::ActionList actions);
+  /// Inserts a megaflow learned from a packet with layer structure
+  /// `proto_mask` (evicting the oldest entry at the flow limit); returns its
+  /// reference.
+  Ref insert(const flow::Match& match, flow::ActionList actions,
+             uint32_t proto_mask);
 
   void invalidate_all();
 
   size_t size() const { return live_count_; }
-  size_t num_masks() const { return index_.num_tuples(); }
+  size_t num_masks() const {
+    size_t n = 0;
+    for (const auto& [mask, ts] : index_) n += ts.num_tuples();
+    return n;
+  }
   uint64_t evictions() const { return evictions_; }
-  size_t memory_bytes() const { return entries_.size() * 128 + index_.size() * 96; }
+  size_t memory_bytes() const {
+    size_t idx = 0;
+    for (const auto& [mask, ts] : index_) idx += ts.size() * 96;
+    return entries_.size() * 128 + idx;
+  }
 
  private:
+  // One tuple space per packet layer structure (value = entry index).
+  std::map<uint32_t, cls::TupleSpace<uint64_t>> index_;
   size_t flow_limit_;
-  cls::TupleSpace<uint64_t> index_;  // value = entry index
   std::deque<Entry> entries_;
   std::vector<size_t> free_;
   std::deque<size_t> fifo_;  // insertion order for eviction

@@ -224,7 +224,8 @@ Verdict OvsSwitch::slow_path(net::Packet& pkt, proto::ParseInfo& pi, MemTrace* t
     return miss_verdict;  // punted packets are not cached
   if (missed) accumulated = {flow::Action::drop()};
 
-  const MegaflowCache::Ref ref = megaflow_.insert(megaflow_match, accumulated);
+  const MegaflowCache::Ref ref =
+      megaflow_.insert(megaflow_match, accumulated, pi.proto_mask);
   if (cfg_.enable_microflow) {
     const MicroflowCache::Key key = MicroflowCache::Key::of_packet(pkt.data(), pi);
     microflow_.insert(key, static_cast<uint64_t>(ref.idx), ref.stamp, generation_);

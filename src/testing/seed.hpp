@@ -1,0 +1,31 @@
+// Seed hygiene for every randomized test and campaign in the tree.
+//
+// Rule: a randomized test logs its seed on start and honors the ESW_TEST_SEED
+// environment override, so any CI failure is reproducible with one command:
+//
+//   ESW_TEST_SEED=0x1234 ctest -R test_diff_oracle
+//
+// test_seed() centralizes both halves; call it once per randomized test (or
+// campaign) instead of hardcoding `Rng rng(0x...)`.
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace esw::testing {
+
+/// The seed to use: ESW_TEST_SEED (decimal or 0x-hex) when set, else
+/// `default_seed`.  Logs "[seed] <context> seed=0x..." to stdout either way.
+inline uint64_t test_seed(uint64_t default_seed, const char* context) {
+  uint64_t seed = default_seed;
+  if (const char* env = std::getenv("ESW_TEST_SEED"); env != nullptr && *env != '\0')
+    seed = std::strtoull(env, nullptr, 0);
+  std::printf("[seed] %s seed=0x%" PRIx64 " (override with ESW_TEST_SEED)\n",
+              context, seed);
+  std::fflush(stdout);
+  return seed;
+}
+
+}  // namespace esw::testing

@@ -18,9 +18,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "core/eswitch.hpp"
 #include "core/switch_runtime.hpp"
 #include "test_util.hpp"
+#include "testing/seed.hpp"
 
 namespace esw {
 namespace {
@@ -136,6 +138,8 @@ TEST(Concurrency, VerdictConservationUnderHashChurn) {
   // until the epoch layer has reclaimed at least one displaced table while
   // the workers are live — on a loaded 1-core machine a fixed count can end
   // before any worker ticks through a full grace period.
+  Rng rng(esw::testing::test_seed(
+      0xC0C0, "Concurrency.VerdictConservationUnderHashChurn"));
   const int churn = 300 * conc_scale();
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(30);
@@ -143,8 +147,10 @@ TEST(Concurrency, VerdictConservationUnderHashChurn) {
   for (; (i < churn || sw.reclaim_stats().reclaimed == 0) &&
          std::chrono::steady_clock::now() < deadline;
        ++i) {
+    // Seeded random churn target: the interleaving is scheduler-driven, but
+    // the mod stream itself replays from the logged seed.
     const std::string rule =
-        "priority=5,udp_dst=" + std::to_string(1000 + i % 16) + ",actions=output:7";
+        "priority=5,udp_dst=" + std::to_string(1000 + rng.below(16)) + ",actions=output:7";
     sw.apply(add_mod(0, rule));
     sw.apply(del_mod(0, rule));
     if (i % 16 == 15) std::this_thread::yield();  // let workers tick

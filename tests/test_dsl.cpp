@@ -3,6 +3,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "flow/dsl.hpp"
+#include "testing/seed.hpp"
 
 namespace esw {
 namespace {
@@ -176,7 +177,7 @@ TEST(Dsl, RoundTripGotoAndCookie) {
 }
 
 TEST(Dsl, RoundTripProperty) {
-  Rng rng(0xD51);
+  Rng rng(esw::testing::test_seed(0xD51, "Dsl.RoundTripProperty"));
   for (int i = 0; i < 2000; ++i) expect_round_trip(random_entry(rng));
 }
 

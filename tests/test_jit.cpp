@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "core/compiler.hpp"
 #include "core/lowering.hpp"
 #include "jit/direct_code.hpp"
 #include "test_util.hpp"
+#include "testing/seed.hpp"
 
 namespace esw {
 namespace {
@@ -144,7 +146,7 @@ TEST(Jit, CalleeSavedRegistersPreserved) {
 // The big one: random rule tables, random packets — JIT output must equal the
 // portable interpreter bit for bit.
 TEST(Jit, DifferentialAgainstInterpreter) {
-  Rng rng(0xD1FF);
+  Rng rng(esw::testing::test_seed(0xD1FF, "Jit.DifferentialAgainstInterpreter"));
   const FieldId fields[] = {FieldId::kInPort, FieldId::kEthDst,  FieldId::kEthType,
                             FieldId::kVlanVid, FieldId::kIpSrc,  FieldId::kIpDst,
                             FieldId::kIpProto, FieldId::kTcpDst, FieldId::kUdpSrc,
@@ -195,6 +197,94 @@ TEST(Jit, DifferentialAgainstInterpreter) {
       ASSERT_EQ(got, want) << "round " << round << " query " << q;
     }
   }
+}
+
+/// Arms the ExecBuffer failure hook for one scope.
+struct ExecFailGuard {
+  ExecFailGuard() { ExecBuffer::force_failure_for_testing(true); }
+  ~ExecFailGuard() { ExecBuffer::force_failure_for_testing(false); }
+};
+
+// The compile-failure fallback: when executable memory is refused (hardened
+// kernels — forced here via the test hook), DirectCodeFn::compile reports
+// failure and the direct-code *table* silently runs the same lowered IR
+// through the portable interpreter with identical results.
+TEST(Jit, CompileFailureFallsBackToInterpreter) {
+  Rng rng(esw::testing::test_seed(0xFA11BACC, "Jit.CompileFailureFallsBackToInterpreter"));
+
+  for (int round = 0; round < 10; ++round) {
+    // A small random control-plane table (the direct-code-eligible shape).
+    std::vector<core::BuildEntry> entries;
+    const int n = 1 + static_cast<int>(rng.below(4));
+    for (int i = 0; i < n; ++i) {
+      core::BuildEntry e;
+      const int nf = static_cast<int>(rng.below(3));
+      for (int k = 0; k < nf; ++k) {
+        const FieldId f = static_cast<FieldId>(rng.below(flow::kNumFields));
+        const uint64_t full = flow::field_full_mask(f);
+        e.match.set(f, rng.next() & full, rng.chance(1, 2) ? full : (rng.next() & full) | 1);
+      }
+      e.priority = static_cast<uint16_t>(100 - i);
+      e.actions.push_back(flow::Action::output(1 + static_cast<uint32_t>(rng.below(4))));
+      entries.push_back(std::move(e));
+    }
+
+    flow::ActionSetRegistry reg_jit, reg_int;
+    const core::GotoMap gmap(256, -1);
+    core::BuildCtx ctx_jit{reg_jit, gmap};
+    core::BuildCtx ctx_int{reg_int, gmap};
+
+    const auto jitted = core::DirectCodeTable::build(entries, ctx_jit, true);
+    ASSERT_TRUE(jitted->jitted());
+
+    std::unique_ptr<core::DirectCodeTable> fallback;
+    {
+      ExecFailGuard guard;
+      EXPECT_FALSE(DirectCodeFn::compile({}).has_value())
+          << "hook did not force compile failure";
+      fallback = core::DirectCodeTable::build(entries, ctx_int, true);
+    }
+    ASSERT_FALSE(fallback->jitted()) << "fallback table still claims JIT code";
+
+    for (int q = 0; q < 100; ++q) {
+      proto::PacketSpec s;
+      s.kind = rng.chance(1, 2) ? proto::PacketKind::kTcp : proto::PacketKind::kUdp;
+      s.eth_dst = rng.next() & 0xFFFFFFFFFFFF;
+      s.ip_src = static_cast<uint32_t>(rng.next());
+      s.ip_dst = static_cast<uint32_t>(rng.next());
+      s.sport = static_cast<uint16_t>(rng.next());
+      s.dport = static_cast<uint16_t>(rng.next());
+      auto p = make_packet(s, static_cast<uint32_t>(rng.below(8)));
+      auto pi = parse_packet(p);
+      ASSERT_EQ(jitted->lookup(p.data(), pi, nullptr),
+                fallback->lookup(p.data(), pi, nullptr))
+          << "round " << round << " query " << q;
+    }
+  }
+}
+
+// Randomized LoweredEntry sets straight through DirectCodeFn::compile vs the
+// interpreter, with the failure hook cycling mid-test: arming it must fail
+// compilation, disarming must restore it, and interpreter results are the
+// ground truth throughout.
+TEST(Jit, FailureHookCyclesCleanly) {
+  LoweredEntry e;
+  e.proto_required = proto::kProtoIpv4;
+  e.tests.push_back(core::lower_field_test(FieldId::kIpDst, 0x01020304, 0xFFFFFFFF));
+  e.result = pack_result(2, -1);
+
+  ASSERT_TRUE(DirectCodeFn::compile({e}).has_value());
+  {
+    ExecFailGuard guard;
+    EXPECT_FALSE(DirectCodeFn::compile({e}).has_value());
+  }
+  auto fn = DirectCodeFn::compile({e});
+  ASSERT_TRUE(fn.has_value());
+
+  auto hit = make_packet(test::udp_spec(9, 0x01020304, 1, 2));
+  auto pi = parse_packet(hit);
+  EXPECT_EQ((*fn)(hit.data(), pi), e.result);
+  EXPECT_EQ(interpret(&e, 1, hit.data(), pi), e.result);
 }
 
 TEST(Jit, CodeSizeScalesWithEntries) {
