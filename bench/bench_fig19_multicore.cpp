@@ -15,8 +15,11 @@
 //     (the slow-path classifier is identical read-only state).
 //
 // Reported per point: aggregate `pps`, per-worker `pps_w<i>`, `threads`,
-// and for churn points `churn_mods_per_s`.  Scaling on shared hardware is
-// bounded by the machine's core count; the CI gate checks 4-vs-1 workers.
+// for churn points `churn_mods_per_s`, and on every ES point the merged
+// per-worker latency percentile block (`latency_ns_*`, warmup excluded) —
+// churn:1 vs churn:0 is the p99/p99.9-under-update-load comparison.
+// Scaling on shared hardware is bounded by the machine's core count; the CI
+// gate checks 4-vs-1 workers.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -46,6 +49,11 @@ struct MulticorePoint {
   std::vector<double> worker_pps;
   double aggregate_pps = 0;
   double churn_mods_per_s = 0;
+  // ES only: per-burst amortized packet latency, merged across the workers'
+  // per-thread histograms (core::SwitchRuntime latency slots).  p99/p99.9
+  // under churn is the headline of the churn:1 variant — does a sustained
+  // flow-mod stream fatten the dataplane tail?
+  perf::LatencyHistogram latency;
 };
 
 /// ES: one shared switch, `workers` concurrent worker threads through
@@ -56,6 +64,7 @@ MulticorePoint run_eswitch(const uc::UseCase& uc, int workers, size_t n_flows,
   const double measure_ms = env_double("ESW_FIG19_MEASURE_MS", 300);
 
   core::SwitchRuntime<core::Eswitch>::Config rcfg;
+  rcfg.measure_latency = true;  // per-worker histograms, merged at the end
   rcfg.n_workers = static_cast<uint32_t>(workers);
   rcfg.n_ports = std::max<uint32_t>(static_cast<uint32_t>(workers), 8);  // L3
                                                   // routes output to ports 1-8
@@ -88,6 +97,7 @@ MulticorePoint run_eswitch(const uc::UseCase& uc, int workers, size_t n_flows,
 
   rt.start();
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(warmup_ms));
+  rt.clear_latency();  // exclude warmup from the percentile capture
 
   std::vector<uint64_t> start_processed(static_cast<size_t>(workers));
   for (int w = 0; w < workers; ++w)
@@ -139,6 +149,7 @@ MulticorePoint run_eswitch(const uc::UseCase& uc, int workers, size_t n_flows,
     pt.aggregate_pps += pt.worker_pps.back();
   }
   pt.churn_mods_per_s = static_cast<double>(mods) / dt;
+  pt.latency = rt.latency_histogram();  // merged across live workers
   rt.stop();
   return pt;
 }
@@ -215,6 +226,10 @@ void BM_Fig19_MultiCore(benchmark::State& state) {
           pt.worker_pps[static_cast<size_t>(w)];
     state.counters["nic_saturated"] = pt.aggregate_pps > kNicCapPps ? 1 : 0;
     if (churn) state.counters["churn_mods_per_s"] = pt.churn_mods_per_s;
+    // ES points always carry the merged per-worker percentile block (the
+    // fig19 --check contract requires it on churn points; the churn:0 twin
+    // is the baseline the churn tail is read against).
+    bench::set_latency_counters(state, pt.latency);
   }
 }
 

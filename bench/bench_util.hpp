@@ -16,6 +16,7 @@
 #include "netio/pcap.hpp"
 #include "netio/trace_source.hpp"
 #include "ovs/ovs_switch.hpp"
+#include "perf/latency.hpp"
 #include "usecases/usecases.hpp"
 
 namespace esw::bench {
@@ -52,6 +53,33 @@ inline const TraceInput& trace_input() {
     return t;
   }();
   return ti;
+}
+
+/// Latency-capture mode (`run_all --latency` / env ESW_BENCH_LATENCY): every
+/// throughput point additionally emits the latency_ns percentile counters
+/// that digest into the esw-bench-v1 `latency_ns` block.  The measurement
+/// loops always sample (RunOpts::latency_sample_every); the env var only
+/// gates whether the point carries the block.
+inline bool latency_capture_enabled() {
+  static const bool on = [] {
+    const char* v = std::getenv("ESW_BENCH_LATENCY");
+    return v != nullptr && *v != '\0' && *v != '0';
+  }();
+  return on;
+}
+
+/// Emits a histogram's percentiles as the flat `latency_ns_*` counters the
+/// report digester lifts into the point's latency_ns block (bench_json.hpp).
+inline void set_latency_counters(benchmark::State& state,
+                                 const perf::LatencyHistogram& hist) {
+  if (hist.empty()) return;
+  const perf::LatencyPercentiles p = hist.percentiles_ns();
+  state.counters["latency_ns_p50"] = p.p50;
+  state.counters["latency_ns_p90"] = p.p90;
+  state.counters["latency_ns_p99"] = p.p99;
+  state.counters["latency_ns_p999"] = p.p999;
+  state.counters["latency_ns_max"] = p.max;
+  state.counters["latency_samples"] = static_cast<double>(p.samples);
 }
 
 inline net::RunOpts measure_opts(size_t n_flows) {
@@ -117,6 +145,7 @@ inline void throughput_point(benchmark::State& state, const uc::UseCase& uc,
     // Schema marker (`run_all --check` gates it on fig10/fig11): which input
     // fed this point — 1 = pcap trace, 0 = generated traffic.
     state.counters["trace"] = trace.active ? 1 : 0;
+    if (latency_capture_enabled()) set_latency_counters(state, st.latency);
   }
 }
 

@@ -5,7 +5,7 @@
 //
 //   run_all --bin-dir build/bench --out-dir bench-results
 //           [--git-sha <sha>] [--only fig10,fig13] [--trace FILE.pcap]
-//           [-- <benchmark flags...>]
+//           [--latency] [-- <benchmark flags...>]
 //   run_all --check bench-results
 //
 // Flags after `--` are forwarded verbatim to every bench binary, e.g.
@@ -13,8 +13,11 @@
 // `--trace FILE` puts the throughput figures in trace input mode: every bench
 // runs with ESW_TRACE_PCAP=FILE and replays the capture instead of generated
 // traffic (see docs/BENCHMARKS.md).
+// `--latency` puts every bench in latency-capture mode (ESW_BENCH_LATENCY=1):
+// throughput points additionally carry the latency_ns percentile block.
 // `--check DIR` validates every BENCH_*.json in DIR against the esw-bench-v1
-// schema — including the fig10/fig11 `trace` counter contract — and exits
+// schema and the point-shape contracts (perf::validate_report: latency-block
+// completeness, fig19 multicore shape, fig10/fig11 trace marker) and exits
 // non-zero on any malformed report (CI gate).
 #include <sys/wait.h>
 
@@ -40,6 +43,7 @@ struct Options {
   std::string git_sha = "unknown";
   std::string check_dir;             // non-empty: validate reports and exit
   std::string trace_pcap;            // non-empty: trace input mode
+  bool latency = false;              // latency-capture mode for every bench
   std::vector<std::string> only;    // figure ids; empty = all
   std::vector<std::string> forward;  // flags forwarded to every binary
 };
@@ -48,7 +52,7 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--bin-dir DIR] [--out-dir DIR] [--git-sha SHA]\n"
                "          [--only fig10,fig13,...] [--trace FILE.pcap]\n"
-               "          [-- <benchmark flags...>]\n"
+               "          [--latency] [-- <benchmark flags...>]\n"
                "       %s --check DIR\n",
                argv0, argv0);
 }
@@ -79,6 +83,8 @@ bool parse_args(int argc, char** argv, Options* opts) {
       const char* v = next();
       if (v == nullptr) return false;
       opts->trace_pcap = v;
+    } else if (arg == "--latency") {
+      opts->latency = true;
     } else if (arg == "--only") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -173,71 +179,8 @@ bool run_one(const fs::path& binary, const std::string& figure,
   return true;
 }
 
-/// fig19 point-shape contract: every point carries `threads`, one
-/// `pps_w<i>` per worker, and the per-worker rates sum to the aggregate
-/// `pps` (the true-thread measurement is per-worker and summed, so a
-/// mismatch means the bench or the distiller dropped a counter).
-bool check_fig19_shape(const esw::perf::BenchReport& report) {
-  bool ok = true;
-  for (const auto& series : report.series) {
-    for (const auto& pt : series.points) {
-      const auto threads_it = pt.counters.find("threads");
-      if (threads_it == pt.counters.end() || threads_it->second < 1) {
-        std::fprintf(stderr, "[run_all] fig19 %s: missing threads counter\n",
-                     pt.label.c_str());
-        ok = false;
-        continue;
-      }
-      const int threads = static_cast<int>(threads_it->second);
-      double sum = 0;
-      bool have_all = true;
-      for (int w = 0; w < threads; ++w) {
-        const auto it = pt.counters.find("pps_w" + std::to_string(w));
-        if (it == pt.counters.end()) {
-          std::fprintf(stderr, "[run_all] fig19 %s: missing pps_w%d\n",
-                       pt.label.c_str(), w);
-          have_all = false;
-          ok = false;
-          break;
-        }
-        sum += it->second;
-      }
-      if (have_all && pt.pps > 0 &&
-          (sum < pt.pps * 0.98 || sum > pt.pps * 1.02)) {
-        std::fprintf(stderr,
-                     "[run_all] fig19 %s: per-worker pps sum %.0f != aggregate %.0f\n",
-                     pt.label.c_str(), sum, pt.pps);
-        ok = false;
-      }
-    }
-  }
-  return ok;
-}
-
-/// Trace-capable figures' point-shape contract: every throughput point must
-/// carry the `trace` counter (1 = replayed from a pcap via --trace, 0 =
-/// generated traffic), so a results directory is self-describing about what
-/// fed each measurement — the esw-bench-v1 schema stays stable either way.
-bool check_trace_shape(const esw::perf::BenchReport& report) {
-  bool ok = true;
-  for (const auto& series : report.series) {
-    for (const auto& pt : series.points) {
-      const auto it = pt.counters.find("trace");
-      if (it == pt.counters.end()) {
-        std::fprintf(stderr, "[run_all] %s %s: missing trace counter\n",
-                     report.figure.c_str(), pt.label.c_str());
-        ok = false;
-      } else if (it->second != 0 && it->second != 1) {
-        std::fprintf(stderr, "[run_all] %s %s: trace counter must be 0 or 1\n",
-                     report.figure.c_str(), pt.label.c_str());
-        ok = false;
-      }
-    }
-  }
-  return ok;
-}
-
-/// Validates every BENCH_*.json in `dir` against the esw-bench-v1 schema.
+/// Validates every BENCH_*.json in `dir` against the esw-bench-v1 schema
+/// and the point-shape contracts (perf::validate_report).
 /// Returns the process exit code.
 int check_reports(const std::string& dir) {
   std::error_code ec;
@@ -264,18 +207,13 @@ int check_reports(const std::string& dir) {
       ++bad;
       continue;
     }
-    if (report->figure == "fig19" && !check_fig19_shape(*report)) {
-      std::fprintf(stderr, "[run_all] SCHEMA VIOLATION: %s fails the fig19 "
-                   "multicore point shape\n",
-                   entry.path().c_str());
-      ++bad;
-      continue;
-    }
-    if ((report->figure == "fig10" || report->figure == "fig11") &&
-        !check_trace_shape(*report)) {
+    const auto violations = esw::perf::validate_report(*report);
+    if (!violations.empty()) {
+      for (const std::string& v : violations)
+        std::fprintf(stderr, "[run_all] %s\n", v.c_str());
       std::fprintf(stderr, "[run_all] SCHEMA VIOLATION: %s fails the "
-                   "trace-mode point shape\n",
-                   entry.path().c_str());
+                   "point-shape contracts (%zu)\n",
+                   entry.path().c_str(), violations.size());
       ++bad;
       continue;
     }
@@ -303,6 +241,11 @@ int main(int argc, char** argv) {
     // Children inherit the trace input mode (bench_util reads the env var).
     ::setenv("ESW_TRACE_PCAP", opts.trace_pcap.c_str(), 1);
     std::printf("[run_all] trace input mode: %s\n", opts.trace_pcap.c_str());
+  }
+  if (opts.latency) {
+    // Children inherit latency-capture mode (bench_util reads the env var).
+    ::setenv("ESW_BENCH_LATENCY", "1", 1);
+    std::printf("[run_all] latency capture mode on\n");
   }
   std::error_code ec;
   fs::create_directories(opts.out_dir, ec);

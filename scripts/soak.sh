@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Long-haul soak (the CI nightly): builds the soak tool in Release and replays
+# packets through the multicore runtime under continuous flow-mod churn until
+# the packet budget is spent, then audits conservation / leak / drift /
+# latency-floor invariants (see src/perf/soak.hpp).
+#
+#   scripts/soak.sh                          # 100M-packet soak -> soak-report.json
+#   PACKETS_BUDGET=1000000 scripts/soak.sh
+#   SANITIZE=1 scripts/soak.sh               # ASan+UBSan leg (reduce the budget)
+#   scripts/soak.sh --trace capture.pcap     # replay a capture instead
+#
+# Env:
+#   BUILD_DIR       build directory     (default: build-soak; -asan suffix
+#                                        when SANITIZE=1)
+#   REPORT          report JSON path    (default: soak-report.json)
+#   PACKETS_BUDGET  packets to process  (default: 100000000)
+#   SECONDS_BUDGET  wall-clock cap      (default: 900 — a backstop, the packet
+#                                        budget normally hits first)
+#   FLOOR           percentile-ceiling JSON forwarded as --floor (optional)
+#   SANITIZE=1      build with ASan+UBSan
+#   ESW_SOAK_*      further sizing (see tools/soak.cpp)
+#
+# Exit: 0 every check passed, 1 at least one invariant violated (the report
+# and stdout name it).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZE="${SANITIZE:-0}"
+BUILD_DIR="${BUILD_DIR:-build-soak}"
+REPORT="${REPORT:-soak-report.json}"
+PACKETS_BUDGET="${PACKETS_BUDGET:-100000000}"
+SECONDS_BUDGET="${SECONDS_BUDGET:-900}"
+
+extra_flags=()
+if [ "$SANITIZE" = 1 ]; then
+  [ "$BUILD_DIR" = build-soak ] && BUILD_DIR=build-soak-asan
+  extra_flags+=(-DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all")
+fi
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  "${extra_flags[@]}" \
+  -DESW_BUILD_TESTS=OFF \
+  -DESW_BUILD_EXAMPLES=OFF \
+  -DESW_BUILD_TOOLS=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target soak
+
+# Inject the budgets only when the caller didn't pick their own bounds.
+inject_packets=1 inject_seconds=1 inject_floor=1
+for a in "$@"; do
+  case "$a" in
+    --packets) inject_packets=0 ;;
+    --seconds) inject_seconds=0 ;;
+    --floor)   inject_floor=0 ;;
+  esac
+done
+[ "$inject_packets" = 1 ] && set -- --packets "$PACKETS_BUDGET" "$@"
+[ "$inject_seconds" = 1 ] && set -- --seconds "$SECONDS_BUDGET" "$@"
+if [ "$inject_floor" = 1 ] && [ -n "${FLOOR:-}" ]; then
+  set -- --floor "$FLOOR" "$@"
+fi
+
+exec "$BUILD_DIR/tools/soak" --report "$REPORT" "$@"

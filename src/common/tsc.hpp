@@ -14,11 +14,28 @@ inline uint64_t rdtsc() {
   asm volatile("rdtsc" : "=a"(lo), "=d"(hi));
   return (uint64_t{hi} << 32) | lo;
 }
+
+/// Serialized TSC read for latency measurement.  Plain `rdtsc` may execute
+/// before earlier instructions retire (it is not a serializing read), so two
+/// back-to-back reads around a short region can under- or over-attribute
+/// cycles.  `rdtscp` waits for every prior instruction to retire before
+/// sampling the counter, and the trailing `lfence` keeps later instructions
+/// from starting before the sample is taken — the Intel-documented fencing
+/// for timing a region from both ends.  Costs ~2-3x a plain rdtsc; use it on
+/// the (sampled) latency path, not around whole measurement windows.
+inline uint64_t rdtsc_serialized() {
+  uint32_t lo, hi;
+  asm volatile("rdtscp\n\tlfence" : "=a"(lo), "=d"(hi)::"rcx", "memory");
+  return (uint64_t{hi} << 32) | lo;
+}
 #else
 inline uint64_t rdtsc() {
   return static_cast<uint64_t>(
       std::chrono::steady_clock::now().time_since_epoch().count());
 }
+
+/// steady_clock is already ordered by its definition; same reading.
+inline uint64_t rdtsc_serialized() { return rdtsc(); }
 #endif
 
 /// Measured TSC ticks per nanosecond (calibrated once, ~10 ms).

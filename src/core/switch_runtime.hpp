@@ -34,9 +34,11 @@
 #include <vector>
 
 #include "common/counters.hpp"
+#include "common/tsc.hpp"
 #include "core/dataplane.hpp"
 #include "netio/mbuf_pool.hpp"
 #include "netio/portset.hpp"
+#include "perf/latency.hpp"
 
 namespace esw::core {
 
@@ -69,6 +71,12 @@ class SwitchRuntime {
     uint32_t worker_cache = 128;  // per-worker mbuf cache size
     bool sink_tx = true;          // workers drain their ports' TX back to pool
     uint32_t max_pending_packet_ins = 1024;
+    /// Per-worker latency histograms: each worker times its bursts
+    /// (serialized TSC reads around process_burst + verdict execution) and
+    /// records the amortized per-packet cycles.  Off by default — the
+    /// serialized reads cost ~2-3x a plain rdtsc per burst, which the pure
+    /// throughput benches must not pay.
+    bool measure_latency = false;
   };
 
   /// Verdict-execution counters; one padded block per worker, aggregated on
@@ -156,10 +164,13 @@ class SwitchRuntime {
     stop_.store(true, std::memory_order_release);
     for (auto& ws : workers_) ws->thread.join();
     final_worker_counters_.assign(workers_.size(), Counters{});
+    final_worker_latency_.assign(workers_.size(), perf::LatencyHistogram{});
     for (auto& ws : workers_) {
       backend_.unregister_worker(ws->ctx);
       add_block(retired_counters_, ws->stats);
       add_block(final_worker_counters_[ws->id], ws->stats);
+      retired_latency_.merge(ws->latency);
+      final_worker_latency_[ws->id] = ws->latency;
     }
     workers_.clear();
   }
@@ -183,6 +194,34 @@ class SwitchRuntime {
       out = final_worker_counters_[worker];
     }
     return out;
+  }
+
+  /// Merged latency distribution over all workers, past runs included
+  /// (cycles; convert with percentiles_ns()).  Exact after stop(); while
+  /// running it is a live snapshot, approximate like counters().  Empty
+  /// unless Config::measure_latency was on.
+  perf::LatencyHistogram latency_histogram() const {
+    perf::LatencyHistogram h = retired_latency_;
+    for (const auto& ws : workers_) h.merge(ws->latency);
+    return h;
+  }
+  /// One worker's latency histogram (live while running; after stop() the
+  /// final per-worker distribution of the last run).
+  perf::LatencyHistogram worker_latency(uint32_t worker) const {
+    if (running()) {
+      ESW_CHECK(worker < workers_.size());
+      return workers_[worker]->latency;
+    }
+    ESW_CHECK(worker < final_worker_latency_.size());
+    return final_worker_latency_[worker];
+  }
+  /// Zeroes every latency histogram — the warmup/measure boundary.  Workers
+  /// keep recording; in-flight bursts may re-add a sample, so the cut is
+  /// approximate by one burst per worker (clear_stats() semantics).
+  void clear_latency() {
+    retired_latency_.clear();
+    for (auto& ws : workers_) ws->latency.clear();
+    for (auto& h : final_worker_latency_) h.clear();
   }
 
   /// Copies a frame into a pool buffer and queues it on the port's RX ring.
@@ -222,6 +261,8 @@ class SwitchRuntime {
     std::vector<uint32_t> owned_ports;
     net::MbufCache cache;
     StatBlock stats;
+    // Single-writer (this worker); merged/read by the control thread.
+    perf::LatencyHistogram latency;
     std::thread thread;
   };
 
@@ -252,8 +293,19 @@ class SwitchRuntime {
         net::Port& p = ports_.port(no);
         const uint32_t n = p.rx_burst(burst, net::kBurstSize);
         if (n == 0) continue;
-        backend_.process_burst(*ws.ctx, burst, n, verdicts);
-        for (uint32_t i = 0; i < n; ++i) execute(ws, burst[i], verdicts[i]);
+        if (cfg_.measure_latency) {
+          // Time the full switch residency of the burst — classification
+          // plus verdict execution (TX enqueue / flood / handoff) — and
+          // record the amortized per-packet cycles, weighted by the burst.
+          const uint64_t t0 = rdtsc_serialized();
+          backend_.process_burst(*ws.ctx, burst, n, verdicts);
+          for (uint32_t i = 0; i < n; ++i) execute(ws, burst[i], verdicts[i]);
+          const uint64_t dt = rdtsc_serialized() - t0;
+          ws.latency.record_n(dt / n, n);
+        } else {
+          backend_.process_burst(*ws.ctx, burst, n, verdicts);
+          for (uint32_t i = 0; i < n; ++i) execute(ws, burst[i], verdicts[i]);
+        }
         bump(ws.stats.processed, n);
         did += n;
       }
@@ -355,6 +407,8 @@ class SwitchRuntime {
   std::vector<std::unique_ptr<WorkerState>> workers_;
   Counters retired_counters_;  // folded-in blocks of stopped workers
   std::vector<Counters> final_worker_counters_;  // last run's per-worker totals
+  perf::LatencyHistogram retired_latency_;       // merged at stop()
+  std::vector<perf::LatencyHistogram> final_worker_latency_;
   std::atomic<bool> stop_{false};
   std::mutex pin_mu_;
   std::vector<RuntimePacketIn> pending_pins_;

@@ -2,6 +2,18 @@
 
 namespace esw::net {
 
+namespace {
+
+/// Folds the sampled histogram into the legacy p50/p99 cycle fields so older
+/// consumers of RunStats keep reading the same numbers.
+void finish_latency(RunStats& st) {
+  if (st.latency.empty()) return;
+  st.latency_p50_cycles = static_cast<double>(st.latency.value_at_percentile(50));
+  st.latency_p99_cycles = static_cast<double>(st.latency.value_at_percentile(99));
+}
+
+}  // namespace
+
 RunStats run_loop(const TrafficSet& traffic, const std::function<void(Packet&)>& fn,
                   const RunOpts& opts) {
   Packet scratch;
@@ -12,9 +24,6 @@ RunStats run_loop(const TrafficSet& traffic, const std::function<void(Packet&)>&
     fn(scratch);
   }
 
-  std::vector<uint64_t> samples;
-  samples.reserve(4096);
-
   RunStats st;
   const auto t0 = std::chrono::steady_clock::now();
   const uint64_t c0 = rdtsc();
@@ -24,9 +33,11 @@ RunStats run_loop(const TrafficSet& traffic, const std::function<void(Packet&)>&
     for (uint32_t b = 0; b < 1024; ++b, ++i) {
       traffic.load(i, scratch);
       if (opts.latency_sample_every && i % opts.latency_sample_every == 0) {
-        const uint64_t s = rdtsc();
+        // Serialized reads on both ends: plain back-to-back rdtsc can
+        // reorder around the short timed region (see common/tsc.hpp).
+        const uint64_t s = rdtsc_serialized();
         fn(scratch);
-        samples.push_back(rdtsc() - s);
+        st.latency.record(rdtsc_serialized() - s);
       } else {
         fn(scratch);
       }
@@ -43,11 +54,7 @@ RunStats run_loop(const TrafficSet& traffic, const std::function<void(Packet&)>&
 
   st.pps = static_cast<double>(st.packets) / st.seconds;
   st.cycles_per_pkt = static_cast<double>(c1 - c0) / static_cast<double>(st.packets);
-  if (!samples.empty()) {
-    std::sort(samples.begin(), samples.end());
-    st.latency_p50_cycles = static_cast<double>(samples[samples.size() / 2]);
-    st.latency_p99_cycles = static_cast<double>(samples[samples.size() * 99 / 100]);
-  }
+  finish_latency(st);
   return st;
 }
 
@@ -70,8 +77,6 @@ RunStats run_loop_burst(const TrafficSet& traffic, const BurstFn& fn,
     fn(ptrs, kBurstSize);
   }
 
-  std::vector<uint64_t> samples;
-  samples.reserve(4096);
   const uint32_t sample_every_bursts =
       opts.latency_sample_every == 0
           ? 0
@@ -87,9 +92,12 @@ RunStats run_loop_burst(const TrafficSet& traffic, const BurstFn& fn,
     for (uint32_t k = 0; k < 1024 / kBurstSize; ++k, ++bursts) {
       load_burst();
       if (sample_every_bursts != 0 && bursts % sample_every_bursts == 0) {
-        const uint64_t s = rdtsc();
+        const uint64_t s = rdtsc_serialized();
         fn(ptrs, kBurstSize);
-        samples.push_back((rdtsc() - s) / kBurstSize);
+        const uint64_t d = rdtsc_serialized() - s;
+        // Per-burst record: the amortized per-packet latency, weighted by
+        // the packets that experienced it.
+        st.latency.record_n(d / kBurstSize, kBurstSize);
       } else {
         fn(ptrs, kBurstSize);
       }
@@ -106,11 +114,7 @@ RunStats run_loop_burst(const TrafficSet& traffic, const BurstFn& fn,
 
   st.pps = static_cast<double>(st.packets) / st.seconds;
   st.cycles_per_pkt = static_cast<double>(c1 - c0) / static_cast<double>(st.packets);
-  if (!samples.empty()) {
-    std::sort(samples.begin(), samples.end());
-    st.latency_p50_cycles = static_cast<double>(samples[samples.size() / 2]);
-    st.latency_p99_cycles = static_cast<double>(samples[samples.size() * 99 / 100]);
-  }
+  finish_latency(st);
   return st;
 }
 

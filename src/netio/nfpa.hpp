@@ -11,6 +11,7 @@
 
 #include "common/tsc.hpp"
 #include "netio/pktgen.hpp"
+#include "perf/latency.hpp"
 
 namespace esw::net {
 
@@ -21,12 +22,20 @@ struct RunStats {
   double cycles_per_pkt = 0;
   double latency_p50_cycles = 0;
   double latency_p99_cycles = 0;
+  /// Sampled per-packet latency distribution, in TSC cycles (serialized
+  /// reads, see common/tsc.hpp).  The scalar loop times individual packets;
+  /// the burst loop records each sampled burst's amortized per-packet
+  /// latency weighted by the burst size.  Convert with percentiles_ns().
+  perf::LatencyHistogram latency;
 };
 
 struct RunOpts {
   double min_seconds = 0.25;   // measure at least this long
   uint64_t min_packets = 20000;
   uint64_t warmup_packets = 2000;
+  /// Sample one latency measurement per this many packets (the serialized
+  /// TSC reads cost ~2-3x a plain rdtsc, so the throughput loops sample).
+  /// 1 = time everything (the latency figures); 0 = no latency capture.
   uint32_t latency_sample_every = 64;
 };
 

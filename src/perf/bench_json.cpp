@@ -426,6 +426,12 @@ std::string report_to_json(const BenchReport& report) {
       for (const auto& [name, value] : p.counters)
         counters.set(name, Json::number(value));
       jp.set("counters", std::move(counters));
+      if (!p.latency_ns.empty()) {
+        Json lat = Json::object();
+        for (const auto& [name, value] : p.latency_ns)
+          lat.set(name, Json::number(value));
+        jp.set("latency_ns", std::move(lat));
+      }
       points.push_back(std::move(jp));
     }
     js.set("points", std::move(points));
@@ -463,6 +469,11 @@ std::optional<BenchReport> report_from_json(std::string_view text) {
           counters != nullptr && counters->kind() == Json::Kind::kObject) {
         for (const auto& [name, value] : counters->members())
           if (value.kind() == Json::Kind::kNumber) p.counters[name] = value.as_number();
+      }
+      if (const Json* lat = jp.find("latency_ns");
+          lat != nullptr && lat->kind() == Json::Kind::kObject) {
+        for (const auto& [name, value] : lat->members())
+          if (value.kind() == Json::Kind::kNumber) p.latency_ns[name] = value.as_number();
       }
       s.points.push_back(std::move(p));
     }
@@ -533,9 +544,17 @@ std::optional<BenchReport> report_from_google_benchmark(std::string_view text,
     p.x = sweep_value(p.label);
 
     // google-benchmark flattens user counters into the run object next to
-    // its own fields; collect every numeric member as a counter.
-    for (const auto& [key, value] : run.members())
-      if (value.kind() == Json::Kind::kNumber) p.counters[key] = value.as_number();
+    // its own fields; collect every numeric member as a counter.  Latency
+    // counters additionally lift into the structured latency_ns block
+    // ("latency_ns_p50" -> latency_ns["p50"]) — google-benchmark can only
+    // carry flat doubles, the stable schema carries the block.
+    for (const auto& [key, value] : run.members()) {
+      if (value.kind() != Json::Kind::kNumber) continue;
+      p.counters[key] = value.as_number();
+      if (key.rfind(kLatencyCounterPrefix, 0) == 0)
+        p.latency_ns[key.substr(sizeof(kLatencyCounterPrefix) - 1)] =
+            value.as_number();
+    }
     p.pps = run.number_or("pps", 0);
     p.cycles_per_pkt = run.number_or("cycles_per_pkt", 0);
 
@@ -549,6 +568,113 @@ std::optional<BenchReport> report_from_google_benchmark(std::string_view text,
     series->points.push_back(std::move(p));
   }
   return report;
+}
+
+// ---------------------------------------------------------------------------
+// Point-shape validation (the `run_all --check` contracts)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string point_id(const BenchReport& r, const BenchSeries& s, const BenchPoint& p) {
+  return r.figure + " " + s.name + "/" + p.label;
+}
+
+/// The latency_ns block, when present, must be the complete quintet with
+/// non-decreasing, non-negative percentiles — a partial or disordered block
+/// means the bench or the digester dropped/mangled a counter.
+void check_latency_block(const BenchReport& r, const BenchSeries& s,
+                         const BenchPoint& p, std::vector<std::string>* errors) {
+  bool has_flat = false;
+  for (const auto& [key, value] : p.counters) {
+    (void)value;
+    if (key.rfind(kLatencyCounterPrefix, 0) == 0) has_flat = true;
+  }
+  if (p.latency_ns.empty()) {
+    if (has_flat)
+      errors->push_back(point_id(r, s, p) +
+                        ": latency_ns_* counters present but latency_ns block missing");
+    return;
+  }
+  static constexpr const char* kKeys[] = {"p50", "p90", "p99", "p999", "max"};
+  double prev = -1;
+  for (const char* key : kKeys) {
+    const auto it = p.latency_ns.find(key);
+    if (it == p.latency_ns.end()) {
+      errors->push_back(point_id(r, s, p) + ": latency_ns block missing \"" +
+                        key + "\"");
+      return;
+    }
+    if (it->second < 0) {
+      errors->push_back(point_id(r, s, p) + ": latency_ns." + key + " negative");
+      return;
+    }
+    if (it->second < prev) {
+      errors->push_back(point_id(r, s, p) + ": latency_ns." + key +
+                        " below a lower percentile (non-monotone block)");
+      return;
+    }
+    prev = it->second;
+  }
+}
+
+/// fig19 point-shape contract: every point carries `threads`, one
+/// `pps_w<i>` per worker, and the per-worker rates sum to the aggregate
+/// `pps` (the true-thread measurement is per-worker and summed, so a
+/// mismatch means the bench or the distiller dropped a counter).  Churn
+/// points must additionally carry the latency block — p99/p99.9 under
+/// sustained update load is what that variant exists to measure.
+void check_fig19_point(const BenchReport& r, const BenchSeries& s,
+                       const BenchPoint& p, std::vector<std::string>* errors) {
+  const auto threads_it = p.counters.find("threads");
+  if (threads_it == p.counters.end() || threads_it->second < 1) {
+    errors->push_back(point_id(r, s, p) + ": missing threads counter");
+    return;
+  }
+  const int threads = static_cast<int>(threads_it->second);
+  double sum = 0;
+  for (int w = 0; w < threads; ++w) {
+    const auto it = p.counters.find("pps_w" + std::to_string(w));
+    if (it == p.counters.end()) {
+      errors->push_back(point_id(r, s, p) + ": missing pps_w" + std::to_string(w));
+      return;
+    }
+    sum += it->second;
+  }
+  if (p.pps > 0 && (sum < p.pps * 0.98 || sum > p.pps * 1.02))
+    errors->push_back(point_id(r, s, p) + ": per-worker pps sum " +
+                      std::to_string(sum) + " != aggregate " + std::to_string(p.pps));
+  if (p.label.find("churn:1") != std::string::npos && p.latency_ns.empty())
+    errors->push_back(point_id(r, s, p) +
+                      ": churn point carries no latency_ns percentile block");
+}
+
+/// Trace-capable figures' point-shape contract: every throughput point must
+/// carry the `trace` counter (1 = replayed from a pcap via --trace, 0 =
+/// generated traffic), so a results directory is self-describing about what
+/// fed each measurement — the esw-bench-v1 schema stays stable either way.
+void check_trace_point(const BenchReport& r, const BenchSeries& s,
+                       const BenchPoint& p, std::vector<std::string>* errors) {
+  const auto it = p.counters.find("trace");
+  if (it == p.counters.end())
+    errors->push_back(point_id(r, s, p) + ": missing trace counter");
+  else if (it->second != 0 && it->second != 1)
+    errors->push_back(point_id(r, s, p) + ": trace counter must be 0 or 1");
+}
+
+}  // namespace
+
+std::vector<std::string> validate_report(const BenchReport& report) {
+  std::vector<std::string> errors;
+  for (const BenchSeries& s : report.series) {
+    for (const BenchPoint& p : s.points) {
+      check_latency_block(report, s, p, &errors);
+      if (report.figure == "fig19") check_fig19_point(report, s, p, &errors);
+      if (report.figure == "fig10" || report.figure == "fig11")
+        check_trace_point(report, s, p, &errors);
+    }
+  }
+  return errors;
 }
 
 }  // namespace esw::perf

@@ -90,6 +90,11 @@ struct BenchPoint {
   double pps = 0;           // packets/second counter (0 when not reported)
   double cycles_per_pkt = 0;  // cycles/packet counter (0 when not reported)
   std::map<std::string, double> counters;  // all raw benchmark counters
+  /// Optional latency-percentile block (additive schema extension): when a
+  /// bench captures latency it emits flat `latency_ns_p50`.. counters and the
+  /// digest lifts them here as {"p50","p90","p99","p999","max"} (+"samples").
+  /// Empty when the point carries no latency capture.
+  std::map<std::string, double> latency_ns;
 };
 
 /// All points of one benchmark function, e.g. BM_Fig10_L2.
@@ -114,10 +119,25 @@ std::optional<BenchReport> report_from_json(std::string_view text);
 
 /// Converts one google-benchmark --benchmark_format=json document into a
 /// report: groups runs by benchmark function, extracts pps/cycles_per_pkt
-/// and every numeric counter.  nullopt if `text` is not benchmark output.
+/// and every numeric counter (lifting `latency_ns_*` counters into the
+/// point's latency_ns block).  nullopt if `text` is not benchmark output.
 std::optional<BenchReport> report_from_google_benchmark(std::string_view text,
                                                         const std::string& figure,
                                                         const std::string& title,
                                                         const std::string& git_sha);
+
+/// Flat-counter prefix benches use for the latency block ("latency_ns_p50").
+inline constexpr char kLatencyCounterPrefix[] = "latency_ns_";
+
+/// Point-shape contracts beyond bare schema syntax, shared by `run_all
+/// --check` and the unit tests.  Returns one message per violation (empty =
+/// valid):
+///   * any point with a latency_ns block (or flat latency_ns_* counters)
+///     must carry the complete non-decreasing p50/p90/p99/p999/max quintet;
+///   * fig19 points must carry `threads` and per-worker `pps_w<i>` summing
+///     to the aggregate, and its churn:1 points must carry the latency
+///     block (p99/p99.9 under update load is the point of that variant);
+///   * fig10/fig11 points must carry the 0/1 `trace` input marker.
+std::vector<std::string> validate_report(const BenchReport& report);
 
 }  // namespace esw::perf

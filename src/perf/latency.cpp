@@ -1,0 +1,77 @@
+#include "perf/latency.hpp"
+
+#include <cmath>
+
+namespace esw::perf {
+
+size_t LatencyHistogram::bucket_index(uint64_t value) {
+  if (value < kSubCount) return static_cast<size_t>(value);  // exact region
+  const uint32_t e = 63u - static_cast<uint32_t>(__builtin_clzll(value));
+  if (e > kMaxExp) return kOverflowBucket;
+  // value is in [2^e, 2^(e+1)); its top kSubBits+1 bits select the octave
+  // block and the linear sub-bucket within it.
+  const uint64_t sub = (value >> (e - kSubBits)) & (kSubCount - 1);
+  return (static_cast<size_t>(e - kSubBits) + 1) * kSubCount +
+         static_cast<size_t>(sub);
+}
+
+uint64_t LatencyHistogram::bucket_value(size_t index) {
+  if (index < kSubCount) return index;  // exact region: the value itself
+  if (index >= kOverflowBucket) return kMaxTrackable;
+  const size_t block = index / kSubCount;  // 1..(kMaxExp - kSubBits + 1)
+  const uint64_t sub = index % kSubCount;
+  const uint32_t shift = static_cast<uint32_t>(block) - 1;  // e - kSubBits
+  const uint64_t lower = (kSubCount + sub) << shift;
+  return lower + ((uint64_t{1} << shift) >> 1);  // midpoint of the bucket
+}
+
+uint64_t LatencyHistogram::value_at_percentile(double pct) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  if (pct < 0) pct = 0;
+  if (pct > 100) pct = 100;
+  // Rank of the reported sample: ceil(pct% * n), the "at least pct% of
+  // samples are <= reported" convention (matches the header contract).
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(pct / 100.0 * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cum += counts_[i].load(std::memory_order_relaxed);
+    if (cum >= rank) {
+      uint64_t v = bucket_value(i);
+      // The midpoint can stick out past the true extremes; the exact
+      // recorded min/max are tighter bounds on any sample.
+      const uint64_t lo = min(), hi = max();
+      if (v < lo) v = lo;
+      if (v > hi) v = hi;
+      return v;
+    }
+  }
+  return max();  // unreachable when counts are consistent
+}
+
+LatencyPercentiles LatencyHistogram::percentiles() const {
+  LatencyPercentiles p;
+  p.samples = count();
+  if (p.samples == 0) return p;
+  p.p50 = static_cast<double>(value_at_percentile(50));
+  p.p90 = static_cast<double>(value_at_percentile(90));
+  p.p99 = static_cast<double>(value_at_percentile(99));
+  p.p999 = static_cast<double>(value_at_percentile(99.9));
+  p.max = static_cast<double>(max());
+  return p;
+}
+
+LatencyPercentiles LatencyHistogram::percentiles_ns() const {
+  LatencyPercentiles p = percentiles();
+  p.p50 = cycles_to_ns(p.p50);
+  p.p90 = cycles_to_ns(p.p90);
+  p.p99 = cycles_to_ns(p.p99);
+  p.p999 = cycles_to_ns(p.p999);
+  p.max = cycles_to_ns(p.max);
+  return p;
+}
+
+}  // namespace esw::perf

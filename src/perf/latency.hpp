@@ -1,0 +1,184 @@
+// HDR-style log-bucketed latency histogram.
+//
+// Production operators buy p99.9, not means: the benchmarking-methodology
+// literature for software switches (Zhang et al., Niu et al.) makes latency
+// *distribution* one of the three comparison axes next to throughput and
+// robustness under update load.  This is the repo's one histogram type for
+// that axis — the measurement loops (netio/nfpa), the threaded runtime
+// (core/SwitchRuntime) and the soak harness (perf/soak) all record into it.
+//
+// Design, borrowed from HdrHistogram / DPDK latencystats:
+//   * values are bucketed on a log2 scale with kSubCount linear subdivisions
+//     per octave, so the bucket width is always <= value/128 — reporting the
+//     bucket midpoint bounds the relative quantization error by 1/256
+//     (~0.4%, comfortably inside the ~1% budget);
+//   * values below kSubCount are stored exactly (one bucket per value);
+//   * the bucket array is fixed at construction — the record path is a bit
+//     scan, one array increment and three scalar updates, with no allocation
+//     and no branches that depend on history;
+//   * values above kMaxTrackable saturate into a dedicated overflow bucket
+//     (the true maximum is still tracked exactly in max());
+//   * counts are relaxed atomics with a single-writer discipline, exactly
+//     like every per-worker stats block in this repo (common/counters.hpp):
+//     one recorder owns the histogram, concurrent readers (mid-run soak
+//     checkpoints) see approximate snapshots that become exact once the
+//     writer stops, and merge() makes per-worker histograms foldable into
+//     one distribution at end of run.
+//
+// Units are whatever the recorder measured — the hot paths record TSC cycles
+// (common/tsc.hpp) and convert to nanoseconds only at extraction time via the
+// calibrated tsc_ghz() (cycles_to_ns below), so the record path never touches
+// floating point.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "common/tsc.hpp"
+
+namespace esw::perf {
+
+/// Calibrated cycles -> nanoseconds conversion (tsc_ghz() is measured once,
+/// ~10 ms, on first use; on non-x86 the "cycle" source is already
+/// steady_clock nanoseconds and the ratio is ~1).
+inline double cycles_to_ns(double cycles) { return cycles / tsc_ghz(); }
+
+/// Extracted percentile block, in the histogram's recorded units (or in
+/// nanoseconds when produced by percentiles_ns()).
+struct LatencyPercentiles {
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double p999 = 0;
+  double max = 0;
+  uint64_t samples = 0;
+};
+
+class LatencyHistogram {
+ public:
+  /// log2 of the linear subdivisions per octave.  128 sub-buckets bound the
+  /// bucket width by value/128; midpoints halve that again.
+  static constexpr uint32_t kSubBits = 7;
+  static constexpr uint64_t kSubCount = uint64_t{1} << kSubBits;
+  /// Highest exponent tracked at full resolution: values up to 2^42-1 cycles
+  /// (~20 minutes at 3.5 GHz) bucket normally, anything above saturates.
+  static constexpr uint32_t kMaxExp = 41;
+  static constexpr uint64_t kMaxTrackable = (uint64_t{1} << (kMaxExp + 1)) - 1;
+  /// Linear region + one kSubCount block per octave 2^7..2^41 + overflow.
+  static constexpr size_t kOverflowBucket =
+      (kMaxExp - kSubBits + 1) * kSubCount + kSubCount;
+  static constexpr size_t kNumBuckets = kOverflowBucket + 1;
+
+  LatencyHistogram() = default;
+
+  // Relaxed-atomic cells are not copyable by default; snapshot semantics
+  // (relaxed loads, like every counter aggregator here) are what callers
+  // want when a RunStats or a merged end-of-run histogram is passed around.
+  LatencyHistogram(const LatencyHistogram& o) { copy_from(o); }
+  LatencyHistogram& operator=(const LatencyHistogram& o) {
+    if (this != &o) copy_from(o);
+    return *this;
+  }
+
+  /// Records one sample.  Single writer; allocation-free.
+  void record(uint64_t value) { record_n(value, 1); }
+
+  /// Records `n` samples of the same value — the per-burst shape: a burst's
+  /// amortized per-packet latency (burst cycles / burst size) recorded once
+  /// with the burst's packet count as weight.
+  void record_n(uint64_t value, uint64_t n) {
+    if (n == 0) return;
+    bump(counts_[bucket_index(value)], n);
+    bump(count_, n);
+    bump(sum_, value * n);
+    if (value > max_.load(std::memory_order_relaxed))
+      max_.store(value, std::memory_order_relaxed);
+    if (value < min_.load(std::memory_order_relaxed))
+      min_.store(value, std::memory_order_relaxed);
+  }
+
+  /// Folds another histogram's counts into this one (per-worker histograms
+  /// -> one end-of-run distribution).  Associative and commutative; exact
+  /// when neither side has a concurrent writer.
+  void merge(const LatencyHistogram& o) {
+    for (size_t i = 0; i < kNumBuckets; ++i)
+      bump(counts_[i], o.counts_[i].load(std::memory_order_relaxed));
+    bump(count_, o.count_.load(std::memory_order_relaxed));
+    bump(sum_, o.sum_.load(std::memory_order_relaxed));
+    const uint64_t omax = o.max_.load(std::memory_order_relaxed);
+    if (omax > max_.load(std::memory_order_relaxed))
+      max_.store(omax, std::memory_order_relaxed);
+    const uint64_t omin = o.min_.load(std::memory_order_relaxed);
+    if (omin < min_.load(std::memory_order_relaxed))
+      min_.store(omin, std::memory_order_relaxed);
+  }
+
+  /// Zeroes everything.  Control-side; a concurrent recorder may re-add its
+  /// in-flight samples, so clear while recording is paused for exactness
+  /// (same contract as CompiledDatapath::clear_stats).
+  void clear() {
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+    min_.store(UINT64_MAX, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  bool empty() const { return count() == 0; }
+  /// Exact extremes of everything recorded (min() is 0 when empty).
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t min() const {
+    const uint64_t m = min_.load(std::memory_order_relaxed);
+    return m == UINT64_MAX ? 0 : m;
+  }
+  double mean() const {
+    const uint64_t n = count();
+    return n == 0 ? 0
+                  : static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+                        static_cast<double>(n);
+  }
+
+  /// Value at percentile `pct` in [0,100]: the representative (midpoint) of
+  /// the bucket holding the sample of rank ceil(pct/100 * count), clamped to
+  /// the exact recorded [min, max].  0 when empty.
+  uint64_t value_at_percentile(double pct) const;
+
+  /// The standard block in recorded units; 0s when empty.
+  LatencyPercentiles percentiles() const;
+  /// The standard block converted to nanoseconds via the calibrated TSC
+  /// frequency — what the esw-bench-v1 `latency_ns` counters report.
+  LatencyPercentiles percentiles_ns() const;
+
+  /// Raw bucket access for tests (count at index, representative value).
+  uint64_t bucket_count(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  static size_t bucket_index(uint64_t value);
+  static uint64_t bucket_value(size_t index);
+
+ private:
+  static void bump(std::atomic<uint64_t>& c, uint64_t d) {
+    // Single writer: load+store, not an RMW (common/counters.hpp idiom).
+    c.store(c.load(std::memory_order_relaxed) + d, std::memory_order_relaxed);
+  }
+  void copy_from(const LatencyHistogram& o) {
+    for (size_t i = 0; i < kNumBuckets; ++i)
+      counts_[i].store(o.counts_[i].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    count_.store(o.count_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    sum_.store(o.sum_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    max_.store(o.max_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    min_.store(o.min_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  }
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> counts_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+};
+
+}  // namespace esw::perf

@@ -1,0 +1,342 @@
+#include "perf/soak.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/eswitch.hpp"
+#include "core/switch_runtime.hpp"
+#include "netio/pcap.hpp"
+#include "netio/trace_source.hpp"
+#include "perf/bench_json.hpp"
+#include "usecases/usecases.hpp"
+
+namespace esw::perf {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using Runtime = core::SwitchRuntime<core::Eswitch>;
+
+std::string u64s(uint64_t v) { return std::to_string(v); }
+
+/// Issues one chunk of paced add/delete pairs across both live-update shapes:
+///   * /24 routes in 230.0.0.0/8 into the L3 table (colliding with nothing) —
+///     the in-place incremental LPM path (epoch-published cells);
+///   * exact-match entries into a side table unreachable from the pipeline
+///     start — priority != prefix length keeps it off the LPM template, so
+///     with workers registered every mod is a clone-update-swap whose
+///     displaced impl retires through the epoch domain.  This is what keeps
+///     reclamation itself under sustained load (and what the stuck-worker
+///     planted fault stalls).
+void churn_chunk(core::Eswitch& sw, uint64_t* mods, int pairs) {
+  for (int k = 0; k < pairs; ++k) {
+    flow::FlowMod fm;
+    fm.table_id = 0;
+    fm.priority = 24;
+    fm.match.set(flow::FieldId::kIpDst,
+                 (230u << 24) | (static_cast<uint32_t>(*mods % 4096) << 8),
+                 0xFFFFFF00);
+    fm.actions = {flow::Action::output(static_cast<uint32_t>(1 + *mods % 8))};
+    sw.apply(fm);
+    fm.command = flow::FlowMod::Cmd::kDelete;
+    sw.apply(fm);
+
+    flow::FlowMod side;
+    side.table_id = 200;  // far above the use case's tables; never a goto target
+    side.priority = 1;
+    side.match.set(flow::FieldId::kIpDst,
+                   (231u << 24) | static_cast<uint32_t>(*mods % 4096), 0xFFFFFFFF);
+    side.actions = {flow::Action::output(1)};
+    sw.apply(side);
+    side.command = flow::FlowMod::Cmd::kDelete;
+    sw.apply(side);
+    *mods += 4;
+  }
+}
+
+/// Reads and applies the percentile-ceiling file: a flat JSON object mapping
+/// any of p50/p90/p99/p999/max to a maximum allowed nanosecond value.
+SoakCheck check_latency_floor(const std::string& path,
+                              const LatencyPercentiles& ns) {
+  SoakCheck c{"latency-floor", false, ""};
+  std::ifstream in(path);
+  if (!in) {
+    c.detail = "cannot read floor file " + path;
+    return c;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto doc = Json::parse(buf.str());
+  if (!doc || doc->kind() != Json::Kind::kObject) {
+    c.detail = "floor file " + path + " is not a JSON object";
+    return c;
+  }
+  const std::pair<const char*, double> measured[] = {
+      {"p50", ns.p50}, {"p90", ns.p90},   {"p99", ns.p99},
+      {"p999", ns.p999}, {"max", ns.max},
+  };
+  c.ok = true;
+  for (const auto& [key, value] : measured) {
+    const Json* ceil = doc->find(key);
+    if (ceil == nullptr || ceil->kind() != Json::Kind::kNumber) continue;
+    if (value > ceil->as_number()) {
+      c.ok = false;
+      c.detail += std::string(c.detail.empty() ? "" : "; ") + key + " " +
+                  std::to_string(value) + "ns > ceiling " +
+                  std::to_string(ceil->as_number()) + "ns";
+    }
+  }
+  if (c.ok) c.detail = "all measured percentiles under " + path;
+  return c;
+}
+
+}  // namespace
+
+std::optional<SoakOptions::Fault> soak_fault_from_name(std::string_view name) {
+  if (name == "none" || name.empty()) return SoakOptions::Fault::kNone;
+  if (name == "leak-buffer") return SoakOptions::Fault::kLeakBuffer;
+  if (name == "stuck-worker") return SoakOptions::Fault::kStuckWorker;
+  if (name == "counter-drift") return SoakOptions::Fault::kCounterDrift;
+  return std::nullopt;
+}
+
+SoakReport run_soak(const SoakOptions& opts) {
+  ESW_CHECK_MSG(opts.target_packets > 0 || opts.max_seconds > 0,
+                "soak needs a packet or time bound");
+  ESW_CHECK(opts.workers >= 1);
+
+  const uc::UseCase uc = uc::make_l3(opts.n_prefixes, opts.seed);
+
+  Runtime::Config rcfg;
+  rcfg.measure_latency = true;  // the percentile block is part of the report
+  rcfg.n_workers = opts.workers;
+  rcfg.n_ports = std::max<uint32_t>(opts.workers, 8);  // L3 outputs to 1-8
+  rcfg.pool_capacity = 4096 * opts.workers;
+  Runtime rt(rcfg, core::CompilerConfig{});
+  rt.backend().install(uc.pipeline);
+
+  // Traffic: either the capture's frames (shared arena, per-worker cursors)
+  // or per-worker generated shards — the Fig. 19 source-hook shape either way.
+  struct alignas(64) Cursor {
+    size_t v = 0;
+  };
+  std::vector<Cursor> cursors(opts.workers);
+  std::vector<net::TrafficSet> shards;
+  net::TrafficSet trace_ts;
+  if (!opts.trace_pcap.empty()) {
+    const net::PcapReader r = net::PcapReader::from_file(opts.trace_pcap);
+    ESW_CHECK_MSG(r.ok(), "soak: unreadable trace pcap");
+    trace_ts = net::TraceSource(r, {}).to_traffic_set();
+  } else {
+    const size_t shard =
+        std::max<size_t>(1, opts.n_flows / static_cast<size_t>(opts.workers));
+    shards.reserve(opts.workers);
+    for (uint32_t w = 0; w < opts.workers; ++w)
+      shards.push_back(net::TrafficSet::from_flows(uc.traffic(shard, opts.seed + w)));
+  }
+  const bool trace = !opts.trace_pcap.empty();
+  rt.set_source([&](uint32_t w, net::Packet** bufs, uint32_t n) {
+    size_t& cur = cursors[w].v;
+    const net::TrafficSet& ts = trace ? trace_ts : shards[w];
+    for (uint32_t i = 0; i < n; ++i) {
+      ts.load_next(cur, *bufs[i]);
+      bufs[i]->set_in_port(1 + w);
+    }
+    return n;
+  });
+
+  // Fault plants (see SoakOptions::Fault).  The phantom worker registers
+  // before start and never ticks, so no grace period can ever end.
+  core::Eswitch::Worker* phantom = nullptr;
+  if (opts.fault == SoakOptions::Fault::kStuckWorker)
+    phantom = rt.backend().register_worker();
+
+  rt.start();
+  net::Packet* leaked = nullptr;
+  if (opts.fault == SoakOptions::Fault::kLeakBuffer) leaked = rt.pool().alloc();
+
+  // Control loop: paced churn + periodic checkpoints until a bound hits.
+  const auto t0 = Clock::now();
+  const auto cp_interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(opts.checkpoint_every_ms));
+  auto next_cp = t0 + cp_interval;
+  SoakReport rep;
+  uint64_t mods = 0;
+  uint64_t max_pending = 0;
+  bool drift_planted = false;
+  for (;;) {
+    const auto now = Clock::now();
+    const double elapsed = std::chrono::duration<double>(now - t0).count();
+    const uint64_t processed = rt.counters().processed;
+    // Plant the drift at mid-run, before the stop checks — the workers can
+    // blow through half and full budget within one control-loop pass on a
+    // seconds-scale ctest run, and the fault must land before the run ends.
+    if (opts.fault == SoakOptions::Fault::kCounterDrift && !drift_planted &&
+        ((opts.target_packets > 0 && processed >= opts.target_packets / 2) ||
+         (opts.max_seconds > 0 && elapsed >= opts.max_seconds / 2))) {
+      rt.backend().datapath().clear_stats();
+      drift_planted = true;
+    }
+    if (opts.target_packets > 0 && processed >= opts.target_packets) break;
+    if (opts.max_seconds > 0 && elapsed >= opts.max_seconds) break;
+    if (now >= next_cp) {
+      ++rep.checkpoints;
+      max_pending = std::max(max_pending, rt.backend().reclaim_stats().pending);
+      next_cp += cp_interval;
+    }
+    if (opts.churn_rate > 0) {
+      churn_chunk(rt.backend(), &mods, 16);
+      // Pace to the target mods/s (a controller session, not a control-thread
+      // spin that starves the workers), but wake for the next checkpoint.
+      const auto paced = t0 + std::chrono::duration_cast<Clock::duration>(
+                                  std::chrono::duration<double>(
+                                      static_cast<double>(mods) / opts.churn_rate));
+      std::this_thread::sleep_until(std::min(paced, next_cp));
+    } else {
+      std::this_thread::sleep_until(
+          std::min(next_cp, now + std::chrono::milliseconds(1)));
+    }
+  }
+  rep.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  rt.stop();
+
+  // Drain what the stopped workers left queued: un-polled RX and un-sunk TX.
+  // Every drained buffer goes back to the pool — anything still missing
+  // afterwards was leaked.
+  uint64_t leftover_rx = 0, leftover_rx_bytes = 0;
+  for (uint32_t no = net::PortSet::kFirstPort;
+       no < net::PortSet::kFirstPort + rt.ports().size(); ++no) {
+    net::Packet* out[net::kBurstSize];
+    uint32_t n;
+    while ((n = rt.ports().port(no).rx_burst(out, net::kBurstSize)) > 0)
+      for (uint32_t i = 0; i < n; ++i) {
+        leftover_rx += 1;
+        leftover_rx_bytes += out[i]->len();
+        rt.pool().free(out[i]);
+      }
+    while ((n = rt.ports().port(no).drain_tx(out, net::kBurstSize)) > 0)
+      for (uint32_t i = 0; i < n; ++i) rt.pool().free(out[i]);
+  }
+
+  const Runtime::Counters c = rt.counters();
+  const core::DataplaneStats bs = rt.backend().stats();
+  const net::PortCounters pc = rt.ports().totals();
+  rt.backend().datapath().reclaim();  // post-run: everything must free now
+  const auto rs = rt.backend().reclaim_stats();
+
+  rep.packets = c.processed;
+  rep.pps = rep.seconds > 0 ? static_cast<double>(c.processed) / rep.seconds : 0;
+  rep.churn_mods = mods;
+  rep.latency_ns = rt.latency_histogram().percentiles_ns();
+
+  const auto add = [&rep](const std::string& name, bool ok, std::string detail) {
+    rep.checks.push_back({name, ok, std::move(detail)});
+  };
+
+  // Packet conservation: every accepted injection was processed or drained.
+  add("packet-conservation",
+      c.source_packets == c.processed + leftover_rx,
+      "source=" + u64s(c.source_packets) + " processed=" + u64s(c.processed) +
+          " leftover_rx=" + u64s(leftover_rx));
+
+  // Verdict conservation: every processed packet took exactly one exit.
+  // Flood duplicates frames, so the strict identity only holds flood-free
+  // (the L3 soak pipeline never floods; a flood here is itself suspicious
+  // but not a conservation violation).
+  const uint64_t exits =
+      c.tx_packets + c.tx_rejected + c.bad_port + c.drops + c.packet_ins;
+  if (c.flood_copies == 0)
+    add("verdict-conservation", c.processed == exits,
+        "processed=" + u64s(c.processed) + " exits=" + u64s(exits) + " (tx=" +
+            u64s(c.tx_packets) + " rej=" + u64s(c.tx_rejected) + " badport=" +
+            u64s(c.bad_port) + " drop=" + u64s(c.drops) + " pin=" +
+            u64s(c.packet_ins) + ")");
+  else
+    add("verdict-conservation", true,
+        "skipped: flood_copies=" + u64s(c.flood_copies));
+
+  // Byte conservation: only meaningful when no verdict consumed or copied a
+  // frame (L3 rewrites headers in place, lengths unchanged).
+  if (c.flood_copies == 0 && c.drops == 0 && c.tx_rejected == 0 &&
+      c.bad_port == 0 && c.packet_ins == 0)
+    add("byte-conservation",
+        pc.rx_bytes == pc.tx_bytes + leftover_rx_bytes,
+        "rx_bytes=" + u64s(pc.rx_bytes) + " tx_bytes=" + u64s(pc.tx_bytes) +
+            " leftover=" + u64s(leftover_rx_bytes));
+  else
+    add("byte-conservation", true,
+        "skipped: lossy verdict mix (drop=" + u64s(c.drops) + " rej=" +
+            u64s(c.tx_rejected) + " badport=" + u64s(c.bad_port) + " pin=" +
+            u64s(c.packet_ins) + " flood=" + u64s(c.flood_copies) + ")");
+
+  // Buffer leak: with rings drained and worker caches flushed, the pool must
+  // be whole again.  One missing buffer is one lost pointer.
+  add("buffer-pool",
+      rt.pool().available() == rt.pool().capacity(),
+      "available=" + u64s(rt.pool().available()) + " capacity=" +
+          u64s(rt.pool().capacity()));
+
+  // Reclamation leak: after the run and a final reclaim() nothing may stay
+  // pending — a grace period that never ends is a leak in motion.
+  add("reclaim",
+      rs.pending == 0,
+      "retired=" + u64s(rs.retired) + " reclaimed=" + u64s(rs.reclaimed) +
+          " pending=" + u64s(rs.pending) + " max_pending_seen=" +
+          u64s(max_pending));
+
+  // Verdict drift: the backend's own counters must agree with the runtime's
+  // and be internally consistent — a torn counter path miscounts forever.
+  add("counter-drift",
+      bs.packets == c.processed &&
+          bs.outputs + bs.drops + bs.to_controller == bs.packets,
+      "backend packets=" + u64s(bs.packets) + " (outputs=" + u64s(bs.outputs) +
+          " drops=" + u64s(bs.drops) + " pins=" + u64s(bs.to_controller) +
+          ") runtime processed=" + u64s(c.processed));
+
+  if (!opts.floor_file.empty())
+    rep.checks.push_back(check_latency_floor(opts.floor_file, rep.latency_ns));
+
+  // Un-plant the faults so destructors run over clean state.
+  if (leaked != nullptr) rt.pool().free(leaked);
+  if (phantom != nullptr) {
+    rt.backend().unregister_worker(phantom);
+    rt.backend().datapath().reclaim();
+  }
+  return rep;
+}
+
+std::string SoakReport::to_json() const {
+  Json doc = Json::object();
+  doc.set("schema", Json::string(kSoakSchemaId));
+  doc.set("packets", Json::number(static_cast<double>(packets)));
+  doc.set("seconds", Json::number(seconds));
+  doc.set("pps", Json::number(pps));
+  doc.set("churn_mods", Json::number(static_cast<double>(churn_mods)));
+  doc.set("checkpoints", Json::number(static_cast<double>(checkpoints)));
+  Json lat = Json::object();
+  lat.set("p50", Json::number(latency_ns.p50));
+  lat.set("p90", Json::number(latency_ns.p90));
+  lat.set("p99", Json::number(latency_ns.p99));
+  lat.set("p999", Json::number(latency_ns.p999));
+  lat.set("max", Json::number(latency_ns.max));
+  lat.set("samples", Json::number(static_cast<double>(latency_ns.samples)));
+  doc.set("latency_ns", std::move(lat));
+  Json arr = Json::array();
+  for (const SoakCheck& c : checks) {
+    Json jc = Json::object();
+    jc.set("name", Json::string(c.name));
+    jc.set("ok", Json::boolean(c.ok));
+    jc.set("detail", Json::string(c.detail));
+    arr.push_back(std::move(jc));
+  }
+  doc.set("checks", std::move(arr));
+  doc.set("ok", Json::boolean(ok()));
+  return doc.dump();
+}
+
+}  // namespace esw::perf

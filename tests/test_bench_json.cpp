@@ -186,5 +186,156 @@ TEST(BenchReport, RejectsNonBenchmarkInput) {
                    .has_value());
 }
 
+// ---------- latency_ns block (additive schema extension) ---------------------
+
+std::map<std::string, double> full_latency_block() {
+  return {{"p50", 100.0}, {"p90", 200.0}, {"p99", 400.0},
+          {"p999", 900.0}, {"max", 2500.0}};
+}
+
+TEST(BenchReport, LatencyBlockRoundTrips) {
+  BenchReport r = sample_report();
+  r.series[0].points[0].latency_ns = full_latency_block();
+  const auto parsed = report_from_json(report_to_json(r));
+  ASSERT_TRUE(parsed.has_value());
+  const BenchPoint& p = parsed->series[0].points[0];
+  ASSERT_EQ(p.latency_ns.size(), 5u);
+  EXPECT_DOUBLE_EQ(p.latency_ns.at("p999"), 900.0);
+  EXPECT_DOUBLE_EQ(p.latency_ns.at("max"), 2500.0);
+  // The block is optional: a point without one parses back without one.
+  EXPECT_TRUE(parsed->series[0].points[1].latency_ns.empty());
+}
+
+TEST(BenchReport, DigestLiftsLatencyCountersIntoBlock) {
+  const char* gb = R"({
+    "context": {"date": "2026-08-08"},
+    "benchmarks": [
+      {"name": "BM_Fig16_Latency/flows:10/es:1", "run_type": "iteration",
+       "iterations": 1, "real_time": 1.0e6, "time_unit": "ns",
+       "pps": 3.0e6, "latency_ns_p50": 110.0, "latency_ns_p90": 210.0,
+       "latency_ns_p99": 410.0, "latency_ns_p999": 910.0,
+       "latency_ns_max": 5000.0, "latency_samples": 123456.0}
+    ]
+  })";
+  const auto r = report_from_google_benchmark(gb, "fig16", "latency", "sha");
+  ASSERT_TRUE(r.has_value());
+  const BenchPoint& p = r->series[0].points[0];
+  // Lifted into the structured block...
+  ASSERT_EQ(p.latency_ns.size(), 5u);
+  EXPECT_DOUBLE_EQ(p.latency_ns.at("p50"), 110.0);
+  EXPECT_DOUBLE_EQ(p.latency_ns.at("p999"), 910.0);
+  // ...while the flat counters stay (additive schema: nothing removed).
+  EXPECT_DOUBLE_EQ(p.counters.at("latency_ns_p999"), 910.0);
+  EXPECT_DOUBLE_EQ(p.counters.at("latency_samples"), 123456.0);
+  // And the lifted block survives the stable-schema round trip.
+  const auto r2 = report_from_json(report_to_json(*r));
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_DOUBLE_EQ(r2->series[0].points[0].latency_ns.at("max"), 5000.0);
+}
+
+// ---------- validate_report (the `run_all --check` contracts) ----------------
+
+TEST(ValidateReport, AcceptsCleanReportAndLatencyBlock) {
+  BenchReport r = sample_report();
+  r.series[0].points[0].counters["trace"] = 0;
+  r.series[0].points[1].counters["trace"] = 1;
+  r.series[0].points[0].latency_ns = full_latency_block();
+  EXPECT_TRUE(validate_report(r).empty());
+}
+
+TEST(ValidateReport, RejectsIncompleteLatencyBlock) {
+  BenchReport r = sample_report();
+  r.figure = "fig16";  // not trace-gated; isolates the latency contract
+  r.series[0].points[0].latency_ns = full_latency_block();
+  r.series[0].points[0].latency_ns.erase("p999");
+  const auto errs = validate_report(r);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NE(errs[0].find("p999"), std::string::npos);
+}
+
+TEST(ValidateReport, RejectsNonMonotoneLatencyBlock) {
+  BenchReport r = sample_report();
+  r.figure = "fig16";
+  r.series[0].points[0].latency_ns = full_latency_block();
+  r.series[0].points[0].latency_ns["p99"] = 150.0;  // below p90
+  const auto errs = validate_report(r);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NE(errs[0].find("non-monotone"), std::string::npos);
+}
+
+TEST(ValidateReport, RejectsFlatCountersWithoutBlock) {
+  // A digester that drops the block while the flat counters exist would
+  // silently lose the percentile data downstream.
+  BenchReport r = sample_report();
+  r.figure = "fig16";
+  r.series[0].points[0].counters["latency_ns_p50"] = 100.0;
+  const auto errs = validate_report(r);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NE(errs[0].find("block missing"), std::string::npos);
+}
+
+BenchReport fig19_report() {
+  BenchReport r;
+  r.figure = "fig19";
+  r.title = "multicore";
+  r.git_sha = "sha";
+  BenchSeries s;
+  s.name = "BM_Fig19_MultiCore";
+  BenchPoint p;
+  p.label = "workers:2/flows:100/es:1/churn:1";
+  p.pps = 10e6;
+  p.counters = {{"threads", 2}, {"pps_w0", 5e6}, {"pps_w1", 5e6}};
+  p.latency_ns = full_latency_block();
+  s.points = {p};
+  r.series = {s};
+  return r;
+}
+
+TEST(ValidateReport, AcceptsWellFormedFig19) {
+  EXPECT_TRUE(validate_report(fig19_report()).empty());
+}
+
+TEST(ValidateReport, RejectsFig19MissingWorkerRate) {
+  BenchReport r = fig19_report();
+  r.series[0].points[0].counters.erase("pps_w1");
+  const auto errs = validate_report(r);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NE(errs[0].find("pps_w1"), std::string::npos);
+}
+
+TEST(ValidateReport, RejectsFig19WorkerSumMismatch) {
+  BenchReport r = fig19_report();
+  r.series[0].points[0].counters["pps_w1"] = 1e6;  // sum 6e6 vs aggregate 10e6
+  const auto errs = validate_report(r);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NE(errs[0].find("aggregate"), std::string::npos);
+}
+
+TEST(ValidateReport, RejectsFig19ChurnPointWithoutLatency) {
+  BenchReport r = fig19_report();
+  r.series[0].points[0].latency_ns.clear();
+  const auto errs = validate_report(r);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NE(errs[0].find("latency_ns"), std::string::npos);
+  // The same point without churn is fine: the block is only required where
+  // tail-under-update-load is the figure's claim.
+  r.series[0].points[0].label = "workers:2/flows:100/es:1/churn:0";
+  EXPECT_TRUE(validate_report(r).empty());
+}
+
+TEST(ValidateReport, RejectsMissingTraceMarker) {
+  BenchReport r = sample_report();  // fig10
+  r.series[0].points[0].counters["trace"] = 0;
+  // points[1] carries no trace counter at all
+  auto errs = validate_report(r);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NE(errs[0].find("trace"), std::string::npos);
+  // A non-0/1 marker is rejected too.
+  r.series[0].points[1].counters["trace"] = 2;
+  errs = validate_report(r);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NE(errs[0].find("0 or 1"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace esw::perf

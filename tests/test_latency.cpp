@@ -1,0 +1,294 @@
+// perf/latency.hpp — the HDR-style histogram behind every latency percentile
+// this repo reports.  The load-bearing property: for any recorded
+// distribution, value_at_percentile() stays within the quantization budget of
+// the exact sorted-sample answer, so a reported p99.9 is trustworthy to ~1%.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/tsc.hpp"
+#include "perf/latency.hpp"
+
+namespace {
+
+using esw::Rng;
+using esw::perf::LatencyHistogram;
+using esw::perf::LatencyPercentiles;
+
+// ---------------------------------------------------------------------------
+// Bucket geometry
+// ---------------------------------------------------------------------------
+
+TEST(LatencyBuckets, LinearRegionIsExact) {
+  // Below kSubCount every value gets its own bucket and represents itself.
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{17},
+                     LatencyHistogram::kSubCount - 1}) {
+    EXPECT_EQ(LatencyHistogram::bucket_index(v), v);
+    EXPECT_EQ(LatencyHistogram::bucket_value(LatencyHistogram::bucket_index(v)), v);
+  }
+}
+
+TEST(LatencyBuckets, IndexIsMonotoneAcrossBoundaries) {
+  // Indexes never decrease as values grow, and octave boundaries (powers of
+  // two and their neighbors) land in strictly ordered buckets.
+  size_t prev = 0;
+  uint64_t prev_v = 0;
+  for (uint32_t e = 0; e <= LatencyHistogram::kMaxExp; ++e) {
+    for (const int64_t off : {-1, 0, 1}) {
+      const int64_t sv = (int64_t{1} << e) + off;
+      // Small octaves overlap (2^1 - 1 == 2^0 + 1); only compare when the
+      // probe value actually grew.
+      if (sv < 0 || static_cast<uint64_t>(sv) <= prev_v) continue;
+      const uint64_t v = static_cast<uint64_t>(sv);
+      const size_t idx = LatencyHistogram::bucket_index(v);
+      EXPECT_GE(idx, prev) << "value " << v;
+      prev = idx;
+      prev_v = v;
+      EXPECT_LT(idx, LatencyHistogram::kNumBuckets);
+    }
+  }
+}
+
+TEST(LatencyBuckets, RepresentativeStaysInBucket) {
+  // The representative of a value's bucket is within the log-bucket width
+  // (value/128) of the value, for values across the whole tracked range.
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = rng.range(1, LatencyHistogram::kMaxTrackable);
+    const uint64_t rep =
+        LatencyHistogram::bucket_value(LatencyHistogram::bucket_index(v));
+    const double err = std::abs(static_cast<double>(rep) - static_cast<double>(v));
+    EXPECT_LE(err, static_cast<double>(v) / 128.0 + 1.0)
+        << "value " << v << " rep " << rep;
+  }
+}
+
+TEST(LatencyBuckets, SaturationAboveMaxTrackable) {
+  EXPECT_EQ(LatencyHistogram::bucket_index(LatencyHistogram::kMaxTrackable + 1),
+            LatencyHistogram::kOverflowBucket);
+  EXPECT_EQ(LatencyHistogram::bucket_index(UINT64_MAX),
+            LatencyHistogram::kOverflowBucket);
+
+  LatencyHistogram h;
+  h.record(LatencyHistogram::kMaxTrackable + 12345);
+  EXPECT_EQ(h.bucket_count(LatencyHistogram::kOverflowBucket), 1u);
+  // The percentile saturates at kMaxTrackable but max() stays exact.
+  EXPECT_EQ(h.value_at_percentile(50), LatencyHistogram::kMaxTrackable + 12345);
+  EXPECT_EQ(h.max(), LatencyHistogram::kMaxTrackable + 12345);
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate inputs
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogramTest, EmptyIsAllZero) {
+  const LatencyHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.value_at_percentile(50), 0u);
+  const LatencyPercentiles p = h.percentiles();
+  EXPECT_EQ(p.samples, 0u);
+  EXPECT_EQ(p.p999, 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleSampleIsEveryPercentile) {
+  LatencyHistogram h;
+  h.record(7777);
+  EXPECT_EQ(h.count(), 1u);
+  for (const double pct : {0.0, 1.0, 50.0, 99.0, 99.9, 100.0})
+    EXPECT_EQ(h.value_at_percentile(pct), 7777u) << pct;
+  EXPECT_EQ(h.min(), 7777u);
+  EXPECT_EQ(h.max(), 7777u);
+  EXPECT_EQ(h.mean(), 7777.0);
+}
+
+TEST(LatencyHistogramTest, RecordNWeightsLikeNRecords) {
+  LatencyHistogram a, b;
+  a.record_n(500, 32);
+  a.record_n(0, 3);
+  for (int i = 0; i < 32; ++i) b.record(500);
+  for (int i = 0; i < 3; ++i) b.record(0);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());
+  for (const double pct : {10.0, 50.0, 99.0})
+    EXPECT_EQ(a.value_at_percentile(pct), b.value_at_percentile(pct)) << pct;
+}
+
+TEST(LatencyHistogramTest, ClearResets) {
+  LatencyHistogram h;
+  h.record(123);
+  h.record(456789);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.value_at_percentile(99), 0u);
+  h.record(42);  // usable again after clear
+  EXPECT_EQ(h.value_at_percentile(50), 42u);
+}
+
+// ---------------------------------------------------------------------------
+// Percentile accuracy vs the exact sorted-sample reference
+// ---------------------------------------------------------------------------
+
+/// Records `samples` and asserts every interesting percentile is within
+/// `rel_budget` of the exact order statistic (plus one bucket of slack at the
+/// tiny end where the integer grid dominates).
+void check_against_reference(std::vector<uint64_t> samples, double rel_budget) {
+  LatencyHistogram h;
+  for (const uint64_t s : samples) h.record(s);
+  std::sort(samples.begin(), samples.end());
+  for (const double pct : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0}) {
+    // Same rank convention as the histogram: sample of rank ceil(pct% * n).
+    size_t rank = static_cast<size_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(samples.size())));
+    rank = std::min(std::max<size_t>(rank, 1), samples.size());
+    const double exact = static_cast<double>(samples[rank - 1]);
+    const double got = static_cast<double>(h.value_at_percentile(pct));
+    EXPECT_NEAR(got, exact, exact * rel_budget + 1.0)
+        << "p" << pct << " exact=" << exact << " got=" << got;
+  }
+}
+
+TEST(LatencyAccuracy, Uniform) {
+  Rng rng(1);
+  std::vector<uint64_t> s;
+  s.reserve(200000);
+  for (int i = 0; i < 200000; ++i) s.push_back(rng.range(50, 5000));
+  check_against_reference(std::move(s), 0.01);
+}
+
+TEST(LatencyAccuracy, LogNormal) {
+  // The realistic latency shape: tight body, heavy tail over ~4 octaves.
+  Rng rng(2);
+  std::vector<uint64_t> s;
+  s.reserve(200000);
+  for (int i = 0; i < 200000; ++i) {
+    // Box-Muller from two uniforms; exp() gives the log-normal.
+    const double u1 = rng.uniform01(), u2 = rng.uniform01();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1 + 1e-12)) * std::cos(6.283185307179586 * u2);
+    s.push_back(static_cast<uint64_t>(std::exp(7.0 + 0.8 * z)) + 1);
+  }
+  check_against_reference(std::move(s), 0.01);
+}
+
+TEST(LatencyAccuracy, Bimodal) {
+  // Fast path vs slow path: 95% around 300 cycles, 5% around 40k cycles —
+  // the shape where a mean is a lie and p99/p99.9 is the story.
+  Rng rng(3);
+  std::vector<uint64_t> s;
+  s.reserve(200000);
+  for (int i = 0; i < 200000; ++i) {
+    if (rng.chance(95, 100))
+      s.push_back(rng.range(250, 350));
+    else
+      s.push_back(rng.range(30000, 50000));
+  }
+  check_against_reference(std::move(s), 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// Merge
+// ---------------------------------------------------------------------------
+
+TEST(LatencyMerge, MergeEqualsSingleRecorder) {
+  // Shard a stream across 4 histograms (the per-worker shape), merge, and
+  // compare every percentile against one histogram that saw everything.
+  Rng rng(4);
+  LatencyHistogram whole;
+  LatencyHistogram shard[4];
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t v = rng.range(1, 1u << 20);
+    whole.record(v);
+    shard[i % 4].record(v);
+  }
+  LatencyHistogram merged;
+  for (auto& s : shard) merged.merge(s);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_EQ(merged.min(), whole.min());
+  EXPECT_EQ(merged.max(), whole.max());
+  EXPECT_EQ(merged.mean(), whole.mean());
+  for (const double pct : {50.0, 90.0, 99.0, 99.9})
+    EXPECT_EQ(merged.value_at_percentile(pct), whole.value_at_percentile(pct));
+}
+
+TEST(LatencyMerge, Associative) {
+  Rng rng(5);
+  LatencyHistogram a, b, c;
+  for (int i = 0; i < 5000; ++i) {
+    a.record(rng.range(1, 1000));
+    b.record(rng.range(1000, 100000));
+    c.record(rng.range(1, 1u << 30));
+  }
+  // (a + b) + c  ==  a + (b + c)
+  LatencyHistogram ab = a;
+  ab.merge(b);
+  LatencyHistogram abc1 = ab;
+  abc1.merge(c);
+  LatencyHistogram bc = b;
+  bc.merge(c);
+  LatencyHistogram abc2 = a;
+  abc2.merge(bc);
+  EXPECT_EQ(abc1.count(), abc2.count());
+  EXPECT_EQ(abc1.mean(), abc2.mean());
+  for (const double pct : {50.0, 99.0, 99.9, 100.0})
+    EXPECT_EQ(abc1.value_at_percentile(pct), abc2.value_at_percentile(pct));
+  for (size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i)
+    ASSERT_EQ(abc1.bucket_count(i), abc2.bucket_count(i)) << i;
+}
+
+TEST(LatencyMerge, MergingEmptyIsIdentity) {
+  LatencyHistogram h, empty;
+  h.record(99);
+  h.merge(empty);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 99u);  // an empty min() must not clobber a real one
+  EXPECT_EQ(h.max(), 99u);
+}
+
+// ---------------------------------------------------------------------------
+// Time sources
+// ---------------------------------------------------------------------------
+
+TEST(Tsc, SerializedReadIsMonotone) {
+  // 1M back-to-back serialized reads: never decreasing, and the pair around
+  // any gap stays sane.  Plain rdtsc can reorder; rdtscp+lfence must not.
+  uint64_t prev = esw::rdtsc_serialized();
+  for (int i = 0; i < 1000000; ++i) {
+    const uint64_t now = esw::rdtsc_serialized();
+    ASSERT_GE(now, prev) << "at read " << i;
+    prev = now;
+  }
+}
+
+TEST(Tsc, CyclesToNsCalibrationSane) {
+  // The calibrated frequency is in a plausible range (0.5-6 GHz on x86;
+  // ~1 "GHz" on the steady_clock fallback), and the conversion inverts it.
+  const double ghz = esw::tsc_ghz();
+  EXPECT_GT(ghz, 0.1);
+  EXPECT_LT(ghz, 10.0);
+  EXPECT_NEAR(esw::perf::cycles_to_ns(1000.0), 1000.0 / ghz, 1e-9);
+  // One second of cycles converts to ~1e9 ns.
+  EXPECT_NEAR(esw::perf::cycles_to_ns(ghz * 1e9), 1e9, 1.0);
+}
+
+TEST(Tsc, SerializedAgreesWithWallClock) {
+  // A 20ms sleep measured with serialized reads lands within 50% of wall
+  // time — generous, but catches a broken calibration or a wild TSC.
+  const auto t0 = std::chrono::steady_clock::now();
+  const uint64_t c0 = esw::rdtsc_serialized();
+  while (std::chrono::steady_clock::now() - t0 < std::chrono::milliseconds(20)) {
+  }
+  const uint64_t c1 = esw::rdtsc_serialized();
+  const double ns = esw::perf::cycles_to_ns(static_cast<double>(c1 - c0));
+  EXPECT_GT(ns, 10e6);
+  EXPECT_LT(ns, 60e6);
+}
+
+}  // namespace

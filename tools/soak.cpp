@@ -1,0 +1,133 @@
+// soak — long-haul runner over the multicore runtime (CI nightly mode).
+//
+//   soak [--packets N] [--seconds S] [--workers N] [--flows N] [--prefixes N]
+//        [--churn MODS_PER_S] [--trace FILE.pcap] [--floor FILE.json]
+//        [--report FILE.json] [--fault NAME]
+//       Replays generated (or captured) traffic through SwitchRuntime<Eswitch>
+//       under continuous LPM churn until the packet or time budget is spent,
+//       then audits conservation, leak, drift and latency-floor invariants
+//       (see perf/soak.hpp).  Exit 0 = every check passed; exit 1 = at least
+//       one violation (the report names it).
+//
+//   --fault leak-buffer|stuck-worker|counter-drift plants a deliberate defect
+//       so the harness's own tests can prove each check fires.
+//
+// Every knob is also an env var (ESW_SOAK_PACKETS, ESW_SOAK_SECONDS,
+// ESW_SOAK_WORKERS, ESW_SOAK_FLOWS, ESW_SOAK_PREFIXES, ESW_SOAK_CHURN) so CI
+// legs scale the run without flag plumbing — same pattern as ESW_DIFF_*.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "perf/soak.hpp"
+
+namespace {
+
+using esw::perf::SoakOptions;
+using esw::perf::SoakReport;
+
+uint64_t env_u64(const char* name, uint64_t fallback) {
+  const char* s = std::getenv(name);
+  return s != nullptr && *s != '\0' ? std::strtoull(s, nullptr, 0) : fallback;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: soak [--packets N] [--seconds S] [--workers N]\n"
+               "            [--flows N] [--prefixes N] [--churn MODS_PER_S]\n"
+               "            [--trace FILE.pcap] [--floor FILE.json]\n"
+               "            [--report FILE.json] [--fault NAME] [--seed S]\n");
+}
+
+bool parse_args(int argc, char** argv, SoakOptions* o, std::string* report_path) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    const char* v;
+    if (arg == "--packets" && (v = next())) {
+      o->target_packets = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--seconds" && (v = next())) {
+      o->max_seconds = std::atof(v);
+    } else if (arg == "--workers" && (v = next())) {
+      o->workers = static_cast<uint32_t>(std::strtoul(v, nullptr, 0));
+    } else if (arg == "--flows" && (v = next())) {
+      o->n_flows = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--prefixes" && (v = next())) {
+      o->n_prefixes = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--churn" && (v = next())) {
+      o->churn_rate = std::atof(v);
+    } else if (arg == "--trace" && (v = next())) {
+      o->trace_pcap = v;
+    } else if (arg == "--floor" && (v = next())) {
+      o->floor_file = v;
+    } else if (arg == "--report" && (v = next())) {
+      *report_path = v;
+    } else if (arg == "--seed" && (v = next())) {
+      o->seed = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--fault" && (v = next())) {
+      const auto f = esw::perf::soak_fault_from_name(v);
+      if (!f) {
+        std::fprintf(stderr, "unknown fault: %s\n", v);
+        return false;
+      }
+      o->fault = *f;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SoakOptions opts;
+  // Env defaults first, flags override — the CI legs set the envs.
+  opts.target_packets = env_u64("ESW_SOAK_PACKETS", opts.target_packets);
+  if (const char* s = std::getenv("ESW_SOAK_SECONDS")) opts.max_seconds = std::atof(s);
+  opts.workers = static_cast<uint32_t>(env_u64("ESW_SOAK_WORKERS", opts.workers));
+  opts.n_flows = env_u64("ESW_SOAK_FLOWS", opts.n_flows);
+  opts.n_prefixes = env_u64("ESW_SOAK_PREFIXES", opts.n_prefixes);
+  if (const char* s = std::getenv("ESW_SOAK_CHURN")) opts.churn_rate = std::atof(s);
+
+  std::string report_path;
+  if (!parse_args(argc, argv, &opts, &report_path)) {
+    usage();
+    return 2;
+  }
+
+  std::printf("[soak] packets=%" PRIu64 " seconds=%.1f workers=%u flows=%zu "
+              "prefixes=%zu churn=%.0f/s%s\n",
+              opts.target_packets, opts.max_seconds, opts.workers, opts.n_flows,
+              opts.n_prefixes, opts.churn_rate,
+              opts.fault == SoakOptions::Fault::kNone ? "" : " [fault planted]");
+  std::fflush(stdout);
+
+  const SoakReport rep = esw::perf::run_soak(opts);
+
+  std::printf("[soak] %" PRIu64 " packets in %.2fs (%.2f Mpps), %" PRIu64
+              " mods, %" PRIu64 " checkpoints\n",
+              rep.packets, rep.seconds, rep.pps / 1e6, rep.churn_mods,
+              rep.checkpoints);
+  std::printf("[soak] latency p50=%.0fns p99=%.0fns p99.9=%.0fns max=%.0fns "
+              "(%" PRIu64 " samples)\n",
+              rep.latency_ns.p50, rep.latency_ns.p99, rep.latency_ns.p999,
+              rep.latency_ns.max, rep.latency_ns.samples);
+  for (const auto& c : rep.checks)
+    std::printf("[soak] %-20s %s  %s\n", c.name.c_str(),
+                c.ok ? "ok  " : "FAIL", c.detail.c_str());
+
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    out << rep.to_json();
+    if (!out) {
+      std::fprintf(stderr, "[soak] cannot write report %s\n", report_path.c_str());
+      return 2;
+    }
+    std::printf("[soak] wrote %s\n", report_path.c_str());
+  }
+  return rep.ok() ? 0 : 1;
+}
