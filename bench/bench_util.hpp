@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <functional>
 
+#include "common/failpoint.hpp"
 #include "core/eswitch.hpp"
 #include "netio/nfpa.hpp"
 #include "netio/pcap.hpp"
@@ -116,10 +117,13 @@ net::RunStats measure_switch_burst(Switch& sw, const net::TrafficSet& ts,
 /// backend rides the identical harness — the unified-interface contract.
 template <core::Dataplane Switch, typename Cfg>
 net::RunStats run_throughput_point(const uc::UseCase& uc, const net::TrafficSet& ts,
-                                   size_t n_flows, const Cfg& cfg) {
+                                   size_t n_flows, const Cfg& cfg,
+                                   core::DataplaneStats* stats_out = nullptr) {
   Switch sw(cfg);
   sw.install(uc.pipeline);
-  return measure_switch_burst(sw, ts, n_flows);
+  const net::RunStats st = measure_switch_burst(sw, ts, n_flows);
+  if (stats_out != nullptr) *stats_out = sw.stats();
+  return st;
 }
 
 /// Standard ES-vs-OVS throughput point for a use case (burst datapath).
@@ -137,11 +141,21 @@ inline void throughput_point(benchmark::State& state, const uc::UseCase& uc,
       trace.active ? net::TrafficSet{} : net::TrafficSet::from_flows(uc.traffic(n_flows, 42));
   const net::TrafficSet& ts = trace.active ? trace.ts : generated;
   for (auto _ : state) {
+    core::DataplaneStats ds{};
     const net::RunStats st =
-        use_eswitch ? run_throughput_point<core::Eswitch>(uc, ts, n_flows, cfg)
-                    : run_throughput_point<ovs::OvsSwitch>(uc, ts, n_flows, ocfg);
+        use_eswitch ? run_throughput_point<core::Eswitch>(uc, ts, n_flows, cfg, &ds)
+                    : run_throughput_point<ovs::OvsSwitch>(uc, ts, n_flows, ocfg, &ds);
     state.counters["pps"] = st.pps;
     state.counters["cycles_per_pkt"] = st.cycles_per_pkt;
+    // Degradation counters ride every point; on chaos legs (any failpoint
+    // armed, e.g. via ESW_FAILPOINTS) the point is marked chaos=1 and the
+    // esw-bench-v1 validator requires this block to be present.
+    state.counters["chaos"] = common::FailpointRegistry::any_armed() ? 1 : 0;
+    state.counters["pool_exhausted"] = static_cast<double>(ds.pool_exhausted);
+    state.counters["jit_fallbacks"] = static_cast<double>(ds.jit_fallbacks);
+    state.counters["mods_refused_table_full"] =
+        static_cast<double>(ds.mods_refused_table_full);
+    state.counters["backpressure_events"] = static_cast<double>(ds.backpressure_events);
     // Schema marker (`run_all --check` gates it on fig10/fig11): which input
     // fed this point — 1 = pcap trace, 0 = generated traffic.
     state.counters["trace"] = trace.active ? 1 : 0;

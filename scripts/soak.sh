@@ -8,6 +8,9 @@
 #   PACKETS_BUDGET=1000000 scripts/soak.sh
 #   SANITIZE=1 scripts/soak.sh               # ASan+UBSan leg (reduce the budget)
 #   scripts/soak.sh --trace capture.pcap     # replay a capture instead
+#   scripts/soak.sh --chaos                  # rotate the failpoint schedule and
+#                                            # audit graceful degradation
+#                                            # (docs/ROBUSTNESS.md)
 #
 # Env:
 #   BUILD_DIR       build directory     (default: build-soak; -asan suffix

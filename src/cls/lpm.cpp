@@ -2,6 +2,7 @@
 
 #include "common/bits.hpp"
 #include "common/check.hpp"
+#include "common/failpoint.hpp"
 
 namespace esw::cls {
 
@@ -23,6 +24,9 @@ LpmTable::LpmTable(uint32_t max_tbl8_groups)
 }
 
 uint32_t LpmTable::alloc_tbl8(uint32_t fill_entry) {
+  // Injectable exhaustion: same throw as a genuinely spent budget, so the
+  // try_add -> rebuild and build -> template-fallback paths are reachable.
+  ESW_CHECK_MSG(!ESW_FAILPOINT("lpm.tbl8"), "out of tbl8 groups");
   uint32_t group;
   if (!free_tbl8_.empty()) {
     group = free_tbl8_.back();

@@ -17,6 +17,15 @@ class CheckError : public std::logic_error {
   explicit CheckError(const std::string& what) : std::logic_error(what) {}
 };
 
+/// A flow-mod refused because the target table is at its configured capacity
+/// (CompilerConfig::table_capacity).  Derives from CheckError so generic
+/// refusal handling keeps working; the OpenFlow agent maps it specifically to
+/// OFPET_FLOW_MOD_FAILED / OFPFMFC_TABLE_FULL with the session left open.
+class TableFullError : public CheckError {
+ public:
+  using CheckError::CheckError;
+};
+
 namespace detail {
 [[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
                                       const std::string& msg) {

@@ -37,6 +37,19 @@ struct CompilerConfig {
   /// Enable the range extension template (binary search over flattened
   /// intervals) for single-field tables LPM cannot take.
   bool enable_range_template = true;
+  /// Per-logical-table entry cap on the flow-mod path (0 = unbounded).  An
+  /// add that would grow a table past this refuses with TableFullError —
+  /// surfaced over OpenFlow as OFPFMFC_TABLE_FULL — instead of growing
+  /// without bound.  Replacing an existing (match, priority) entry is always
+  /// allowed; install() is not subject to the cap (it is the operator's
+  /// wholesale program load, not controller churn).
+  uint32_t table_capacity = 0;
+  /// Re-JIT retry pacing after a direct-code table degrades to the
+  /// interpreter (exec mapping refused): first retry after this many
+  /// flow-mod updates, doubling per failed attempt up to the max.  0
+  /// disables retries.
+  uint32_t jit_retry_base_updates = 64;
+  uint32_t jit_retry_max_updates = 4096;
 };
 
 /// Analysis input: (match, priority) pairs in priority-descending order —

@@ -4,6 +4,7 @@
 
 #include "common/bits.hpp"
 #include "common/check.hpp"
+#include "common/failpoint.hpp"
 
 namespace esw::core {
 
@@ -154,6 +155,9 @@ size_t HashTemplateTable::memory_bytes() const {
 }
 
 bool HashTemplateTable::try_add(const FlowEntry& e, BuildCtx& ctx) {
+  // Injectable insert refusal: false is the template's normal "I cannot take
+  // this incrementally" answer, so the caller rebuilds — never crashes.
+  if (ESW_FAILPOINT("hash.insert")) return false;
   if (e.match.is_catch_all()) {
     if (e.priority >= min_specific_priority_) return false;
     const BuildEntry be{e.match, e.priority, e.actions, e.goto_table, -1};
@@ -412,6 +416,9 @@ size_t LinkedListTable::memory_bytes() const {
 }
 
 bool LinkedListTable::try_add(const FlowEntry& e, BuildCtx& ctx) {
+  // Injectable refusal (tuple-space shape); deliberately absent from build(),
+  // which must stay the infallible last resort of the fallback chain.
+  if (ESW_FAILPOINT("tuple.insert")) return false;
   // Flow-mod replace semantics: an identical (match, priority) entry is
   // superseded, not duplicated.
   try_remove(e.match, e.priority);

@@ -8,7 +8,8 @@ using flow::FieldId;
 
 std::unique_ptr<CompiledTable> build_table_impl(const std::vector<BuildEntry>& entries,
                                                 const CompilerConfig& cfg, BuildCtx& ctx,
-                                                TableTemplate* chosen_out) {
+                                                TableTemplate* chosen_out,
+                                                bool* fell_back) {
   AnalysisResult ar = analyze_entries(entries, cfg);
 
   // A forced template only sticks when its prerequisite actually holds.
@@ -34,22 +35,33 @@ std::unique_ptr<CompiledTable> build_table_impl(const std::vector<BuildEntry>& e
   }
 
   std::unique_ptr<CompiledTable> impl;
-  switch (ar.chosen) {
-    case TableTemplate::kDirectCode:
-      impl = DirectCodeTable::build(entries, ctx, cfg.enable_jit);
-      break;
-    case TableTemplate::kCompoundHash:
-      impl = HashTemplateTable::build(entries, mask_template, ctx);
-      break;
-    case TableTemplate::kLpm:
-      impl = LpmTemplateTable::build(entries, lpm_field, ctx, cfg.lpm_max_tbl8_groups);
-      break;
-    case TableTemplate::kRange:
-      impl = RangeTemplateTable::build(entries, range_field, ctx);
-      break;
-    case TableTemplate::kLinkedList:
-      impl = LinkedListTable::build(entries, ctx);
-      break;
+  try {
+    switch (ar.chosen) {
+      case TableTemplate::kDirectCode:
+        impl = DirectCodeTable::build(entries, ctx, cfg.enable_jit);
+        break;
+      case TableTemplate::kCompoundHash:
+        impl = HashTemplateTable::build(entries, mask_template, ctx);
+        break;
+      case TableTemplate::kLpm:
+        impl = LpmTemplateTable::build(entries, lpm_field, ctx, cfg.lpm_max_tbl8_groups);
+        break;
+      case TableTemplate::kRange:
+        impl = RangeTemplateTable::build(entries, range_field, ctx);
+        break;
+      case TableTemplate::kLinkedList:
+        impl = LinkedListTable::build(entries, ctx);
+        break;
+    }
+  } catch (const CheckError&) {
+    // A specialized build ran out of its resource (tbl8 budget, result-table
+    // overflow).  The linked-list template has no such budgets — take the
+    // bottom of Fig. 4's chain instead of aborting the update.  A genuine
+    // linked-list build failure is a programming error and propagates.
+    if (ar.chosen == TableTemplate::kLinkedList) throw;
+    ar.chosen = TableTemplate::kLinkedList;
+    impl = LinkedListTable::build(entries, ctx);
+    if (fell_back != nullptr) *fell_back = true;
   }
   if (chosen_out != nullptr) *chosen_out = ar.chosen;
   return impl;

@@ -12,10 +12,14 @@ namespace esw::core {
 
 /// Builds the implementation for one table's entries according to analysis
 /// (honoring cfg.force_template when its prerequisite holds).  Reports the
-/// chosen template via `chosen_out` when non-null.
+/// chosen template via `chosen_out` when non-null.  A specialized build that
+/// exhausts its resource budget (tbl8 groups, LPM result slots) degrades to
+/// the linked-list template — the infallible bottom of Fig. 4's fallback
+/// chain — and sets *fell_back; only a linked-list build failure propagates.
 std::unique_ptr<CompiledTable> build_table_impl(const std::vector<BuildEntry>& entries,
                                                 const CompilerConfig& cfg, BuildCtx& ctx,
-                                                TableTemplate* chosen_out = nullptr);
+                                                TableTemplate* chosen_out = nullptr,
+                                                bool* fell_back = nullptr);
 
 /// The minimal parser plan covering every matched field and every packet-
 /// mutating action in the pipeline — the parser-template specialization of

@@ -5,6 +5,7 @@
 #include "common/bits.hpp"
 #include "common/check.hpp"
 #include "common/counters.hpp"
+#include "common/failpoint.hpp"
 
 namespace esw::core {
 
@@ -100,6 +101,10 @@ void CompiledDatapath::recycle_slot(int32_t slot) {
 }
 
 uint64_t CompiledDatapath::reclaim() {
+  // Injectable stall: skip this pass as if no grace period had elapsed.
+  // Retirements stay pending (bounded growth, audited by the soak's reclaim
+  // check) until a later pass runs with the point disarmed.
+  if (ESW_FAILPOINT("epoch.reclaim")) return 0;
   if (retired_impls_.pending() == 0 && retired_slots_.pending() == 0) return 0;
   const uint64_t horizon = domain_.advance_and_horizon();
   uint64_t n = retired_impls_.reclaim(horizon);

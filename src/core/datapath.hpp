@@ -146,6 +146,16 @@ class CompiledDatapath {
   void unregister_worker(Worker* w);
   bool has_workers() const { return domain_.has_workers(); }
 
+  /// Forces a quiescent tick on a worker's epoch slot from outside its
+  /// thread.  Only legal while the worker provably holds no datapath
+  /// pointers — parked in backpressure, or stalled before its burst snapshot
+  /// — where the worst a racing overwrite can do is re-publish a slightly
+  /// stale epoch, which merely delays reclamation.  This is the watchdog's
+  /// recovery lever for a stuck worker pinning the epoch horizon.
+  void quiesce(Worker& w) {
+    if (w.epoch_ != nullptr) domain_.quiescent(*w.epoch_);
+  }
+
   // --- datapath (readers) ---------------------------------------------------
 
   /// One packet through the compiled pipeline in the owner context.  This is

@@ -27,6 +27,13 @@ struct DataplaneStats {
   uint64_t outputs = 0;
   uint64_t drops = 0;
   uint64_t to_controller = 0;
+  // Degradation counters (additive; zero on backends without the edge).
+  // Every gracefully absorbed fault lands in exactly one of these — the
+  // chaos soak's accounting audits that (docs/ROBUSTNESS.md).
+  uint64_t pool_exhausted = 0;           // buffer alloc failed at the backend
+  uint64_t jit_fallbacks = 0;            // direct-code slots on the interpreter
+  uint64_t mods_refused_table_full = 0;  // adds refused at table_capacity
+  uint64_t backpressure_events = 0;      // RX pauses under pool exhaustion
 };
 
 /// What a switch backend must provide: bulk install, single and transactional

@@ -1,5 +1,6 @@
 #include "core/eswitch.hpp"
 
+#include <algorithm>
 #include <set>
 
 #include "common/check.hpp"
@@ -26,6 +27,7 @@ void Eswitch::compile_all() {
   goto_map_.assign(256, -1);
   decomposed_.fill(false);
   for (auto& v : sub_slots_) v.clear();
+  degraded_jit_.clear();  // a wholesale reprogram owes the old program nothing
 
   // Root slots first so any goto resolves, then table bodies.
   for (const FlowTable& t : pipeline_.tables())
@@ -49,6 +51,13 @@ void Eswitch::rebuild_logical(uint8_t id) {
   std::vector<int32_t> stale_subs = std::move(sub_slots_[id]);
   sub_slots_[id].clear();
   decomposed_[id] = false;
+  bool fell_back = false;
+  bool jit_degraded = false;
+  const auto note_impl = [&](const CompiledTable* impl, TableTemplate kind) {
+    if (kind == TableTemplate::kDirectCode && cfg_.enable_jit &&
+        !static_cast<const DirectCodeTable*>(impl)->jitted())
+      jit_degraded = true;
+  };
 
   if (cfg_.enable_decomposition &&
       analyze_table(*t, cfg_).chosen == TableTemplate::kLinkedList) {
@@ -68,22 +77,72 @@ void Eswitch::rebuild_logical(uint8_t id) {
         for (BuildEntry& e : entries)
           if (e.internal_next >= 0) e.internal_next = slot_of[e.internal_next];
         TableTemplate kind{};
-        auto impl = build_table_impl(entries, cfg_, ctx, &kind);
+        auto impl = build_table_impl(entries, cfg_, ctx, &kind, &fell_back);
+        note_impl(impl.get(), kind);
         dp_.set_impl(slot_of[i], std::move(impl));
         if (i == 0) root_template_[id] = kind;
       }
       decomposed_[id] = true;
       sub_slots_[id].assign(slot_of.begin() + 1, slot_of.end());
       for (const int32_t s : stale_subs) dp_.retire_slot(s);
+      if (fell_back) ++degradation_.template_fallbacks;
+      note_jit_state(id, jit_degraded);
       return;
     }
   }
 
   TableTemplate kind{};
-  auto impl = build_table_impl(to_build_entries(*t), cfg_, ctx, &kind);
+  auto impl = build_table_impl(to_build_entries(*t), cfg_, ctx, &kind, &fell_back);
+  note_impl(impl.get(), kind);
   dp_.set_impl(root, std::move(impl));
   root_template_[id] = kind;
   for (const int32_t s : stale_subs) dp_.retire_slot(s);
+  if (fell_back) ++degradation_.template_fallbacks;
+  note_jit_state(id, jit_degraded);
+}
+
+/// Records whether a rebuild left the logical table on the interpreter when
+/// machine code was wanted, and keeps the re-JIT retry schedule in sync: a
+/// freshly degraded table gets its first retry window; a table that came back
+/// (via retry or ordinary churn) leaves the schedule as a recovery.
+void Eswitch::note_jit_state(uint8_t id, bool degraded) {
+  const auto it = degraded_jit_.find(id);
+  if (degraded) {
+    ++degradation_.jit_fallbacks;
+    if (it == degraded_jit_.end() && cfg_.jit_retry_base_updates > 0)
+      degraded_jit_[id] = {update_seq_ + cfg_.jit_retry_base_updates,
+                          cfg_.jit_retry_base_updates};
+  } else if (it != degraded_jit_.end()) {
+    degraded_jit_.erase(it);
+    ++degradation_.jit_recoveries;
+  }
+}
+
+/// Retries at most one degraded table whose backoff window has elapsed —
+/// bounded work per update, no rebuild storms.  The rebuild itself updates
+/// the schedule through note_jit_state (erases the entry on success).
+void Eswitch::maybe_retry_jit() {
+  if (degraded_jit_.empty()) return;
+  int pick = -1;
+  for (const auto& [id, r] : degraded_jit_) {
+    if (update_seq_ >= r.next_at) {
+      pick = id;
+      break;
+    }
+  }
+  if (pick < 0) return;
+  if (pipeline_.find_table(static_cast<uint8_t>(pick)) == nullptr) {
+    degraded_jit_.erase(static_cast<uint8_t>(pick));
+    return;
+  }
+  ++degradation_.jit_retries;
+  JitRetry& r = degraded_jit_[static_cast<uint8_t>(pick)];
+  r.backoff = std::min<uint64_t>(r.backoff * 2,
+                                 std::max(cfg_.jit_retry_max_updates,
+                                          cfg_.jit_retry_base_updates));
+  r.next_at = update_seq_ + r.backoff;
+  rebuild_logical(static_cast<uint8_t>(pick));
+  refresh_start_and_plan();
 }
 
 void Eswitch::refresh_start_and_plan() {
@@ -105,7 +164,23 @@ void Eswitch::maybe_widen_plan(const FlowEntry& e) {
   }
 }
 
-void Eswitch::apply_to_pipeline(flow::Pipeline& pl, const FlowMod& fm) {
+/// Table-capacity admission control (cfg_.table_capacity, 0 = unbounded):
+/// an add that would grow the table past the cap throws TableFullError
+/// *before* any state mutates — the OpenFlow TABLE_FULL refusal shape.
+/// Replacing an existing (match, priority) entry never grows the table and
+/// is always admitted.
+void Eswitch::check_capacity(const flow::Pipeline& pl, const FlowMod& fm) const {
+  if (cfg_.table_capacity == 0 || fm.command == FlowMod::Cmd::kDelete) return;
+  const FlowTable* t = pl.find_table(fm.table_id);
+  if (t == nullptr || t->size() < cfg_.table_capacity) return;
+  for (const FlowEntry& e : t->entries())
+    if (e.priority == fm.priority && e.match == fm.match) return;
+  throw TableFullError("table " + std::to_string(fm.table_id) +
+                       " at capacity (" + std::to_string(cfg_.table_capacity) +
+                       " entries)");
+}
+
+void Eswitch::apply_to_pipeline(flow::Pipeline& pl, const FlowMod& fm) const {
   switch (fm.command) {
     case FlowMod::Cmd::kAdd:
     case FlowMod::Cmd::kModify: {
@@ -114,6 +189,7 @@ void Eswitch::apply_to_pipeline(flow::Pipeline& pl, const FlowMod& fm) {
         ESW_CHECK_MSG(pl.find_table(static_cast<uint8_t>(fm.goto_table)) != nullptr,
                       "goto_table target does not exist");
       }
+      check_capacity(pl, fm);
       pl.table(fm.table_id).add(flow::entry_from(fm));
       break;
     }
@@ -209,14 +285,27 @@ void Eswitch::apply_one(const FlowMod& fm, CowMap* cow) {
 }
 
 void Eswitch::apply(const FlowMod& fm) {
-  apply_one(fm, nullptr);
+  ++update_seq_;
+  try {
+    apply_one(fm, nullptr);
+  } catch (const TableFullError&) {
+    ++degradation_.mods_refused_table_full;
+    throw;
+  }
+  maybe_retry_jit();
   dp_.reclaim();
 }
 
 void Eswitch::apply_batch(const std::vector<FlowMod>& fms) {
+  ++update_seq_;
   // Validate every mod against a scratch copy: all-or-nothing semantics.
   flow::Pipeline scratch = pipeline_;
-  for (const FlowMod& fm : fms) apply_to_pipeline(scratch, fm);
+  try {
+    for (const FlowMod& fm : fms) apply_to_pipeline(scratch, fm);
+  } catch (const TableFullError&) {
+    ++degradation_.mods_refused_table_full;
+    throw;
+  }
   const auto err = scratch.validate();
   ESW_CHECK_MSG(!err.has_value(), err.value_or(""));
 
@@ -231,6 +320,7 @@ void Eswitch::apply_batch(const std::vector<FlowMod>& fms) {
     dp_.set_impl(goto_map_[table], std::move(impl));
     ++update_stats_.cow_swaps;
   }
+  maybe_retry_jit();
   dp_.reclaim();
 }
 

@@ -89,11 +89,19 @@ class Eswitch {
   /// Unregisters a worker whose thread has finished (joined).
   void unregister_worker(Worker* w) { dp_.unregister_worker(w); }
   bool has_workers() const { return dp_.has_workers(); }
+  /// Forces a quiescent epoch tick for a worker that provably holds no
+  /// datapath pointers (parked in backpressure) — the runtime watchdog's
+  /// recovery lever against a stuck worker pinning the epoch horizon.
+  void quiesce(Worker& w) { dp_.quiesce(w); }
 
-  /// Verdict-level counters in the unified Dataplane shape.
+  /// Verdict-level counters in the unified Dataplane shape, degradation
+  /// counters included.
   DataplaneStats stats() const {
     const CompiledDatapath::Stats s = dp_.stats();
-    return {s.packets, s.outputs, s.drops, s.to_controller};
+    DataplaneStats out{s.packets, s.outputs, s.drops, s.to_controller};
+    out.jit_fallbacks = degradation_.jit_fallbacks;
+    out.mods_refused_table_full = degradation_.mods_refused_table_full;
+    return out;
   }
 
   const flow::Pipeline& pipeline() const { return pipeline_; }
@@ -118,6 +126,20 @@ class Eswitch {
   };
   const UpdateStats& update_stats() const { return update_stats_; }
 
+  /// Graceful-degradation ledger: every absorbed fault is accounted here
+  /// (the chaos soak audits these against the failpoint fire counts).
+  struct DegradationStats {
+    uint64_t jit_fallbacks = 0;    // direct-code builds landing on the interpreter
+    uint64_t jit_retries = 0;      // scheduled re-JIT rebuild attempts
+    uint64_t jit_recoveries = 0;   // degraded tables that regained machine code
+    uint64_t template_fallbacks = 0;  // exhausted builds demoted to linked list
+    uint64_t mods_refused_table_full = 0;  // adds refused at table_capacity
+  };
+  const DegradationStats& degradation_stats() const { return degradation_; }
+  /// Logical tables currently degraded to the interpreter and awaiting a
+  /// re-JIT retry window.
+  size_t degraded_jit_tables() const { return degraded_jit_.size(); }
+
   /// Retire/reclaim counters of the epoch-based reclamation path (the only
   /// reclamation path; the old caller-coordinated collect() is gone).
   CompiledDatapath::ReclaimStats reclaim_stats() const { return dp_.reclaim_stats(); }
@@ -134,7 +156,10 @@ class Eswitch {
   void maybe_widen_plan(const flow::FlowEntry& e);
   void apply_one(const flow::FlowMod& fm, CowMap* cow);
   bool try_incremental(uint8_t table, const flow::FlowMod& fm, CowMap* cow);
-  static void apply_to_pipeline(flow::Pipeline& pl, const flow::FlowMod& fm);
+  void apply_to_pipeline(flow::Pipeline& pl, const flow::FlowMod& fm) const;
+  void check_capacity(const flow::Pipeline& pl, const flow::FlowMod& fm) const;
+  void note_jit_state(uint8_t id, bool degraded);
+  void maybe_retry_jit();
 
   CompilerConfig cfg_;
   flow::Pipeline pipeline_;
@@ -146,6 +171,15 @@ class Eswitch {
   // retired wholesale when the logical table rebuilds.
   std::array<std::vector<int32_t>, 256> sub_slots_{};
   UpdateStats update_stats_;
+  DegradationStats degradation_;
+  /// Re-JIT retry schedule per degraded logical table, in update counts
+  /// (exponential backoff capped at cfg_.jit_retry_max_updates).
+  struct JitRetry {
+    uint64_t next_at = 0;
+    uint64_t backoff = 0;
+  };
+  std::map<uint8_t, JitRetry> degraded_jit_;
+  uint64_t update_seq_ = 0;  // apply()/apply_batch() calls, for retry pacing
 };
 
 static_assert(Dataplane<Eswitch>, "Eswitch must satisfy the unified interface");

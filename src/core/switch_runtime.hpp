@@ -27,6 +27,7 @@
 //     (the slow path by definition).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -34,6 +35,7 @@
 #include <vector>
 
 #include "common/counters.hpp"
+#include "common/failpoint.hpp"
 #include "common/tsc.hpp"
 #include "core/dataplane.hpp"
 #include "netio/mbuf_pool.hpp"
@@ -50,7 +52,9 @@ struct RuntimePacketIn {
 };
 
 /// A backend the multi-worker runtime can drive: the unified Dataplane
-/// surface plus per-worker execution contexts wired to epoch reclamation.
+/// surface plus per-worker execution contexts wired to epoch reclamation
+/// (quiesce() lets the runtime tick a parked worker's epoch slot — the
+/// backpressure and watchdog paths).
 template <typename T>
 concept ConcurrentDataplane =
     Dataplane<T> && requires(T sw, typename T::Worker* w, net::Packet* const* pkts,
@@ -58,6 +62,7 @@ concept ConcurrentDataplane =
       { sw.register_worker() } -> std::same_as<typename T::Worker*>;
       sw.unregister_worker(w);
       sw.process_burst(*w, pkts, n, out);
+      sw.quiesce(*w);
     };
 
 template <ConcurrentDataplane Backend>
@@ -77,6 +82,11 @@ class SwitchRuntime {
     /// serialized reads cost ~2-3x a plain rdtsc per burst, which the pure
     /// throughput benches must not pay.
     bool measure_latency = false;
+    /// Bounded RX backpressure pause when the buffer pool is exhausted: the
+    /// worker ticks its epoch slot, raises its parked flag and sleeps this
+    /// long instead of spinning the source loop into a drop storm.  0 keeps
+    /// the old spin behavior.
+    uint32_t backpressure_pause_us = 50;
   };
 
   /// Verdict-execution counters; one padded block per worker, aggregated on
@@ -92,6 +102,14 @@ class SwitchRuntime {
     uint64_t tx_rejected = 0;
     uint64_t bad_port = 0;
     uint64_t pool_exhausted = 0;
+    uint64_t backpressure_events = 0;  // bounded pauses under pool exhaustion
+  };
+
+  /// One watchdog_scan() pass's findings (cumulative totals in
+  /// watchdog_stalled_total() / watchdog_recovered_total()).
+  struct WatchdogReport {
+    uint32_t stalled = 0;    // workers whose poll counter froze since last scan
+    uint32_t recovered = 0;  // parked workers epoch-ticked on their behalf
   };
 
   /// Per-worker traffic source (bench/generator mode), called on the worker
@@ -246,12 +264,48 @@ class SwitchRuntime {
     return std::exchange(pending_pins_, {});
   }
 
+  /// Control-thread liveness sweep.  A worker whose poll counter has not
+  /// moved since the previous scan is stalled — blocked in a syscall, wedged
+  /// on a failpoint, or descheduled long enough to matter.  A stalled-but-
+  /// parked worker declared itself pointer-free (backpressure pause), so the
+  /// watchdog can safely tick its epoch slot on its behalf and unpin the
+  /// reclamation horizon; that is counted as a recovery.  Call periodically
+  /// (the soak harness does, each checkpoint); the first scan after start()
+  /// only baselines and reports nothing.
+  WatchdogReport watchdog_scan() {
+    WatchdogReport rep;
+    if (!running()) {
+      last_polls_.clear();
+      return rep;
+    }
+    const bool baselined = last_polls_.size() == workers_.size();
+    if (!baselined) last_polls_.assign(workers_.size(), 0);
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      WorkerState& ws = *workers_[i];
+      const uint64_t polls = ws.stats.polls.load(std::memory_order_relaxed);
+      const bool frozen = baselined && polls == last_polls_[i];
+      last_polls_[i] = polls;
+      if (!frozen) continue;
+      ++rep.stalled;
+      if (ws.parked.load(std::memory_order_acquire)) {
+        backend_.quiesce(*ws.ctx);
+        ++rep.recovered;
+      }
+    }
+    watchdog_stalled_ += rep.stalled;
+    watchdog_recovered_ += rep.recovered;
+    return rep;
+  }
+  /// Cumulative watchdog findings across all scans.
+  uint64_t watchdog_stalled_total() const { return watchdog_stalled_; }
+  uint64_t watchdog_recovered_total() const { return watchdog_recovered_; }
+
  private:
   /// Single-writer relaxed counter cell (aggregators read concurrently).
   struct alignas(64) StatBlock {
     std::atomic<uint64_t> polls{0}, processed{0}, source_packets{0}, tx_packets{0},
         flood_copies{0}, drops{0}, packet_ins{0}, tx_rejected{0}, bad_port{0},
-        pool_exhausted{0};
+        pool_exhausted{0}, backpressure_events{0};
   };
 
   struct WorkerState {
@@ -261,6 +315,10 @@ class SwitchRuntime {
     std::vector<uint32_t> owned_ports;
     net::MbufCache cache;
     StatBlock stats;
+    // Raised while the worker provably holds no datapath pointers (bounded
+    // backpressure sleep, or the worker_stall failpoint).  The watchdog may
+    // tick a parked worker's epoch slot on its behalf.
+    std::atomic<bool> parked{false};
     // Single-writer (this worker); merged/read by the control thread.
     perf::LatencyHistogram latency;
     std::thread thread;
@@ -280,12 +338,22 @@ class SwitchRuntime {
     sum.tx_rejected += b.tx_rejected.load(std::memory_order_relaxed);
     sum.bad_port += b.bad_port.load(std::memory_order_relaxed);
     sum.pool_exhausted += b.pool_exhausted.load(std::memory_order_relaxed);
+    sum.backpressure_events += b.backpressure_events.load(std::memory_order_relaxed);
   }
 
   void worker_main(WorkerState& ws) {
     net::Packet* burst[net::kBurstSize];
     flow::Verdict verdicts[net::kBurstSize];
     while (!stop_.load(std::memory_order_acquire)) {
+      if (ESW_FAILPOINT("runtime.worker_stall")) {
+        // A worker wedged mid-loop (blocked syscall, livelock): it parks —
+        // it holds no datapath pointers here — but deliberately does NOT
+        // tick its epoch slot, so only the watchdog's quiesce-on-parked
+        // recovery unpins the reclamation horizon.
+        ws.parked.store(true, std::memory_order_release);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        ws.parked.store(false, std::memory_order_release);
+      }
       bump(ws.stats.polls, 1);
       uint32_t did = 0;
       if (source_ && !ws.owned_ports.empty()) did += pull_source(ws);
@@ -334,6 +402,7 @@ class SwitchRuntime {
     }
     if (got == 0) {
       bump(ws.stats.pool_exhausted, 1);
+      backpressure_pause(ws);
       return 0;
     }
     const uint32_t filled = source_(ws.id, bufs, got);
@@ -342,6 +411,20 @@ class SwitchRuntime {
     for (uint32_t i = accepted; i < got; ++i) ws.cache.free(bufs[i]);
     bump(ws.stats.source_packets, accepted);
     return accepted;
+  }
+
+  /// Bounded RX backpressure: the pool is dry, so spinning the source only
+  /// burns cycles and drops.  Tick the epoch slot first (downstream frees —
+  /// TX sinks, reclamation — are what refill the pool), declare the worker
+  /// parked and sleep briefly.  Parked means "holds no datapath pointers":
+  /// the watchdog may quiesce on our behalf if we wedge here.
+  void backpressure_pause(WorkerState& ws) {
+    if (cfg_.backpressure_pause_us == 0) return;
+    bump(ws.stats.backpressure_events, 1);
+    backend_.quiesce(*ws.ctx);
+    ws.parked.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::microseconds(cfg_.backpressure_pause_us));
+    ws.parked.store(false, std::memory_order_release);
   }
 
   void execute(WorkerState& ws, net::Packet* pkt, const flow::Verdict& v) {
@@ -412,6 +495,9 @@ class SwitchRuntime {
   std::atomic<bool> stop_{false};
   std::mutex pin_mu_;
   std::vector<RuntimePacketIn> pending_pins_;
+  std::vector<uint64_t> last_polls_;  // watchdog baseline (control thread only)
+  uint64_t watchdog_stalled_ = 0;
+  uint64_t watchdog_recovered_ = 0;
 };
 
 }  // namespace esw::core

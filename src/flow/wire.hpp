@@ -214,6 +214,7 @@ inline constexpr uint16_t kErrTypeBadRequest = 1;      // OFPET_BAD_REQUEST
 inline constexpr uint16_t kErrCodeBadType = 1;         // OFPBRC_BAD_TYPE
 inline constexpr uint16_t kErrTypeFlowModFailed = 5;   // OFPET_FLOW_MOD_FAILED
 inline constexpr uint16_t kErrCodeFlowModUnknown = 0;  // OFPFMFC_UNKNOWN
+inline constexpr uint16_t kErrCodeTableFull = 1;       // OFPFMFC_TABLE_FULL
 
 // ---------------------------------------------------------------------------
 // Codec

@@ -2,21 +2,22 @@
 
 #include <sys/mman.h>
 
-#include <atomic>
 #include <cstring>
 
-namespace esw::jit {
+#include "common/failpoint.hpp"
 
-namespace {
-std::atomic<bool> g_force_failure{false};
-}  // namespace
+namespace esw::jit {
 
 void ExecBuffer::force_failure_for_testing(bool fail) {
   // Run the real capability probe before lying: supported() caches its first
   // answer, and a probe under the forced failure would pin it to false for
   // the rest of the process.
-  if (fail) (void)supported();
-  g_force_failure.store(fail, std::memory_order_relaxed);
+  if (fail) {
+    (void)supported();
+    common::FailpointRegistry::instance().arm("jit.exec_map", "always");
+  } else {
+    common::FailpointRegistry::instance().disarm("jit.exec_map");
+  }
 }
 
 ExecBuffer::~ExecBuffer() {
@@ -24,7 +25,14 @@ ExecBuffer::~ExecBuffer() {
 }
 
 bool ExecBuffer::load(const uint8_t* code, size_t size) {
-  if (g_force_failure.load(std::memory_order_relaxed)) return false;
+  // Injectable mapping refusal (the hardened-kernel shape): callers fall back
+  // to the interpreter.  supported()'s probe bypasses this via load_raw so an
+  // armed point cannot pin the capability answer to false.
+  if (ESW_FAILPOINT("jit.exec_map")) return false;
+  return load_raw(code, size);
+}
+
+bool ExecBuffer::load_raw(const uint8_t* code, size_t size) {
   if (mem_ != nullptr) {
     ::munmap(mem_, mapped_);
     mem_ = nullptr;
@@ -49,7 +57,7 @@ bool ExecBuffer::supported() {
     // ret-only probe.
     const uint8_t ret = 0xC3;
     ExecBuffer probe;
-    if (!probe.load(&ret, 1)) return false;
+    if (!probe.load_raw(&ret, 1)) return false;
     reinterpret_cast<void (*)()>(const_cast<void*>(probe.entry()))();
     return true;
   }();

@@ -32,12 +32,17 @@ class ExecBuffer {
   /// True when this process can create executable memory at all (probed once).
   static bool supported();
 
-  /// Test hook: while set, every load() fails as if the platform refused the
-  /// mapping, so the interpreter-fallback path is exercisable on machines
-  /// where executable memory works.  Not for production use.
+  /// Test hook: arms/disarms the "jit.exec_map" failpoint in always mode, so
+  /// every load() fails as if the platform refused the mapping and the
+  /// interpreter-fallback path is exercisable on machines where executable
+  /// memory works.  Not for production use.
   static void force_failure_for_testing(bool fail);
 
  private:
+  /// The real mapping path, not subject to the failpoint (supported()'s probe
+  /// must answer the genuine platform capability).
+  bool load_raw(const uint8_t* code, size_t size);
+
   void swap(ExecBuffer& other) {
     void* m = mem_;
     mem_ = other.mem_;

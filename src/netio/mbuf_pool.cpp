@@ -1,6 +1,7 @@
 #include "netio/mbuf_pool.hpp"
 
 #include "common/check.hpp"
+#include "common/failpoint.hpp"
 
 namespace esw::net {
 
@@ -12,6 +13,12 @@ MbufPool::MbufPool(uint32_t capacity) : capacity_(capacity) {
 }
 
 Packet* MbufPool::alloc() {
+  // Injectable exhaustion: the caller sees the same nullptr it would on a
+  // genuinely empty pool, so every degradation path downstream is reachable.
+  if (ESW_FAILPOINT("mbuf.alloc")) {
+    alloc_failures_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (free_.empty()) {
     alloc_failures_.fetch_add(1, std::memory_order_relaxed);
@@ -29,6 +36,10 @@ void MbufPool::free(Packet* pkt) {
 }
 
 uint32_t MbufPool::alloc_bulk(Packet** out, uint32_t n) {
+  if (ESW_FAILPOINT("mbuf.alloc")) {
+    alloc_failures_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   const uint32_t got = n < free_.size() ? n : static_cast<uint32_t>(free_.size());
   for (uint32_t i = 0; i < got; ++i) {

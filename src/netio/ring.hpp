@@ -21,6 +21,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "common/failpoint.hpp"
 #include "netio/packet.hpp"
 
 namespace esw::net {
@@ -51,6 +52,9 @@ class Ring {
   /// protocol).  The wait spins briefly and then yields — a preempted
   /// predecessor on an oversubscribed machine must get CPU time to finish.
   uint32_t enqueue_burst_mp(Packet* const* pkts, uint32_t n) {
+    // Injectable as-if-full rejection: callers already handle a 0 return
+    // (count the shed, free the buffers), so this proves that path.
+    if (ESW_FAILPOINT("ring.enqueue_mp")) return 0;
     uint32_t head = prod_head_.load(std::memory_order_relaxed);
     uint32_t count;
     do {

@@ -662,6 +662,23 @@ void check_trace_point(const BenchReport& r, const BenchSeries& s,
     errors->push_back(point_id(r, s, p) + ": trace counter must be 0 or 1");
 }
 
+/// Chaos point-shape contract: a point measured with failpoints armed
+/// (counter chaos == 1) must carry the full degradation-counter quartet, so
+/// a chaos leg's results always say where the injected faults went — a
+/// chaos point without the block is indistinguishable from a clean run.
+void check_chaos_point(const BenchReport& r, const BenchSeries& s,
+                       const BenchPoint& p, std::vector<std::string>* errors) {
+  const auto it = p.counters.find("chaos");
+  if (it == p.counters.end() || it->second != 1) return;
+  static const char* kRequired[] = {"pool_exhausted", "jit_fallbacks",
+                                    "mods_refused_table_full",
+                                    "backpressure_events"};
+  for (const char* key : kRequired)
+    if (p.counters.find(key) == p.counters.end())
+      errors->push_back(point_id(r, s, p) + ": chaos point missing " +
+                        std::string(key) + " counter");
+}
+
 }  // namespace
 
 std::vector<std::string> validate_report(const BenchReport& report) {
@@ -669,6 +686,7 @@ std::vector<std::string> validate_report(const BenchReport& report) {
   for (const BenchSeries& s : report.series) {
     for (const BenchPoint& p : s.points) {
       check_latency_block(report, s, p, &errors);
+      check_chaos_point(report, s, p, &errors);
       if (report.figure == "fig19") check_fig19_point(report, s, p, &errors);
       if (report.figure == "fig10" || report.figure == "fig11")
         check_trace_point(report, s, p, &errors);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/failpoint.hpp"
 #include "core/eswitch.hpp"
 #include "core/switch_runtime.hpp"
 #include "netio/pcap.hpp"
@@ -56,6 +57,139 @@ void churn_chunk(core::Eswitch& sw, uint64_t* mods, int pairs) {
     side.command = flow::FlowMod::Cmd::kDelete;
     sw.apply(side);
     *mods += 4;
+  }
+}
+
+/// The chaos rotation: one failpoint armed per window, each chosen so the
+/// soak's own traffic + churn is guaranteed to hit the site, and each mapped
+/// (in close_chaos_window) to the degradation counter that must absorb it.
+/// runtime.worker_stall is deliberately absent — a one-shot 20ms stall is
+/// shorter than the checkpoint cadence, so the watchdog test drives it
+/// directly instead (test_robustness).
+struct ChaosSlot {
+  const char* name;
+  const char* spec;
+};
+constexpr ChaosSlot kChaosSchedule[] = {
+    {"mbuf.alloc", "prob:0.2:101"},     // pool exhaustion -> backpressure
+    {"ring.enqueue_mp", "prob:0.01:102"},  // TX ring refusals -> tx_rejected
+    {"jit.exec_map", "always"},         // JIT mapping dead -> interpreter
+    {"lpm.tbl8", "prob:0.5:103"},       // tbl8 exhaustion -> rebuild/fallback
+    {"hash.insert", "prob:0.5:104"},    // incremental refusal -> rebuild
+    {"epoch.reclaim", "prob:0.5:105"},  // deferred reclamation -> pending
+};
+constexpr size_t kChaosSlots = sizeof(kChaosSchedule) / sizeof(kChaosSchedule[0]);
+
+/// Counter snapshot bracketing one chaos window, for the delta accounting.
+struct ChaosWindowBase {
+  uint64_t pool_exhausted = 0;
+  uint64_t backpressure_events = 0;
+  uint64_t alloc_failures = 0;
+  uint64_t tx_rejected = 0;
+  uint64_t jit_fallbacks = 0;
+  uint64_t template_fallbacks = 0;
+  uint64_t table_rebuilds = 0;
+  uint64_t fires = 0;
+  uint64_t pending_seen = 0;  // max reclaim-pending observed inside the window
+};
+
+ChaosWindowBase chaos_snapshot(core::SwitchRuntime<core::Eswitch>& rt,
+                               const char* point) {
+  const auto c = rt.counters();
+  const auto& deg = rt.backend().degradation_stats();
+  ChaosWindowBase b;
+  b.pool_exhausted = c.pool_exhausted;
+  b.backpressure_events = c.backpressure_events;
+  b.alloc_failures = rt.pool().alloc_failures();
+  b.tx_rejected = c.tx_rejected;
+  b.jit_fallbacks = deg.jit_fallbacks;
+  b.template_fallbacks = deg.template_fallbacks;
+  b.table_rebuilds = rt.backend().update_stats().table_rebuilds;
+  b.fires = common::FailpointRegistry::instance().fires(point);
+  return b;
+}
+
+/// Audits one closed window: if the armed point fired at all, the mapped
+/// degradation counter must have moved — an unaccounted fault is a policy
+/// hole, and the check fails loudly instead of the process dying quietly.
+SoakCheck close_chaos_window(core::SwitchRuntime<core::Eswitch>& rt,
+                             const ChaosSlot& slot, const ChaosWindowBase& base,
+                             uint64_t window_no) {
+  const ChaosWindowBase now = chaos_snapshot(rt, slot.name);
+  const uint64_t fires = now.fires - base.fires;
+  const std::string name = slot.name;
+  uint64_t delta = 0;
+  if (name == "mbuf.alloc")
+    delta = (now.pool_exhausted - base.pool_exhausted) +
+            (now.backpressure_events - base.backpressure_events) +
+            (now.alloc_failures - base.alloc_failures);
+  else if (name == "ring.enqueue_mp")
+    delta = now.tx_rejected - base.tx_rejected;
+  else if (name == "jit.exec_map")
+    delta = now.jit_fallbacks - base.jit_fallbacks;
+  else if (name == "lpm.tbl8")
+    delta = (now.table_rebuilds - base.table_rebuilds) +
+            (now.template_fallbacks - base.template_fallbacks);
+  else if (name == "hash.insert")
+    delta = (now.table_rebuilds - base.table_rebuilds) +
+            (now.template_fallbacks - base.template_fallbacks);
+  else if (name == "epoch.reclaim")
+    delta = base.pending_seen;  // deferred work observed; final reclaim drains it
+  SoakCheck c;
+  c.name = "chaos-" + name;
+  c.ok = fires == 0 || delta > 0;
+  c.detail = "window=" + u64s(window_no) + " fires=" + u64s(fires) +
+             " absorbed_delta=" + u64s(delta);
+  return c;
+}
+
+/// Chaos-mode churn riding alongside churn_chunk: shapes chosen so every
+/// scheduled failpoint's site is on a hot path.
+///   * /30 routes in 232.0.0.0/8 — each add extends a tbl8 group (lpm.tbl8),
+///     each refusal forces a side-by-side rebuild;
+///   * a tiny exact-match table 210 (<= direct_code_max_entries) — every mod
+///     rebuilds through the JIT (jit.exec_map), and the first clean rebuild
+///     after a degraded window is the re-JIT recovery.
+/// Table 200's hash churn comes from churn_chunk itself once
+/// seed_hash_table() has pushed it past the direct-code threshold.
+void chaos_churn_chunk(core::Eswitch& sw, uint64_t* mods, int pairs) {
+  for (int k = 0; k < pairs; ++k) {
+    flow::FlowMod fm;
+    fm.table_id = 0;
+    fm.priority = 30;
+    fm.match.set(flow::FieldId::kIpDst,
+                 (232u << 24) | (static_cast<uint32_t>(*mods % 4096) << 2),
+                 0xFFFFFFFC);
+    fm.actions = {flow::Action::output(static_cast<uint32_t>(1 + *mods % 8))};
+    sw.apply(fm);
+    fm.command = flow::FlowMod::Cmd::kDelete;
+    sw.apply(fm);
+
+    flow::FlowMod tiny;
+    tiny.table_id = 210;  // never a goto target; pure update-plane load
+    tiny.priority = 1;
+    tiny.match.set(flow::FieldId::kIpDst,
+                   (233u << 24) | static_cast<uint32_t>(*mods % 3), 0xFFFFFFFF);
+    tiny.actions = {flow::Action::output(1)};
+    sw.apply(tiny);
+    tiny.command = flow::FlowMod::Cmd::kDelete;
+    sw.apply(tiny);
+    *mods += 4;
+  }
+}
+
+/// Seeds table 200 with enough persistent exact-match entries that analysis
+/// picks the compound-hash template (past direct_code_max_entries) — churn's
+/// add/delete on the table then rides HashTemplateTable::try_add, where the
+/// hash.insert failpoint lives.  Keys sit above the churned range (bit 16).
+void seed_hash_table(core::Eswitch& sw) {
+  for (uint32_t i = 0; i < 8; ++i) {
+    flow::FlowMod fm;
+    fm.table_id = 200;
+    fm.priority = 1;
+    fm.match.set(flow::FieldId::kIpDst, (231u << 24) | 0x10000u | i, 0xFFFFFFFF);
+    fm.actions = {flow::Action::output(1)};
+    sw.apply(fm);
   }
 }
 
@@ -119,6 +253,7 @@ SoakReport run_soak(const SoakOptions& opts) {
   rcfg.pool_capacity = 4096 * opts.workers;
   Runtime rt(rcfg, core::CompilerConfig{});
   rt.backend().install(uc.pipeline);
+  if (opts.chaos) seed_hash_table(rt.backend());
 
   // Traffic: either the capture's frames (shared arena, per-worker cursors)
   // or per-worker generated shards — the Fig. 19 source-hook shape either way.
@@ -169,6 +304,21 @@ SoakReport run_soak(const SoakOptions& opts) {
   uint64_t mods = 0;
   uint64_t max_pending = 0;
   bool drift_planted = false;
+  // Chaos rotation state: one schedule slot armed at a time, counter deltas
+  // bracketing each window.
+  auto& fpr = common::FailpointRegistry::instance();
+  const auto chaos_interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(opts.chaos_period_ms));
+  size_t chaos_idx = 0;
+  ChaosWindowBase chaos_base;
+  auto chaos_window_end = t0 + chaos_interval;
+  std::vector<net::Packet*> chaos_leaked;
+  uint64_t leak_pending = 0;
+  if (opts.chaos) {
+    ESW_CHECK(opts.chaos_period_ms > 0);
+    fpr.arm(kChaosSchedule[0].name, kChaosSchedule[0].spec);
+    chaos_base = chaos_snapshot(rt, kChaosSchedule[0].name);
+  }
   for (;;) {
     const auto now = Clock::now();
     const double elapsed = std::chrono::duration<double>(now - t0).count();
@@ -187,10 +337,42 @@ SoakReport run_soak(const SoakOptions& opts) {
     if (now >= next_cp) {
       ++rep.checkpoints;
       max_pending = std::max(max_pending, rt.backend().reclaim_stats().pending);
+      rt.watchdog_scan();  // liveness sweep; recovers parked workers' epochs
       next_cp += cp_interval;
+    }
+    if (opts.chaos) {
+      // Deliberately UNhandled fault: steals a pool buffer when armed.  No
+      // degradation counter absorbs it, so the buffer-pool check must trip —
+      // the planted-fault test proves the chaos soak can actually fail.
+      if (ESW_FAILPOINT("soak.leak_buffer")) ++leak_pending;
+      while (leak_pending > 0) {
+        // The steal itself rides through the pool's (possibly armed) alloc
+        // path; keep trying on later passes until a buffer actually leaks.
+        net::Packet* p = rt.pool().alloc();
+        if (p == nullptr) break;
+        chaos_leaked.push_back(p);
+        --leak_pending;
+      }
+      chaos_base.pending_seen =
+          std::max(chaos_base.pending_seen, rt.backend().reclaim_stats().pending);
+      if (now >= chaos_window_end) {
+        const ChaosSlot& slot = kChaosSchedule[chaos_idx % kChaosSlots];
+        fpr.disarm(slot.name);
+        rep.checks.push_back(
+            close_chaos_window(rt, slot, chaos_base, rep.chaos_windows));
+        ++rep.chaos_windows;
+        ++chaos_idx;
+        const ChaosSlot& nxt = kChaosSchedule[chaos_idx % kChaosSlots];
+        fpr.arm(nxt.name, nxt.spec);
+        chaos_base = chaos_snapshot(rt, nxt.name);
+        chaos_window_end += chaos_interval;
+        // A stalled control-loop pass must not burn phantom windows.
+        while (chaos_window_end <= now) chaos_window_end += chaos_interval;
+      }
     }
     if (opts.churn_rate > 0) {
       churn_chunk(rt.backend(), &mods, 16);
+      if (opts.chaos) chaos_churn_chunk(rt.backend(), &mods, 4);
       // Pace to the target mods/s (a controller session, not a control-thread
       // spin that starves the workers), but wake for the next checkpoint.
       const auto paced = t0 + std::chrono::duration_cast<Clock::duration>(
@@ -201,6 +383,17 @@ SoakReport run_soak(const SoakOptions& opts) {
       std::this_thread::sleep_until(
           std::min(next_cp, now + std::chrono::milliseconds(1)));
     }
+  }
+  if (opts.chaos) {
+    // Close the window the run ended inside, then run the final audits with
+    // everything disarmed — the faults stop, the drains must still balance.
+    const ChaosSlot& slot = kChaosSchedule[chaos_idx % kChaosSlots];
+    chaos_base.pending_seen =
+        std::max(chaos_base.pending_seen, rt.backend().reclaim_stats().pending);
+    fpr.disarm(slot.name);
+    rep.checks.push_back(close_chaos_window(rt, slot, chaos_base, rep.chaos_windows));
+    ++rep.chaos_windows;
+    fpr.disarm_all();
   }
   rep.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
   rt.stop();
@@ -233,6 +426,21 @@ SoakReport run_soak(const SoakOptions& opts) {
   rep.pps = rep.seconds > 0 ? static_cast<double>(c.processed) / rep.seconds : 0;
   rep.churn_mods = mods;
   rep.latency_ns = rt.latency_histogram().percentiles_ns();
+  rep.chaos = opts.chaos;
+  const core::Eswitch::DegradationStats& deg = rt.backend().degradation_stats();
+  rep.degradation.pool_exhausted = c.pool_exhausted;
+  rep.degradation.backpressure_events = c.backpressure_events;
+  rep.degradation.alloc_failures = rt.pool().alloc_failures();
+  rep.degradation.tx_rejected = c.tx_rejected;
+  rep.degradation.jit_fallbacks = deg.jit_fallbacks;
+  rep.degradation.jit_retries = deg.jit_retries;
+  rep.degradation.jit_recoveries = deg.jit_recoveries;
+  rep.degradation.template_fallbacks = deg.template_fallbacks;
+  rep.degradation.mods_refused_table_full = deg.mods_refused_table_full;
+  rep.degradation.watchdog_stalled = rt.watchdog_stalled_total();
+  rep.degradation.watchdog_recovered = rt.watchdog_recovered_total();
+  for (const auto& s : fpr.snapshot())
+    rep.failpoints.push_back({s.name, s.hits, s.fires});
 
   const auto add = [&rep](const std::string& name, bool ok, std::string detail) {
     rep.checks.push_back({name, ok, std::move(detail)});
@@ -298,11 +506,18 @@ SoakReport run_soak(const SoakOptions& opts) {
           " drops=" + u64s(bs.drops) + " pins=" + u64s(bs.to_controller) +
           ") runtime processed=" + u64s(c.processed));
 
+  // Chaos coverage: the run must have cycled through the whole schedule at
+  // least once, or the "five distinct failpoints" promise silently shrinks.
+  if (opts.chaos)
+    add("chaos-coverage", rep.chaos_windows >= kChaosSlots,
+        "windows=" + u64s(rep.chaos_windows) + " schedule=" + u64s(kChaosSlots));
+
   if (!opts.floor_file.empty())
     rep.checks.push_back(check_latency_floor(opts.floor_file, rep.latency_ns));
 
   // Un-plant the faults so destructors run over clean state.
   if (leaked != nullptr) rt.pool().free(leaked);
+  for (net::Packet* p : chaos_leaked) rt.pool().free(p);
   if (phantom != nullptr) {
     rt.backend().unregister_worker(phantom);
     rt.backend().datapath().reclaim();
@@ -326,6 +541,35 @@ std::string SoakReport::to_json() const {
   lat.set("max", Json::number(latency_ns.max));
   lat.set("samples", Json::number(static_cast<double>(latency_ns.samples)));
   doc.set("latency_ns", std::move(lat));
+  doc.set("chaos", Json::boolean(chaos));
+  doc.set("chaos_windows", Json::number(static_cast<double>(chaos_windows)));
+  Json deg = Json::object();
+  deg.set("pool_exhausted", Json::number(static_cast<double>(degradation.pool_exhausted)));
+  deg.set("backpressure_events",
+          Json::number(static_cast<double>(degradation.backpressure_events)));
+  deg.set("alloc_failures", Json::number(static_cast<double>(degradation.alloc_failures)));
+  deg.set("tx_rejected", Json::number(static_cast<double>(degradation.tx_rejected)));
+  deg.set("jit_fallbacks", Json::number(static_cast<double>(degradation.jit_fallbacks)));
+  deg.set("jit_retries", Json::number(static_cast<double>(degradation.jit_retries)));
+  deg.set("jit_recoveries", Json::number(static_cast<double>(degradation.jit_recoveries)));
+  deg.set("template_fallbacks",
+          Json::number(static_cast<double>(degradation.template_fallbacks)));
+  deg.set("mods_refused_table_full",
+          Json::number(static_cast<double>(degradation.mods_refused_table_full)));
+  deg.set("watchdog_stalled",
+          Json::number(static_cast<double>(degradation.watchdog_stalled)));
+  deg.set("watchdog_recovered",
+          Json::number(static_cast<double>(degradation.watchdog_recovered)));
+  doc.set("degradation", std::move(deg));
+  Json fps = Json::array();
+  for (const FailpointStat& f : failpoints) {
+    Json jf = Json::object();
+    jf.set("name", Json::string(f.name));
+    jf.set("hits", Json::number(static_cast<double>(f.hits)));
+    jf.set("fires", Json::number(static_cast<double>(f.fires)));
+    fps.push_back(std::move(jf));
+  }
+  doc.set("failpoints", std::move(fps));
   Json arr = Json::array();
   for (const SoakCheck& c : checks) {
     Json jc = Json::object();

@@ -58,6 +58,15 @@ struct SoakOptions {
   /// pends forever); kCounterDrift zeroes the backend's stats mid-run.
   enum class Fault { kNone, kLeakBuffer, kStuckWorker, kCounterDrift };
   Fault fault = Fault::kNone;
+
+  /// Chaos mode: rotate through a fixed failpoint schedule (one point armed
+  /// per window of chaos_period_ms), with per-window accounting that every
+  /// injected fault landed in the degradation counter its policy names —
+  /// while all the standard conservation/leak/drift checks stay on.  The
+  /// chaos churn additionally exercises tbl8-extending /30 routes, a hash
+  /// side table and a tiny direct-code table (re-JIT per mod).
+  bool chaos = false;
+  double chaos_period_ms = 200;
 };
 
 /// Maps a CLI/env fault name ("leak-buffer", "stuck-worker", "counter-drift",
@@ -70,12 +79,38 @@ struct SoakCheck {
   std::string detail;  // expected-vs-actual, or why the check was skipped
 };
 
+/// Where every absorbed fault went: the graceful-degradation counters the
+/// chaos accounting audits, snapshotted at the end of the run.
+struct DegradationSummary {
+  uint64_t pool_exhausted = 0;
+  uint64_t backpressure_events = 0;
+  uint64_t alloc_failures = 0;
+  uint64_t tx_rejected = 0;
+  uint64_t jit_fallbacks = 0;
+  uint64_t jit_retries = 0;
+  uint64_t jit_recoveries = 0;
+  uint64_t template_fallbacks = 0;
+  uint64_t mods_refused_table_full = 0;
+  uint64_t watchdog_stalled = 0;
+  uint64_t watchdog_recovered = 0;
+};
+
+struct FailpointStat {
+  std::string name;
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+};
+
 struct SoakReport {
   uint64_t packets = 0;      // processed through the datapath
   double seconds = 0;
   double pps = 0;
   uint64_t churn_mods = 0;   // flow-mods applied during the run
   uint64_t checkpoints = 0;
+  bool chaos = false;
+  uint64_t chaos_windows = 0;  // completed failpoint windows
+  DegradationSummary degradation;
+  std::vector<FailpointStat> failpoints;
   LatencyPercentiles latency_ns{};
   std::vector<SoakCheck> checks;
 

@@ -9,24 +9,28 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/failpoint.hpp"
 
 namespace esw::uc {
 
 namespace {
 
-/// Blocking full write (socketpair buffers are far larger than any frame the
-/// session produces; both ends drain eagerly in poll()).
-void send_all(int fd, const uint8_t* data, size_t len) {
+/// Blocking full write for the controller helper: loops across partial
+/// writes and EINTR (signals land mid-send in real deployments; a one-shot
+/// send() that asserts on n <= 0 tears the whole session down for a retryable
+/// condition).  MSG_NOSIGNAL: the agent end may be closed mid-reconnect.
+void ctrl_send_all(int fd, const uint8_t* data, size_t len) {
   size_t off = 0;
   while (off < len) {
-    const ssize_t n = ::send(fd, data + off, len - off, 0);
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
     ESW_CHECK_MSG(n > 0, "OpenFlow channel write failed");
     off += static_cast<size_t>(n);
   }
 }
 
-/// Appends whatever is queued on the fd to `buf` without blocking.
-/// Returns bytes read.
+/// Appends whatever is queued on the fd to `buf` without blocking, retrying
+/// through EINTR.  Returns bytes read.
 size_t drain_fd(int fd, std::vector<uint8_t>& buf) {
   size_t total = 0;
   uint8_t tmp[4096];
@@ -37,6 +41,7 @@ size_t drain_fd(int fd, std::vector<uint8_t>& buf) {
       total += static_cast<size_t>(n);
       continue;
     }
+    if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     ESW_CHECK_MSG(n >= 0, "OpenFlow channel read failed");
     break;  // n == 0: peer closed; stop reading
@@ -83,11 +88,7 @@ uint32_t for_each_frame(std::vector<uint8_t>& buf, Fn&& fn) {
 OfAgent::OfAgent(Callbacks cbs, uint64_t datapath_id)
     : cbs_(std::move(cbs)), datapath_id_(datapath_id) {
   ESW_CHECK_MSG(cbs_.on_flow_mod != nullptr, "OfAgent needs an on_flow_mod callback");
-  int fds[2];
-  ESW_CHECK_MSG(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0, "socketpair failed");
-  switch_fd_ = fds[0];
-  ctrl_fd_ = fds[1];
-  send(flow::encode_hello({next_xid()}));  // both sides HELLO at connect
+  open_channel();
 }
 
 OfAgent::~OfAgent() {
@@ -95,8 +96,102 @@ OfAgent::~OfAgent() {
   if (ctrl_fd_ >= 0) ::close(ctrl_fd_);
 }
 
+void OfAgent::open_channel() {
+  int fds[2];
+  ESW_CHECK_MSG(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0, "socketpair failed");
+  switch_fd_ = fds[0];
+  ctrl_fd_ = fds[1];
+  send(flow::encode_hello({next_xid()}));  // both sides HELLO at connect
+}
+
+void OfAgent::mark_channel_down() {
+  if (channel_down_) return;
+  channel_down_ = true;
+  reconnect_wait_ = reconnect_backoff_;
+  // Next loss waits longer before re-opening — don't hammer a flapping peer.
+  reconnect_backoff_ = std::min<uint32_t>(reconnect_backoff_ * 2, 64);
+}
+
+void OfAgent::reconnect() {
+  if (switch_fd_ >= 0) ::close(switch_fd_);
+  if (ctrl_fd_ >= 0) ::close(ctrl_fd_);
+  switch_fd_ = ctrl_fd_ = -1;
+  rxbuf_.clear();           // a torn partial frame must not desync the stream
+  peer_hello_seen_ = false; // the new session gates on a fresh controller HELLO
+  channel_down_ = false;
+  ++stats_.reconnects;
+  open_channel();
+}
+
+/// Full blocking write on the switch fd, looping across partial writes and
+/// EINTR.  Returns false on a hard error (peer gone) — the caller marks the
+/// channel down; nothing here asserts, because losing the controller must
+/// never take the dataplane with it.  The `ofagent.write` failpoint injects
+/// EINTR-equivalent retries and `ofagent.write_short` forces 1-byte writes
+/// (both bounded so an `always` arming cannot spin forever).
+bool OfAgent::send_all(const uint8_t* data, size_t len) {
+  size_t off = 0;
+  uint32_t injected = 0;
+  while (off < len) {
+    if (injected < 64 && ESW_FAILPOINT("ofagent.write")) {
+      ++injected;
+      ++stats_.io_retries;
+      continue;  // as if send() had returned -1/EINTR
+    }
+    const size_t chunk =
+        ESW_FAILPOINT("ofagent.write_short") ? 1 : len - off;
+    const ssize_t n = ::send(switch_fd_, data + off, chunk, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) {
+      ++stats_.io_retries;
+      continue;
+    }
+    if (n <= 0) return false;  // EPIPE/ECONNRESET: controller is gone
+    if (static_cast<size_t>(n) < len - off) ++stats_.io_retries;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Drains the switch fd into rxbuf_ without blocking, retrying through EINTR
+/// (real or injected via `ofagent.read`).  Peer close / hard errors mark the
+/// channel down instead of throwing.
+size_t OfAgent::drain_rx() {
+  size_t total = 0;
+  uint8_t tmp[4096];
+  uint32_t injected = 0;
+  for (;;) {
+    if (injected < 64 && ESW_FAILPOINT("ofagent.read")) {
+      ++injected;
+      ++stats_.io_retries;
+      continue;
+    }
+    const ssize_t n = ::recv(switch_fd_, tmp, sizeof tmp, MSG_DONTWAIT);
+    if (n > 0) {
+      rxbuf_.insert(rxbuf_.end(), tmp, tmp + n);
+      total += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      ++stats_.io_retries;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    mark_channel_down();  // n == 0 (peer closed) or a hard error
+    break;
+  }
+  return total;
+}
+
 void OfAgent::send(const std::vector<uint8_t>& bytes) {
-  send_all(switch_fd_, bytes.data(), bytes.size());
+  if (channel_down_) {
+    ++stats_.tx_dropped;
+    return;
+  }
+  if (!send_all(bytes.data(), bytes.size())) {
+    mark_channel_down();
+    ++stats_.tx_dropped;
+    return;
+  }
   ++stats_.messages_tx;
   stats_.bytes_tx += bytes.size();
 }
@@ -106,15 +201,28 @@ bool OfAgent::try_send(const std::vector<uint8_t>& bytes) {
   // loop: when the channel is full they are dropped and counted — lossy by
   // design, like a real switch's punt path.  A *partially* accepted frame is
   // completed blocking (bounded by one frame) so the stream never desyncs.
-  const ssize_t n = ::send(switch_fd_, bytes.data(), bytes.size(), MSG_DONTWAIT);
+  if (channel_down_) {
+    ++stats_.tx_dropped;
+    return false;
+  }
+  const ssize_t n =
+      ::send(switch_fd_, bytes.data(), bytes.size(), MSG_DONTWAIT | MSG_NOSIGNAL);
   if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
     ++stats_.tx_dropped;
     return false;
   }
-  ESW_CHECK_MSG(n >= 0, "OpenFlow channel write failed");
-  if (static_cast<size_t>(n) < bytes.size())
-    send_all(switch_fd_, bytes.data() + static_cast<size_t>(n),
-             bytes.size() - static_cast<size_t>(n));
+  if (n < 0 && errno != EINTR) {
+    mark_channel_down();
+    ++stats_.tx_dropped;
+    return false;
+  }
+  const size_t accepted = n > 0 ? static_cast<size_t>(n) : 0;
+  if (accepted < bytes.size() &&
+      !send_all(bytes.data() + accepted, bytes.size() - accepted)) {
+    mark_channel_down();
+    ++stats_.tx_dropped;
+    return false;
+  }
   ++stats_.messages_tx;
   stats_.bytes_tx += bytes.size();
   return true;
@@ -132,7 +240,18 @@ void OfAgent::send_error(uint32_t xid, uint16_t type, uint16_t code,
 }
 
 uint32_t OfAgent::poll() {
-  stats_.bytes_rx += drain_fd(switch_fd_, rxbuf_);
+  if (channel_down_) {
+    // Capped exponential backoff, paced in poll() calls: sit out the window,
+    // then re-open (fresh socketpair + HELLO) and let the controller redo the
+    // handshake on the new controller_fd().
+    if (reconnect_wait_ > 0) {
+      --reconnect_wait_;
+      return 0;
+    }
+    reconnect();
+    return 0;
+  }
+  stats_.bytes_rx += drain_rx();
   const uint32_t n = for_each_frame(
       rxbuf_, [this](const uint8_t* frame, size_t len) { dispatch(frame, len); });
   stats_.messages_rx += n;
@@ -164,6 +283,7 @@ void OfAgent::handle(const flow::OfMsg& msg, const uint8_t* frame, size_t len) {
 
   if (std::holds_alternative<flow::Hello>(msg)) {
     peer_hello_seen_ = true;
+    reconnect_backoff_ = 1;  // a completed (re)handshake resets the backoff
   } else if (const auto* m = std::get_if<flow::EchoRequest>(&msg)) {
     ++stats_.echoes;
     send(flow::encode_echo_reply({m->xid, m->payload}));
@@ -187,6 +307,13 @@ void OfAgent::handle(const flow::OfMsg& msg, const uint8_t* frame, size_t len) {
           (m->flags & flow::FlowMod::kFlagSendFlowRem) != 0 && cbs_.on_collect_removed)
         removed = cbs_.on_collect_removed(*m);
       cbs_.on_flow_mod(*m);
+    } catch (const TableFullError&) {
+      // The table is at its configured capacity: refuse with the specific
+      // OFPFMFC_TABLE_FULL code so the controller can tell "out of room"
+      // from "malformed" — session stays up, dataplane keeps forwarding.
+      send_error(m->xid, flow::kErrTypeFlowModFailed, flow::kErrCodeTableFull, frame,
+                 len);
+      return;
     } catch (const CheckError&) {
       // Wire-valid but semantically invalid (backwards goto, bad target…):
       // the mod is refused with an Error, the session stays up.
@@ -243,7 +370,7 @@ void OfAgent::send_packet_in(const uint8_t* frame, size_t len, uint32_t in_port,
 
 uint32_t OfController::send_tracked(std::vector<uint8_t> bytes, uint32_t xid,
                                     bool expect_reply) {
-  send_all(fd_, bytes.data(), bytes.size());
+  ctrl_send_all(fd_, bytes.data(), bytes.size());
   ++messages_;
   bytes_ += bytes.size();
   if (expect_reply) outstanding_.push_back(xid);

@@ -60,7 +60,9 @@ class OfAgent {
     uint64_t packet_ins_sent = 0;
     uint64_t flow_removed_sent = 0;
     uint64_t errors_sent = 0;
-    uint64_t tx_dropped = 0;  // async events dropped on a full channel
+    uint64_t tx_dropped = 0;   // async events dropped on a full channel
+    uint64_t io_retries = 0;   // EINTR/partial-write continuations absorbed
+    uint64_t reconnects = 0;   // channel re-opens after a peer loss
   };
 
   /// Opens the socketpair and sends the agent's HELLO.
@@ -69,11 +71,15 @@ class OfAgent {
   OfAgent(const OfAgent&) = delete;
   OfAgent& operator=(const OfAgent&) = delete;
 
-  /// The controller end of the channel (drive it with OfController).
+  /// The controller end of the channel (drive it with OfController).  A
+  /// reconnect replaces the socketpair, so re-fetch this (and rebuild any
+  /// OfController around it) after stats().reconnects changes.
   int controller_fd() const { return ctrl_fd_; }
 
   /// True once the controller's HELLO has arrived.
   bool session_open() const { return peer_hello_seen_; }
+  /// True while the channel is severed and a reconnect is pending backoff.
+  bool channel_down() const { return channel_down_; }
 
   /// Drains the channel and dispatches every complete frame, in order.
   /// Returns the number of messages handled.
@@ -97,12 +103,20 @@ class OfAgent {
   void send_error(uint32_t xid, uint16_t type, uint16_t code, const uint8_t* frame,
                   size_t len);
   uint32_t next_xid() { return xid_++; }
+  void open_channel();
+  void mark_channel_down();
+  void reconnect();
+  bool send_all(const uint8_t* data, size_t len);
+  size_t drain_rx();
 
   Callbacks cbs_;
   uint64_t datapath_id_;
   int switch_fd_ = -1;
   int ctrl_fd_ = -1;
   bool peer_hello_seen_ = false;
+  bool channel_down_ = false;
+  uint32_t reconnect_backoff_ = 1;  // polls to wait before the next re-open
+  uint32_t reconnect_wait_ = 0;     // countdown while channel_down_
   uint32_t xid_ = 1;
   std::vector<uint8_t> rxbuf_;
   SessionStats stats_;

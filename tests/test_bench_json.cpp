@@ -274,6 +274,32 @@ TEST(ValidateReport, RejectsFlatCountersWithoutBlock) {
   EXPECT_NE(errs[0].find("block missing"), std::string::npos);
 }
 
+TEST(ValidateReport, ChaosPointRequiresDegradationCounters) {
+  // A chaos-marked point (failpoints armed during the measurement) must carry
+  // the full degradation quartet; losing one would blind the chaos legs.
+  BenchReport r = sample_report();
+  r.figure = "fig16";
+  auto& c = r.series[0].points[0].counters;
+  c["chaos"] = 1;
+  c["pool_exhausted"] = 0;
+  c["jit_fallbacks"] = 3;
+  c["mods_refused_table_full"] = 0;
+  // backpressure_events deliberately missing
+  const auto errs = validate_report(r);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NE(errs[0].find("backpressure_events"), std::string::npos);
+
+  c["backpressure_events"] = 2;
+  EXPECT_TRUE(validate_report(r).empty());
+}
+
+TEST(ValidateReport, NonChaosPointNeedsNoDegradationCounters) {
+  BenchReport r = sample_report();
+  r.figure = "fig16";
+  r.series[0].points[0].counters["chaos"] = 0;  // marked, not armed
+  EXPECT_TRUE(validate_report(r).empty());      // second point: unmarked
+}
+
 BenchReport fig19_report() {
   BenchReport r;
   r.figure = "fig19";

@@ -12,6 +12,7 @@
 #include <fstream>
 #include <string>
 
+#include "common/failpoint.hpp"
 #include "perf/bench_json.hpp"
 #include "perf/soak.hpp"
 
@@ -165,6 +166,71 @@ TEST(Soak, ReportJsonRoundTrips) {
   ASSERT_NE(lat, nullptr);
   EXPECT_EQ(lat->number_or("p999", -1), r.latency_ns.p999);
   EXPECT_EQ(doc->find("ok")->as_bool(), r.ok());
+}
+
+TEST(Soak, ChaosRunPassesAllChecks) {
+  // The full failpoint schedule rotates through the run; every injected fault
+  // must land in a degradation counter and every standard check still hold.
+  SoakOptions o = test_opts();
+  o.chaos = true;
+  o.chaos_period_ms = 50;
+  o.target_packets = 0;  // pure time bound: the window count is what matters
+  o.max_seconds = 2.0;   // long enough that every slot sees churn, twice over
+  const SoakReport r = run_soak(o);
+  EXPECT_TRUE(r.chaos);
+  for (const auto& c : r.checks) EXPECT_TRUE(c.ok) << c.name << ": " << c.detail;
+  // At least one full rotation of the 6-slot schedule...
+  EXPECT_GE(r.chaos_windows, 6u);
+  // ...and the faults genuinely fired at distinct points (>= 5 of them).
+  size_t fired = 0;
+  for (const auto& fp : r.failpoints) fired += fp.fires > 0;
+  EXPECT_GE(fired, 5u);
+  // Nothing stays armed after the run.
+  EXPECT_FALSE(esw::common::FailpointRegistry::any_armed());
+}
+
+TEST(Soak, ChaosPlantedUnhandledLeakTrips) {
+  // A fault with NO degradation path (a stolen pool buffer) must still trip
+  // the conservation checks under chaos — proof the chaos run cannot mask a
+  // real bug behind "expected" injected faults.
+  ASSERT_TRUE(esw::common::FailpointRegistry::instance().arm("soak.leak_buffer",
+                                                             "nth:1"));
+  SoakOptions o = test_opts();
+  o.chaos = true;
+  o.chaos_period_ms = 50;
+  o.target_packets = 0;
+  o.max_seconds = 0.5;
+  const SoakReport r = run_soak(o);  // disarms everything on its way out
+  EXPECT_FALSE(r.ok());
+  bool ok = true;
+  ASSERT_TRUE(has_check(r, "buffer-pool", &ok));
+  EXPECT_FALSE(ok);
+  EXPECT_FALSE(esw::common::FailpointRegistry::any_armed());
+}
+
+TEST(Soak, ChaosReportJsonCarriesDegradation) {
+  SoakOptions o = test_opts();
+  o.chaos = true;
+  o.chaos_period_ms = 50;
+  o.target_packets = 0;
+  o.max_seconds = 0.5;
+  const SoakReport r = run_soak(o);
+  const auto doc = Json::parse(r.to_json());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("chaos")->as_bool(), true);
+  EXPECT_EQ(doc->number_or("chaos_windows", -1),
+            static_cast<double>(r.chaos_windows));
+  const Json* deg = doc->find("degradation");
+  ASSERT_NE(deg, nullptr);
+  for (const char* key :
+       {"pool_exhausted", "backpressure_events", "jit_fallbacks",
+        "template_fallbacks", "mods_refused_table_full", "watchdog_stalled",
+        "watchdog_recovered"})
+    EXPECT_NE(deg->find(key), nullptr) << key;
+  const Json* fps = doc->find("failpoints");
+  ASSERT_NE(fps, nullptr);
+  EXPECT_EQ(fps->items().size(), r.failpoints.size());
+  EXPECT_FALSE(fps->items().empty());
 }
 
 TEST(Soak, TimeBoundedRunStops) {

@@ -12,9 +12,15 @@
 //   --fault leak-buffer|stuck-worker|counter-drift plants a deliberate defect
 //       so the harness's own tests can prove each check fires.
 //
+//   --chaos [--chaos-period MS] rotates a failpoint schedule (pool alloc, TX
+//       ring, JIT mapping, tbl8, hash insert, epoch reclaim — one armed per
+//       window) and audits per window that every injected fault landed in its
+//       degradation counter, on top of all the standard checks.
+//
 // Every knob is also an env var (ESW_SOAK_PACKETS, ESW_SOAK_SECONDS,
-// ESW_SOAK_WORKERS, ESW_SOAK_FLOWS, ESW_SOAK_PREFIXES, ESW_SOAK_CHURN) so CI
-// legs scale the run without flag plumbing — same pattern as ESW_DIFF_*.
+// ESW_SOAK_WORKERS, ESW_SOAK_FLOWS, ESW_SOAK_PREFIXES, ESW_SOAK_CHURN,
+// ESW_SOAK_CHAOS=1) so CI legs scale the run without flag plumbing — same
+// pattern as ESW_DIFF_*.
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -39,7 +45,8 @@ void usage() {
                "usage: soak [--packets N] [--seconds S] [--workers N]\n"
                "            [--flows N] [--prefixes N] [--churn MODS_PER_S]\n"
                "            [--trace FILE.pcap] [--floor FILE.json]\n"
-               "            [--report FILE.json] [--fault NAME] [--seed S]\n");
+               "            [--report FILE.json] [--fault NAME] [--seed S]\n"
+               "            [--chaos] [--chaos-period MS]\n");
 }
 
 bool parse_args(int argc, char** argv, SoakOptions* o, std::string* report_path) {
@@ -67,6 +74,10 @@ bool parse_args(int argc, char** argv, SoakOptions* o, std::string* report_path)
       *report_path = v;
     } else if (arg == "--seed" && (v = next())) {
       o->seed = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--chaos") {
+      o->chaos = true;
+    } else if (arg == "--chaos-period" && (v = next())) {
+      o->chaos_period_ms = std::atof(v);
     } else if (arg == "--fault" && (v = next())) {
       const auto f = esw::perf::soak_fault_from_name(v);
       if (!f) {
@@ -92,6 +103,8 @@ int main(int argc, char** argv) {
   opts.n_flows = env_u64("ESW_SOAK_FLOWS", opts.n_flows);
   opts.n_prefixes = env_u64("ESW_SOAK_PREFIXES", opts.n_prefixes);
   if (const char* s = std::getenv("ESW_SOAK_CHURN")) opts.churn_rate = std::atof(s);
+  if (const char* s = std::getenv("ESW_SOAK_CHAOS"))
+    opts.chaos = *s != '\0' && *s != '0';
 
   std::string report_path;
   if (!parse_args(argc, argv, &opts, &report_path)) {
@@ -100,10 +113,16 @@ int main(int argc, char** argv) {
   }
 
   std::printf("[soak] packets=%" PRIu64 " seconds=%.1f workers=%u flows=%zu "
-              "prefixes=%zu churn=%.0f/s%s\n",
+              "prefixes=%zu churn=%.0f/s%s%s\n",
               opts.target_packets, opts.max_seconds, opts.workers, opts.n_flows,
               opts.n_prefixes, opts.churn_rate,
-              opts.fault == SoakOptions::Fault::kNone ? "" : " [fault planted]");
+              opts.fault == SoakOptions::Fault::kNone ? "" : " [fault planted]",
+              opts.chaos ? " [chaos]" : "");
+  if (opts.chaos)
+    std::printf("[soak] chaos: rotating mbuf.alloc, ring.enqueue_mp, "
+                "jit.exec_map, lpm.tbl8, hash.insert, epoch.reclaim every "
+                "%.0fms\n",
+                opts.chaos_period_ms);
   std::fflush(stdout);
 
   const SoakReport rep = esw::perf::run_soak(opts);
