@@ -1,6 +1,8 @@
-// The paper's Fig. 1 firewall, in both shapes: the single-stage table (a) and
-// the equivalent two-stage pipeline (b).  Shows how the compiler treats each
-// and that the two are behaviorally identical.
+// Stateful firewall on the connection-tracking layer (src/state/): inside
+// traffic opens connections, outside traffic gets in only when it belongs to
+// an established one.  The stateless Fig. 1 ACL cannot express this — any
+// rule admitting return traffic would admit forged packets too; the
+// `ct_state` match makes admission depend on what the switch has seen.
 //
 //   $ ./firewall
 #include <cstdio>
@@ -9,50 +11,113 @@
 #include "core/eswitch.hpp"
 #include "flow/dsl.hpp"
 #include "proto/build.hpp"
+#include "proto/headers.hpp"
+#include "state/conntrack.hpp"
 #include "usecases/usecases.hpp"
 
 using namespace esw;
 
+namespace {
+
+net::Packet build(const proto::PacketSpec& s, uint32_t in_port) {
+  net::Packet p;
+  p.set_len(proto::build_packet(s, p.data(), net::Packet::kMaxFrame));
+  p.set_in_port(in_port);
+  return p;
+}
+
+proto::PacketSpec tcp(uint32_t src, uint32_t dst, uint16_t sport, uint16_t dport,
+                      uint8_t flags) {
+  proto::PacketSpec s;
+  s.kind = proto::PacketKind::kTcp;
+  s.ip_src = src;
+  s.ip_dst = dst;
+  s.sport = sport;
+  s.dport = dport;
+  s.tcp_flags = flags;
+  return s;
+}
+
+bool forwarded(core::Eswitch& sw, net::Packet p) {
+  return sw.process(p).kind == flow::Verdict::Kind::kOutput;
+}
+
+}  // namespace
+
 int main() {
-  core::Eswitch single_stage, multi_stage;
-  single_stage.install(uc::make_firewall_fig1a());
-  multi_stage.install(uc::make_firewall_fig1b());
+  uc::CtUseCase fw = uc::make_ct_firewall();
+  core::CompilerConfig cfg;
+  cfg.ct = fw.ct;
+  core::Eswitch sw(cfg);
+  sw.install(fw.pipeline);
 
-  std::printf("Fig. 1a (single stage): table 0 -> %s\n",
-              core::to_string(single_stage.table_template(0)));
-  std::printf("Fig. 1b (two stages):   table 0 -> %s, table 1 -> %s\n",
-              core::to_string(multi_stage.table_template(0)),
-              core::to_string(multi_stage.table_template(1)));
+  const uint32_t client = flow::parse_ipv4("10.0.0.7");
+  const uint32_t server = flow::parse_ipv4("203.0.113.5");
 
-  // Random traffic through both: verdicts must be identical.
+  // 1. The handshake, packet by packet.
+  const bool probe_blocked = !forwarded(
+      sw, build(tcp(server, client, 443, 40000, proto::kTcpFlagAck),
+                uc::kCtOutsidePort));
+  const bool syn_out = forwarded(
+      sw, build(tcp(client, server, 40000, 443, proto::kTcpFlagSyn),
+                uc::kCtInsidePort));
+  const bool synack_in = forwarded(
+      sw, build(tcp(server, client, 443, 40000,
+                    proto::kTcpFlagSyn | proto::kTcpFlagAck),
+                uc::kCtOutsidePort));
+  const bool forged_blocked = !forwarded(
+      sw, build(tcp(server, client, 443, 40001, proto::kTcpFlagAck),
+                uc::kCtOutsidePort));
+
+  std::printf("unsolicited outside ACK          : %s\n",
+              probe_blocked ? "dropped" : "FORWARDED (bug)");
+  std::printf("inside SYN                       : %s\n",
+              syn_out ? "forwarded + committed" : "DROPPED (bug)");
+  std::printf("server SYN-ACK (established)     : %s\n",
+              synack_in ? "forwarded" : "DROPPED (bug)");
+  std::printf("forged outside ACK (wrong tuple) : %s\n",
+              forged_blocked ? "dropped" : "FORWARDED (bug)");
+
+  // 2. A random mix: inside flows, their replies, and outside junk.  Every
+  // outside packet that gets in must belong to a connection an inside packet
+  // opened first.
   Rng rng(7);
-  uint64_t agreed = 0, forwarded = 0, dropped = 0;
-  const uint32_t web_server = flow::parse_ipv4("192.0.2.1");
+  uint64_t inside = 0, replies_in = 0, junk_blocked = 0, junk_leaked = 0;
   for (int i = 0; i < 20000; ++i) {
-    proto::PacketSpec s;
-    s.kind = proto::PacketKind::kTcp;
-    s.ip_src = static_cast<uint32_t>(rng.next());
-    s.ip_dst = rng.chance(1, 2) ? web_server : static_cast<uint32_t>(rng.next());
-    s.sport = static_cast<uint16_t>(rng.next());
-    s.dport = rng.chance(1, 2) ? 80 : static_cast<uint16_t>(rng.next());
-    const uint32_t port = 1 + static_cast<uint32_t>(rng.below(2));
-
-    net::Packet a, b;
-    a.set_len(proto::build_packet(s, a.data(), net::Packet::kMaxFrame));
-    a.set_in_port(port);
-    b = a;
-    const flow::Verdict va = single_stage.process(a);
-    const flow::Verdict vb = multi_stage.process(b);
-    if (va == vb) ++agreed;
-    if (va.kind == flow::Verdict::Kind::kOutput)
-      ++forwarded;
-    else
-      ++dropped;
+    const uint32_t c = client + static_cast<uint32_t>(rng.below(256));
+    const uint16_t sport = static_cast<uint16_t>(1024 + rng.below(4096));
+    if (rng.chance(1, 3)) {
+      // Unsolicited outside packet: random tuple, never committed.
+      const auto junk = tcp(server, c, 443,
+                            static_cast<uint16_t>(20000 + rng.below(20000)),
+                            proto::kTcpFlagAck);
+      if (forwarded(sw, build(junk, uc::kCtOutsidePort)))
+        ++junk_leaked;
+      else
+        ++junk_blocked;
+    } else {
+      inside += forwarded(
+          sw, build(tcp(c, server, sport, 443, proto::kTcpFlagSyn),
+                    uc::kCtInsidePort));
+      replies_in += forwarded(
+          sw, build(tcp(server, c, 443, sport,
+                        proto::kTcpFlagSyn | proto::kTcpFlagAck),
+                    uc::kCtOutsidePort));
+    }
   }
-  std::printf("20000 random packets: %llu identical verdicts, %llu forwarded, "
-              "%llu dropped\n",
-              static_cast<unsigned long long>(agreed),
-              static_cast<unsigned long long>(forwarded),
-              static_cast<unsigned long long>(dropped));
-  return agreed == 20000 ? 0 : 1;
+  const state::Conntrack::Stats cs = sw.conntrack()->stats();
+  std::printf("\nmix: %llu inside forwarded, %llu replies admitted, "
+              "%llu junk blocked, %llu junk leaked\n",
+              static_cast<unsigned long long>(inside),
+              static_cast<unsigned long long>(replies_in),
+              static_cast<unsigned long long>(junk_blocked),
+              static_cast<unsigned long long>(junk_leaked));
+  std::printf("conntrack: %llu connections live, %llu commits, %llu lookups\n",
+              static_cast<unsigned long long>(cs.live),
+              static_cast<unsigned long long>(cs.commits),
+              static_cast<unsigned long long>(cs.lookups));
+
+  const bool ok = probe_blocked && syn_out && synack_in && forged_blocked &&
+                  junk_leaked == 0;
+  return ok ? 0 : 1;
 }

@@ -14,6 +14,7 @@
 #include "core/decompose.hpp"
 #include "core/template_kind.hpp"
 #include "flow/table.hpp"
+#include "state/ct_config.hpp"
 
 namespace esw::core {
 
@@ -50,6 +51,10 @@ struct CompilerConfig {
   /// disables retries.
   uint32_t jit_retry_base_updates = 64;
   uint32_t jit_retry_max_updates = 4096;
+  /// Connection tracking (src/state/): `ct.enabled` attaches a Conntrack to
+  /// the compiled datapath; `ct:commit` actions and `ct_state` matches are
+  /// parse/compile-valid either way but inert while disabled.
+  state::CtConfig ct;
 };
 
 /// Analysis input: (match, priority) pairs in priority-descending order —

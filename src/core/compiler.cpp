@@ -89,13 +89,18 @@ uint32_t action_proto_requirements(const flow::ActionList& actions) {
         required |= kProtoTcp;
     }
     if (a.type == flow::ActionType::kDecTtl) required |= kProtoIpv4;
+    // Conntrack commits key on the full five-tuple; the datapath must parse
+    // L4 even when no rule matches transport fields.
+    if (a.type == flow::ActionType::kCtCommit) required |= kProtoIpv4 | kProtoTcp;
   }
   return required;
 }
 
 proto::ParserPlan compute_parser_plan(const flow::Pipeline& pl,
                                       const CompilerConfig& cfg) {
-  if (!cfg.specialize_parser) return proto::ParserPlan::full();
+  // A conntrack-enabled switch keys every packet on the five-tuple in the
+  // pre-stage, so parser specialization below L4 is off the table.
+  if (!cfg.specialize_parser || cfg.ct.enabled) return proto::ParserPlan::full();
 
   uint32_t required = 0;
   for (const flow::FlowTable& t : pl.tables()) {

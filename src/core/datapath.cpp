@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "common/counters.hpp"
 #include "common/failpoint.hpp"
+#include "state/conntrack.hpp"
 
 namespace esw::core {
 
@@ -181,6 +182,15 @@ flow::Verdict CompiledDatapath::process(Worker& w, net::Packet& pkt, MemTrace* t
   pi.in_port = pkt.in_port();
   if (trace != nullptr) trace->touch(pkt.data(), 64);  // header cache line(s)
 
+  // Conntrack pre-stage: stamp pi.ct_state before any table can match it.
+  state::Conntrack* const ct = ct_.load(std::memory_order_acquire);
+  state::Conntrack::Hit ct_hit;
+  uint64_t ct_now = 0;
+  if (ESW_UNLIKELY(ct != nullptr)) {
+    ct_now = ct->now_ms();
+    ct_hit = ct->pre(pkt.data(), pi, ct_now);
+  }
+
   // Hot-loop discipline: per-table counters accumulate in a local window and
   // flush on return instead of read-modify-writing the shared slot counters
   // two or three times per hop.  Real pipelines are a handful of hops deep;
@@ -228,7 +238,14 @@ flow::Verdict CompiledDatapath::process(Worker& w, net::Packet& pkt, MemTrace* t
     int32_t action = -1, next = -1;
     jit::unpack_result(r, action, next);
     if (action >= 0) action_set.merge(actions_.get(static_cast<uint32_t>(action)));
-    if (next < 0) return finish(action_set.execute(pkt, pi));
+    if (next < 0) {
+      // Conntrack post-stage: commit + NAT rewrite before the action set
+      // runs, so set-fields and output see the translated packet.
+      if (ESW_UNLIKELY(ct != nullptr))
+        ct->post(ct_hit, action_set.ct_commit(), action_set.ct_profile(),
+                 pkt.data(), pi, ct_now);
+      return finish(action_set.execute(pkt, pi));
+    }
     ESW_DCHECK(next < num_slots());
     slot = next;
   }
@@ -284,14 +301,28 @@ void CompiledDatapath::process_chunk(Worker& w, net::Packet* const* pkts, uint32
     return;
   }
 
+  // Conntrack maintenance rides the chunk boundary: this is a quiescent
+  // point, so no Hit pointer from a previous chunk can survive into the
+  // expiry/reclaim work poll() does.
+  state::Conntrack* const ct = ct_.load(std::memory_order_acquire);
+  state::Conntrack::Hit ct_hits[net::kBurstSize];
+  uint64_t ct_now = 0;
+  if (ESW_UNLIKELY(ct != nullptr)) {
+    ct_now = ct->now_ms();
+    ct->poll(ct_now);
+  }
+
   // Stage 1: parse the whole burst, the next frame's header line in flight
-  // while the current one parses.
+  // while the current one parses.  The conntrack pre-stage runs here too —
+  // ct_state must be stamped before any lookup can match it.
   const proto::ParserPlan plan = plan_.load(std::memory_order_acquire);
   proto::ParseInfo pis[net::kBurstSize];
   for (uint32_t i = 0; i < n; ++i) {
     if (i + 1 < n) esw_prefetch(pkts[i + 1]->data());
     proto::parse(pkts[i]->data(), pkts[i]->len(), plan, pis[i]);
     pis[i].in_port = pkts[i]->in_port();
+    if (ESW_UNLIKELY(ct != nullptr))
+      ct_hits[i] = ct->pre(pkts[i]->data(), pis[i], ct_now);
   }
 
   // Stage 2: hoist the per-slot acquire loads and miss policies to once per
@@ -335,6 +366,9 @@ void CompiledDatapath::process_chunk(Worker& w, net::Packet* const* pkts, uint32
       jit::unpack_result(r, action, next);
       if (action >= 0) action_set.merge(actions_.get(static_cast<uint32_t>(action)));
       if (next < 0) {
+        if (ESW_UNLIKELY(ct != nullptr))
+          ct->post(ct_hits[i], action_set.ct_commit(), action_set.ct_profile(),
+                   pkt.data(), pi, ct_now);
         v = action_set.execute(pkt, pi);
         break;
       }

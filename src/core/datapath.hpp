@@ -34,6 +34,10 @@
 #include "flow/pipeline.hpp"
 #include "netio/packet.hpp"
 
+namespace esw::state {
+class Conntrack;
+}
+
 namespace esw::core {
 
 class CompiledDatapath {
@@ -203,6 +207,20 @@ class CompiledDatapath {
   flow::ActionSetRegistry& actions() { return actions_; }
   const flow::ActionSetRegistry& actions() const { return actions_; }
 
+  /// Attaches (or detaches, nullptr) the connection-tracking layer.  The
+  /// packet path loads this once per packet/chunk (acquire); disabled costs
+  /// one predictable branch.  The Conntrack must outlive its attachment and
+  /// shares this datapath's epoch domain (see domain()).
+  void set_conntrack(state::Conntrack* ct) {
+    ct_.store(ct, std::memory_order_release);
+  }
+  state::Conntrack* conntrack() const {
+    return ct_.load(std::memory_order_acquire);
+  }
+  /// The epoch domain workers tick; the Conntrack's retire/reclaim cycle
+  /// rides the same quiescence signal as table retirement.
+  common::EpochDomain& domain() { return domain_; }
+
   /// Per-slot counter snapshot (sums of all workers' flushed deltas).
   TableStats table_stats(int32_t slot) const;
   /// Verdict-level counters aggregated over the owner context and every
@@ -255,6 +273,7 @@ class CompiledDatapath {
   common::EpochDomain domain_;
   common::RetireList<std::unique_ptr<CompiledTable>> retired_impls_;
   common::RetireList<int32_t> retired_slots_;
+  std::atomic<state::Conntrack*> ct_{nullptr};
 
   // workers_[0] is the implicit owner context; 1..kMaxWorkers are
   // registerable packet workers.

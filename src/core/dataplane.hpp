@@ -34,6 +34,13 @@ struct DataplaneStats {
   uint64_t jit_fallbacks = 0;            // direct-code slots on the interpreter
   uint64_t mods_refused_table_full = 0;  // adds refused at table_capacity
   uint64_t backpressure_events = 0;      // RX pauses under pool exhaustion
+  // Connection-tracking counters (src/state/; zero when ct is disabled or on
+  // backends without the subsystem).  ct_evictions_forced and
+  // ct_commit_drops are the stateful layer's degradation edges.
+  uint64_t ct_entries = 0;               // live connections right now
+  uint64_t ct_commit_drops = 0;          // commits refused at capacity
+  uint64_t ct_evictions_forced = 0;      // capacity/failpoint-forced evictions
+  uint64_t ct_expired = 0;               // idle-timeout removals
 };
 
 /// What a switch backend must provide: bulk install, single and transactional

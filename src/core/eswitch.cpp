@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/check.hpp"
+#include "state/conntrack.hpp"
 
 namespace esw::core {
 
@@ -13,6 +14,31 @@ using flow::FlowTable;
 
 Eswitch::Eswitch(const CompilerConfig& cfg) : cfg_(cfg) {
   root_template_.fill(TableTemplate::kLinkedList);
+  if (cfg_.ct.enabled) {
+    // The conntrack shares the datapath's epoch domain: the per-burst worker
+    // tick that lets table retirements reclaim also ages out ct entries.
+    ct_ = std::make_unique<state::Conntrack>(cfg_.ct, &dp_.domain());
+    dp_.set_conntrack(ct_.get());
+  }
+}
+
+Eswitch::~Eswitch() {
+  dp_.set_conntrack(nullptr);
+}
+
+DataplaneStats Eswitch::stats() const {
+  const CompiledDatapath::Stats s = dp_.stats();
+  DataplaneStats out{s.packets, s.outputs, s.drops, s.to_controller};
+  out.jit_fallbacks = degradation_.jit_fallbacks;
+  out.mods_refused_table_full = degradation_.mods_refused_table_full;
+  if (ct_ != nullptr) {
+    const state::Conntrack::Stats cs = ct_->stats();
+    out.ct_entries = cs.live;
+    out.ct_commit_drops = cs.commit_drops;
+    out.ct_evictions_forced = cs.evictions_forced;
+    out.ct_expired = cs.expired;
+  }
+  return out;
 }
 
 void Eswitch::install(const flow::Pipeline& pl) {

@@ -45,6 +45,7 @@ class Eswitch {
   using Worker = CompiledDatapath::Worker;
 
   explicit Eswitch(const CompilerConfig& cfg = CompilerConfig{});
+  ~Eswitch();  // out of line: ct_ holds an incomplete type here
 
   /// Replaces the whole configuration and recompiles from scratch.
   /// Stop-the-world: requires no registered workers.
@@ -94,15 +95,14 @@ class Eswitch {
   /// recovery lever against a stuck worker pinning the epoch horizon.
   void quiesce(Worker& w) { dp_.quiesce(w); }
 
-  /// Verdict-level counters in the unified Dataplane shape, degradation
-  /// counters included.
-  DataplaneStats stats() const {
-    const CompiledDatapath::Stats s = dp_.stats();
-    DataplaneStats out{s.packets, s.outputs, s.drops, s.to_controller};
-    out.jit_fallbacks = degradation_.jit_fallbacks;
-    out.mods_refused_table_full = degradation_.mods_refused_table_full;
-    return out;
-  }
+  /// Verdict-level counters in the unified Dataplane shape, degradation and
+  /// conntrack counters included.
+  DataplaneStats stats() const;
+
+  /// The connection-tracking layer, or nullptr when cfg.ct.enabled is false.
+  /// Created at construction and owned for the switch's lifetime.
+  state::Conntrack* conntrack() { return ct_.get(); }
+  const state::Conntrack* conntrack() const { return ct_.get(); }
 
   const flow::Pipeline& pipeline() const { return pipeline_; }
   CompiledDatapath& datapath() { return dp_; }
@@ -164,6 +164,7 @@ class Eswitch {
   CompilerConfig cfg_;
   flow::Pipeline pipeline_;
   CompiledDatapath dp_;
+  std::unique_ptr<state::Conntrack> ct_;  // attached to dp_ when cfg_.ct.enabled
   GotoMap goto_map_ = GotoMap(256, -1);
   std::array<TableTemplate, 256> root_template_{};
   std::array<bool, 256> decomposed_{};

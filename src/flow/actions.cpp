@@ -35,6 +35,10 @@ std::string to_string(const Action& a) {
     case ActionType::kDecTtl:
       os << "dec_ttl";
       break;
+    case ActionType::kCtCommit:
+      os << "ct:commit";
+      if (a.value != 0) os << ":" << a.value;
+      break;
   }
   return os.str();
 }
@@ -82,6 +86,10 @@ void ActionSetBuilder::merge(const ActionList& actions) {
         break;
       case ActionType::kDecTtl:
         dec_ttl_ = true;
+        break;
+      case ActionType::kCtCommit:
+        ct_commit_ = true;
+        ct_profile_ = static_cast<uint32_t>(a.value);
         break;
     }
   }

@@ -30,6 +30,7 @@ enum class ActionType : uint8_t {
   kPushVlan,
   kPopVlan,
   kDecTtl,
+  kCtCommit,
 };
 
 struct Action {
@@ -45,6 +46,11 @@ struct Action {
   static Action push_vlan(uint16_t vid) { return {ActionType::kPushVlan, FieldId::kCount, vid}; }
   static Action pop_vlan() { return {ActionType::kPopVlan, FieldId::kCount, 0}; }
   static Action dec_ttl() { return {ActionType::kDecTtl, FieldId::kCount, 0}; }
+  /// Commit the connection to the conntrack table; `profile` selects the
+  /// switch-configured NAT/LB profile (0 = plain commit, no rewrite).
+  static Action ct_commit(uint32_t profile = 0) {
+    return {ActionType::kCtCommit, FieldId::kCount, profile};
+  }
 
   bool operator==(const Action&) const = default;
 };
@@ -81,8 +87,16 @@ class ActionSetBuilder {
   Verdict execute(net::Packet& pkt, proto::ParseInfo& pi) const;
 
   bool empty() const {
-    return !pop_vlan_ && !push_vlan_ && !dec_ttl_ && set_present_ == 0 && !has_out_;
+    return !pop_vlan_ && !push_vlan_ && !dec_ttl_ && set_present_ == 0 && !has_out_ &&
+           !ct_commit_;
   }
+
+  /// Conntrack commit request accumulated from kCtCommit write-actions.
+  /// execute() ignores it — the datapath consumes it after the action set
+  /// runs (the post-stage in CompiledDatapath), so the pipeline model and
+  /// the OVS backend stay conntrack-free.
+  bool ct_commit() const { return ct_commit_; }
+  uint32_t ct_profile() const { return ct_profile_; }
 
  private:
   bool pop_vlan_ = false;
@@ -93,6 +107,8 @@ class ActionSetBuilder {
   std::array<uint64_t, kNumFields> set_values_{};
   bool has_out_ = false;
   Verdict out_{};
+  bool ct_commit_ = false;
+  uint32_t ct_profile_ = 0;
 };
 
 /// Interning registry: ActionList -> dense id.  Compiled tables reference

@@ -104,6 +104,16 @@ Action parse_action(std::string_view s) {
   const std::string_view name = s.substr(0, colon);
   const std::string_view arg = s.substr(colon + 1);
   if (name == "output") return Action::output(static_cast<uint32_t>(parse_u64(arg)));
+  if (name == "ct") {
+    // ct:commit or ct:commit:PROFILE (to_string round-trip shape).
+    ESW_CHECK_MSG(arg.substr(0, 6) == "commit", "unknown ct action: " + std::string(s));
+    uint32_t profile = 0;
+    if (arg.size() > 6) {
+      ESW_CHECK_MSG(arg[6] == ':', "bad ct action: " + std::string(s));
+      profile = static_cast<uint32_t>(parse_u64(arg.substr(7)));
+    }
+    return Action::ct_commit(profile);
+  }
   if (name == "push_vlan") return Action::push_vlan(static_cast<uint16_t>(parse_u64(arg)));
   if (name == "set_field") {
     const size_t eq = arg.find('=');

@@ -39,6 +39,9 @@ constexpr std::array<FieldInfo, kNumFields> kCatalog = {{
     {"icmp_type", 8, FieldBase::kL4, 0, 1, 0, kProtoIpv4 | kProtoIcmp},
     {"icmp_code", 8, FieldBase::kL4, 1, 1, 0, kProtoIpv4 | kProtoIcmp},
     {"arp_op", 16, FieldBase::kL3, 6, 2, 0, kProtoArp},
+    // Conntrack state bits stamped by the datapath pre-stage (state/conntrack.hpp);
+    // matchable like any metadata field, read-only from actions.
+    {"ct_state", 32, FieldBase::kMeta, 24, 4, 0, 0},
 }};
 
 uint32_t base_offset(FieldBase base, const ParseInfo& pi) {
@@ -72,8 +75,11 @@ uint64_t field_full_mask(FieldId f) { return low_bits(field_info(f).width_bits);
 
 uint64_t extract_field(FieldId f, const uint8_t* pkt, const ParseInfo& pi) {
   const FieldInfo& fi = field_info(f);
-  if (fi.base == FieldBase::kMeta)
-    return f == FieldId::kInPort ? pi.in_port : pi.metadata;
+  if (fi.base == FieldBase::kMeta) {
+    if (f == FieldId::kInPort) return pi.in_port;
+    if (f == FieldId::kCtState) return pi.ct_state;
+    return pi.metadata;
+  }
   const uint32_t off = base_offset(fi.base, pi) + fi.offset;
   const uint64_t raw = load_be(pkt + off, fi.load_width);
   return (raw >> fi.shift) & low_bits(fi.width_bits);
@@ -115,6 +121,7 @@ bool store_field(FieldId f, uint64_t value, uint8_t* pkt, ParseInfo& pi) {
 
   switch (f) {
     case FieldId::kInPort:
+    case FieldId::kCtState:
       return false;  // read-only
     case FieldId::kMetadata:
       pi.metadata = value;

@@ -31,6 +31,7 @@ enum class FieldId : uint8_t {
   kIcmpType,
   kIcmpCode,
   kArpOp,
+  kCtState,
   kCount,
 };
 

@@ -22,6 +22,9 @@ constexpr uint16_t kActPushVlan = 17;
 constexpr uint16_t kActPopVlan = 18;
 constexpr uint16_t kActDecNwTtl = 24;
 constexpr uint16_t kActSetField = 25;
+// Private/experimenter action: conntrack commit (no OpenFlow 1.3 standard
+// action exists; 16-byte body carries the u32 commit profile).
+constexpr uint16_t kActCtCommit = 0xFF01;
 
 constexpr uint32_t kPortController = 0xfffffffd;  // OFPP_CONTROLLER
 constexpr uint32_t kPortFlood = 0xfffffffb;       // OFPP_FLOOD
@@ -58,6 +61,7 @@ OxmInfo oxm_info(FieldId f) {
     case FieldId::kIcmpCode:  return {kOxmClassBasic, 20, 1};
     case FieldId::kArpOp:     return {kOxmClassBasic, 21, 2};
     case FieldId::kIpTtl:     return {kOxmClassPrivate, 1, 1};
+    case FieldId::kCtState:   return {kOxmClassPrivate, 2, 4};
     default:
       ESW_CHECK_MSG(false, "field has no OXM mapping");
   }
@@ -245,6 +249,12 @@ void encode_action(Writer& w, const Action& a) {
       w.patch_u16(len_off, static_cast<uint16_t>(w.size() - start));
       break;
     }
+    case ActionType::kCtCommit:
+      w.u16(kActCtCommit);
+      w.u16(16);
+      w.u32(static_cast<uint32_t>(a.value));  // commit profile
+      w.zeros(8);
+      break;
     case ActionType::kDrop:
       break;  // drop = absence of output
   }
@@ -381,6 +391,13 @@ ActionList decode_actions(Reader& r, size_t abytes) {
         if (f == FieldId::kVlanVid) value &= ~uint64_t{kVidPresent};
         out.push_back(Action::set_field(f, value));
         r.skip(alen - 8 - tlv_len);  // padding
+        break;
+      }
+      case kActCtCommit: {
+        ESW_CHECK_MSG(alen == 16, "bad action length");
+        const uint32_t profile = r.u32();
+        r.skip(8);
+        out.push_back(Action::ct_commit(profile));
         break;
       }
       default:

@@ -679,6 +679,35 @@ void check_chaos_point(const BenchReport& r, const BenchSeries& s,
                         std::string(key) + " counter");
 }
 
+/// Conntrack ("ct") point-shape contract: every point carries the full
+/// conntrack counter block, and the counters satisfy the conservation
+/// identity `commits == live + expired + evicted` — degradation under attack
+/// must be accounted, so a point whose table churn doesn't add up means the
+/// stateful layer lost track of a connection.
+void check_ct_point(const BenchReport& r, const BenchSeries& s,
+                    const BenchPoint& p, std::vector<std::string>* errors) {
+  static const char* kRequired[] = {"ct_entries", "ct_commits",
+                                    "ct_commit_drops", "ct_evictions_forced",
+                                    "ct_expired"};
+  for (const char* key : kRequired) {
+    if (p.counters.find(key) == p.counters.end()) {
+      errors->push_back(point_id(r, s, p) + ": ct point missing " +
+                        std::string(key) + " counter");
+      return;
+    }
+  }
+  const double commits = p.counters.at("ct_commits");
+  const double accounted = p.counters.at("ct_entries") +
+                           p.counters.at("ct_expired") +
+                           p.counters.at("ct_evictions_forced");
+  if (commits != accounted)
+    errors->push_back(point_id(r, s, p) + ": ct conservation violated (" +
+                      std::to_string(commits) + " commits != " +
+                      std::to_string(accounted) + " live+expired+evicted)");
+  if (p.pps <= 0)
+    errors->push_back(point_id(r, s, p) + ": ct point has no throughput");
+}
+
 }  // namespace
 
 std::vector<std::string> validate_report(const BenchReport& report) {
@@ -690,6 +719,7 @@ std::vector<std::string> validate_report(const BenchReport& report) {
       if (report.figure == "fig19") check_fig19_point(report, s, p, &errors);
       if (report.figure == "fig10" || report.figure == "fig11")
         check_trace_point(report, s, p, &errors);
+      if (report.figure == "ct") check_ct_point(report, s, p, &errors);
     }
   }
   return errors;

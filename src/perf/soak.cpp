@@ -14,6 +14,7 @@
 #include "netio/pcap.hpp"
 #include "netio/trace_source.hpp"
 #include "perf/bench_json.hpp"
+#include "state/conntrack.hpp"
 #include "usecases/usecases.hpp"
 
 namespace esw::perf {
@@ -77,6 +78,7 @@ constexpr ChaosSlot kChaosSchedule[] = {
     {"lpm.tbl8", "prob:0.5:103"},       // tbl8 exhaustion -> rebuild/fallback
     {"hash.insert", "prob:0.5:104"},    // incremental refusal -> rebuild
     {"epoch.reclaim", "prob:0.5:105"},  // deferred reclamation -> pending
+    {"ct.insert", "prob:0.5:106"},      // conntrack slot pressure -> eviction
 };
 constexpr size_t kChaosSlots = sizeof(kChaosSchedule) / sizeof(kChaosSchedule[0]);
 
@@ -89,6 +91,7 @@ struct ChaosWindowBase {
   uint64_t jit_fallbacks = 0;
   uint64_t template_fallbacks = 0;
   uint64_t table_rebuilds = 0;
+  uint64_t ct_absorbed = 0;  // conntrack forced evictions + commit drops
   uint64_t fires = 0;
   uint64_t pending_seen = 0;  // max reclaim-pending observed inside the window
 };
@@ -105,6 +108,10 @@ ChaosWindowBase chaos_snapshot(core::SwitchRuntime<core::Eswitch>& rt,
   b.jit_fallbacks = deg.jit_fallbacks;
   b.template_fallbacks = deg.template_fallbacks;
   b.table_rebuilds = rt.backend().update_stats().table_rebuilds;
+  if (const state::Conntrack* ct = rt.backend().conntrack()) {
+    const state::Conntrack::Stats cs = ct->stats();
+    b.ct_absorbed = cs.evictions_forced + cs.commit_drops;
+  }
   b.fires = common::FailpointRegistry::instance().fires(point);
   return b;
 }
@@ -135,6 +142,8 @@ SoakCheck close_chaos_window(core::SwitchRuntime<core::Eswitch>& rt,
             (now.template_fallbacks - base.template_fallbacks);
   else if (name == "epoch.reclaim")
     delta = base.pending_seen;  // deferred work observed; final reclaim drains it
+  else if (name == "ct.insert")
+    delta = now.ct_absorbed - base.ct_absorbed;
   SoakCheck c;
   c.name = "chaos-" + name;
   c.ok = fires == 0 || delta > 0;
@@ -251,7 +260,20 @@ SoakReport run_soak(const SoakOptions& opts) {
   rcfg.n_workers = opts.workers;
   rcfg.n_ports = std::max<uint32_t>(opts.workers, 8);  // L3 outputs to 1-8
   rcfg.pool_capacity = 4096 * opts.workers;
-  Runtime rt(rcfg, core::CompilerConfig{});
+  // Chaos always runs the stateful layer (the ct.insert slot needs a site),
+  // undersized so eviction pressure is the steady state, not a corner case.
+  const uint32_t ct_capacity =
+      opts.ct_capacity > 0
+          ? opts.ct_capacity
+          : (opts.chaos ? static_cast<uint32_t>(opts.n_flows / 2) : 0);
+  core::CompilerConfig ccfg;
+  if (ct_capacity > 0) {
+    ccfg.ct.enabled = true;
+    ccfg.ct.capacity = ct_capacity;
+    ccfg.ct.auto_commit = true;
+    ccfg.ct.midstream_pickup = true;
+  }
+  Runtime rt(rcfg, ccfg);
   rt.backend().install(uc.pipeline);
   if (opts.chaos) seed_hash_table(rt.backend());
 
@@ -439,6 +461,9 @@ SoakReport run_soak(const SoakOptions& opts) {
   rep.degradation.mods_refused_table_full = deg.mods_refused_table_full;
   rep.degradation.watchdog_stalled = rt.watchdog_stalled_total();
   rep.degradation.watchdog_recovered = rt.watchdog_recovered_total();
+  rep.degradation.ct_commit_drops = bs.ct_commit_drops;
+  rep.degradation.ct_evictions_forced = bs.ct_evictions_forced;
+  rep.degradation.ct_expired = bs.ct_expired;
   for (const auto& s : fpr.snapshot())
     rep.failpoints.push_back({s.name, s.hits, s.fires});
 
@@ -506,8 +531,26 @@ SoakReport run_soak(const SoakOptions& opts) {
           " drops=" + u64s(bs.drops) + " pins=" + u64s(bs.to_controller) +
           ") runtime processed=" + u64s(c.processed));
 
+  // Conntrack conservation: every connection the stateful layer ever
+  // committed is still live, aged out, or was evicted for room — and after a
+  // final flush nothing may stay on the retire lists.  A connection the
+  // counters cannot place is state the table lost track of.
+  if (state::Conntrack* ct = rt.backend().conntrack()) {
+    ct->flush_reclaim();
+    const state::Conntrack::Stats cs = ct->stats();
+    add("ct-conservation",
+        cs.commits == cs.live + cs.expired + cs.evictions_forced,
+        "commits=" + u64s(cs.commits) + " live=" + u64s(cs.live) + " expired=" +
+            u64s(cs.expired) + " evicted=" + u64s(cs.evictions_forced));
+    add("ct-reclaim",
+        cs.retire_pending == 0 &&
+            cs.retired_total == cs.reclaimed_total,
+        "retired=" + u64s(cs.retired_total) + " reclaimed=" +
+            u64s(cs.reclaimed_total) + " pending=" + u64s(cs.retire_pending));
+  }
+
   // Chaos coverage: the run must have cycled through the whole schedule at
-  // least once, or the "five distinct failpoints" promise silently shrinks.
+  // least once, or the distinct-failpoints promise silently shrinks.
   if (opts.chaos)
     add("chaos-coverage", rep.chaos_windows >= kChaosSlots,
         "windows=" + u64s(rep.chaos_windows) + " schedule=" + u64s(kChaosSlots));
@@ -560,6 +603,11 @@ std::string SoakReport::to_json() const {
           Json::number(static_cast<double>(degradation.watchdog_stalled)));
   deg.set("watchdog_recovered",
           Json::number(static_cast<double>(degradation.watchdog_recovered)));
+  deg.set("ct_commit_drops",
+          Json::number(static_cast<double>(degradation.ct_commit_drops)));
+  deg.set("ct_evictions_forced",
+          Json::number(static_cast<double>(degradation.ct_evictions_forced)));
+  deg.set("ct_expired", Json::number(static_cast<double>(degradation.ct_expired)));
   doc.set("degradation", std::move(deg));
   Json fps = Json::array();
   for (const FailpointStat& f : failpoints) {

@@ -67,6 +67,14 @@ struct SoakOptions {
   /// side table and a tiny direct-code table (re-JIT per mod).
   bool chaos = false;
   double chaos_period_ms = 200;
+
+  /// Stateful layer: a conntrack (auto-commit, midstream pickup) attached to
+  /// the datapath, sized to this many entries.  Sizing it below n_flows makes
+  /// sustained accounted eviction the steady state — the degradation policy
+  /// under permanent table pressure, audited by the ct-conservation check.
+  /// 0 = no conntrack; chaos mode defaults it to n_flows / 2 so the
+  /// ct.insert schedule slot always has a live site to hit.
+  uint32_t ct_capacity = 0;
 };
 
 /// Maps a CLI/env fault name ("leak-buffer", "stuck-worker", "counter-drift",
@@ -93,6 +101,9 @@ struct DegradationSummary {
   uint64_t mods_refused_table_full = 0;
   uint64_t watchdog_stalled = 0;
   uint64_t watchdog_recovered = 0;
+  uint64_t ct_commit_drops = 0;      // conntrack at capacity, commit refused
+  uint64_t ct_evictions_forced = 0;  // conntrack evicted to make room
+  uint64_t ct_expired = 0;           // conntrack timeout-wheel removals
 };
 
 struct FailpointStat {

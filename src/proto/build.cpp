@@ -116,7 +116,7 @@ uint32_t build_packet(const PacketSpec& spec, uint8_t* buf, uint32_t cap) {
       store_be16(l4 + kTcpDstOff, spec.dport);
       store_be32(l4 + 4, 1);           // seq
       l4[kTcpDataOffOff] = 5 << 4;     // header length 20
-      l4[13] = 0x10;                   // ACK
+      l4[kTcpFlagsOff] = spec.tcp_flags;
       store_be16(l4 + 14, 0xFFFF);     // window
       payload = l4 + kTcpMinHeaderLen;
       break;

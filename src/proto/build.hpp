@@ -27,6 +27,7 @@ struct PacketSpec {
 
   uint16_t sport = 1024;
   uint16_t dport = 80;
+  uint8_t tcp_flags = 0x10;  // ACK; headers.hpp kTcpFlag* for SYN/FIN/RST mixes
   uint8_t icmp_type = 8;  // echo request
   uint8_t icmp_code = 0;
   uint16_t arp_op = 1;  // request

@@ -52,7 +52,13 @@ inline constexpr unsigned kTcpMinHeaderLen = 20;
 inline constexpr unsigned kTcpSrcOff = 0;
 inline constexpr unsigned kTcpDstOff = 2;
 inline constexpr unsigned kTcpDataOffOff = 12;
+inline constexpr unsigned kTcpFlagsOff = 13;
 inline constexpr unsigned kTcpChecksumOff = 16;
+
+inline constexpr uint8_t kTcpFlagFin = 0x01;
+inline constexpr uint8_t kTcpFlagSyn = 0x02;
+inline constexpr uint8_t kTcpFlagRst = 0x04;
+inline constexpr uint8_t kTcpFlagAck = 0x10;
 
 // --- UDP -----------------------------------------------------------------------
 inline constexpr unsigned kUdpHeaderLen = 8;

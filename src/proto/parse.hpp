@@ -43,6 +43,7 @@ struct ParseInfo {
   uint16_t payload_off = 0;  // offset 10
   uint32_t in_port = 0;      // offset 12 — pipeline metadata, matchable
   uint64_t metadata = 0;     // offset 16 — OpenFlow metadata register
+  uint32_t ct_state = 0;     // offset 24 — conntrack state bits (state/conntrack.hpp)
 
   bool has(ProtoBit bit) const { return (proto_mask & bit) != 0; }
 };
@@ -54,6 +55,7 @@ static_assert(offsetof(ParseInfo, l4_off) == 8, "frozen JIT layout");
 static_assert(offsetof(ParseInfo, payload_off) == 10, "frozen JIT layout");
 static_assert(offsetof(ParseInfo, in_port) == 12, "frozen JIT layout");
 static_assert(offsetof(ParseInfo, metadata) == 16, "frozen JIT layout");
+static_assert(offsetof(ParseInfo, ct_state) == 24, "frozen JIT layout");
 
 /// Which layers a compiled pipeline needs parsed.  The compiler derives this
 /// from the union of matched fields (§3.1: "for pure L2 MAC forwarding it is

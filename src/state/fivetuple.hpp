@@ -1,0 +1,69 @@
+// The five-tuple connection key and its extraction from a parsed packet.
+//
+// A connection is keyed on both directions' wire tuples Linux-style: the
+// `orig` tuple is the committing packet's, the `reply` tuple is what reply
+// packets carry on the wire (post-NAT when a rewrite profile applies).  Both
+// are FiveTuples; reversed() maps between a direction's wire form and the
+// egress form of the opposite direction.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "proto/headers.hpp"
+#include "proto/parse.hpp"
+
+namespace esw::state {
+
+struct FiveTuple {
+  uint32_t src_ip = 0;
+  uint32_t dst_ip = 0;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint8_t proto = 0;
+
+  bool operator==(const FiveTuple&) const = default;
+
+  FiveTuple reversed() const { return {dst_ip, src_ip, dst_port, src_port, proto}; }
+};
+
+/// 64-bit mix of the tuple (splitmix64 finalizer over the packed key).
+/// Deliberately NOT direction-symmetric: each direction hashes to its own
+/// bucket, which is what the dual-key insert wants.
+inline uint64_t hash_tuple(const FiveTuple& t) {
+  uint64_t a = (static_cast<uint64_t>(t.src_ip) << 32) | t.dst_ip;
+  uint64_t b = (static_cast<uint64_t>(t.src_port) << 24) |
+               (static_cast<uint64_t>(t.dst_port) << 8) | t.proto;
+  uint64_t x = a ^ (b * 0x9E3779B97F4A7C15ULL);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Fills `out` from a parsed IPv4 packet; false when the packet carries no
+/// trackable tuple (non-IP).  TCP/UDP use real ports; ICMP and bare IPv4 key
+/// on addresses + protocol only, so an echo reply maps onto the request's
+/// entry via reversed().
+inline bool extract_tuple(const uint8_t* pkt, const proto::ParseInfo& pi,
+                          FiveTuple* out) {
+  using namespace esw::proto;
+  if (!pi.has(kProtoIpv4)) return false;
+  const uint8_t* ip = pkt + pi.l3_off;
+  out->src_ip = static_cast<uint32_t>(load_be32(ip + kIpv4SrcOff));
+  out->dst_ip = static_cast<uint32_t>(load_be32(ip + kIpv4DstOff));
+  out->proto = ip[kIpv4ProtoOff];
+  if (pi.has(kProtoTcp) || pi.has(kProtoUdp)) {
+    const uint8_t* l4 = pkt + pi.l4_off;
+    out->src_port = load_be16(l4 + 0);
+    out->dst_port = load_be16(l4 + 2);
+  } else {
+    out->src_port = 0;
+    out->dst_port = 0;
+  }
+  return true;
+}
+
+}  // namespace esw::state

@@ -5,6 +5,8 @@
 #include "common/bits.hpp"
 #include "common/rng.hpp"
 #include "flow/dsl.hpp"
+#include "proto/headers.hpp"
+#include "state/conntrack.hpp"
 
 namespace esw::uc {
 
@@ -359,6 +361,173 @@ FlowTable make_snort_like_acls(size_t n_rules, uint64_t seed) {
   }
   t.replace_all(std::move(entries));
   return t;
+}
+
+// --- stateful use cases ------------------------------------------------------
+
+namespace {
+
+/// The shared stateful shape: inside traffic commits (with `profile`) and
+/// forwards out; outside traffic needs the established bit to get in.
+Pipeline ct_gate_pipeline(uint32_t profile) {
+  std::vector<FlowEntry> entries;
+  {
+    FlowEntry fwd;
+    fwd.match.set(FieldId::kInPort, kCtInsidePort);
+    fwd.priority = 300;
+    fwd.actions = {Action::ct_commit(profile), Action::output(kCtOutsidePort)};
+    entries.push_back(std::move(fwd));
+  }
+  {
+    FlowEntry est;
+    est.match.set(FieldId::kInPort, kCtOutsidePort);
+    est.match.set(FieldId::kCtState, state::kCtEstablished, state::kCtEstablished);
+    est.priority = 200;
+    est.actions = {Action::output(kCtInsidePort)};
+    entries.push_back(std::move(est));
+  }
+  {
+    FlowEntry drop;
+    drop.priority = 100;
+    drop.actions = {Action::drop()};
+    entries.push_back(std::move(drop));
+  }
+  Pipeline pl;
+  pl.table(0).replace_all(std::move(entries));
+  return pl;
+}
+
+/// A deterministic inside-client TCP connection: (10.0.x.x, sport) toward a
+/// 203.0.113.0/24 server on port 443.
+FlowSpec ct_inside_flow(Rng& rng) {
+  FlowSpec fs;
+  fs.pkt.kind = proto::PacketKind::kTcp;
+  fs.in_port = kCtInsidePort;
+  fs.pkt.ip_src = 0x0A000000u | static_cast<uint32_t>(rng.below(1 << 16));
+  fs.pkt.ip_dst = 0xCB007100u | static_cast<uint32_t>(rng.below(250));
+  fs.pkt.sport = static_cast<uint16_t>(1024 + rng.below(60000));
+  fs.pkt.dport = 443;
+  fs.pkt.tcp_flags = proto::kTcpFlagSyn;
+  return fs;
+}
+
+}  // namespace
+
+CtUseCase make_ct_firewall(uint32_t capacity, uint64_t seed) {
+  CtUseCase uc;
+  uc.pipeline = ct_gate_pipeline(0);
+  uc.ct.enabled = true;
+  uc.ct.capacity = capacity;
+
+  uc.traffic = [seed](size_t n_flows, uint64_t run_seed) {
+    Rng rng(seed ^ (run_seed * 0x5DEECE66DULL));
+    std::vector<FlowSpec> flows;
+    flows.reserve(n_flows);
+    for (size_t i = 0; i < n_flows; ++i) {
+      FlowSpec fwd = ct_inside_flow(rng);
+      if (rng.chance(1, 10)) {
+        // Unsolicited outside probe: no entry will ever exist, must drop.
+        fwd.in_port = kCtOutsidePort;
+        fwd.pkt.tcp_flags = proto::kTcpFlagAck;
+        flows.push_back(std::move(fwd));
+      } else if (rng.chance(1, 4)) {
+        // Reply of an inside flow generated in the same batch: round-robin
+        // replay commits the forward packet before this one arrives, so the
+        // firewall admits it as established.
+        FlowSpec rep = fwd;
+        rep.in_port = kCtOutsidePort;
+        std::swap(rep.pkt.ip_src, rep.pkt.ip_dst);
+        std::swap(rep.pkt.sport, rep.pkt.dport);
+        rep.pkt.tcp_flags =
+            static_cast<uint8_t>(proto::kTcpFlagSyn | proto::kTcpFlagAck);
+        flows.push_back(std::move(fwd));
+        if (flows.size() < n_flows) flows.push_back(std::move(rep));
+        continue;
+      } else {
+        flows.push_back(std::move(fwd));
+      }
+    }
+    return flows;
+  };
+  return uc;
+}
+
+CtUseCase make_ct_nat(uint32_t snat_ip, uint32_t capacity, uint64_t seed) {
+  CtUseCase uc;
+  uc.pipeline = ct_gate_pipeline(1);
+  uc.ct.enabled = true;
+  uc.ct.capacity = capacity;
+  uc.ct.profiles.resize(2);
+  uc.ct.profiles[1].kind = state::CtProfileConfig::Kind::kSnat;
+  uc.ct.profiles[1].snat_ip = snat_ip;
+
+  // Forward direction only: a reply's wire destination is the dynamically
+  // allocated (snat_ip, port), which a pregenerated trace cannot know.
+  // tests/test_conntrack.cpp covers the reply path via the live table.
+  uc.traffic = [seed](size_t n_flows, uint64_t run_seed) {
+    Rng rng(seed ^ (run_seed * 0x2545F4914F6CDD1DULL));
+    std::vector<FlowSpec> flows;
+    flows.reserve(n_flows);
+    for (size_t i = 0; i < n_flows; ++i) flows.push_back(ct_inside_flow(rng));
+    return flows;
+  };
+  return uc;
+}
+
+CtUseCase make_ct_lb(size_t n_backends, uint32_t capacity, uint64_t seed) {
+  CtUseCase uc;
+  uc.ct.enabled = true;
+  uc.ct.capacity = capacity;
+  uc.ct.profiles.resize(2);
+  uc.ct.profiles[1].kind = state::CtProfileConfig::Kind::kLb;
+  for (size_t i = 0; i < n_backends; ++i)
+    uc.ct.profiles[1].backends.emplace_back(
+        kCtLbBackendBase + static_cast<uint32_t>(i), kCtLbBackendPort);
+
+  std::vector<FlowEntry> entries;
+  {
+    FlowEntry vip;  // client SYNs and all later forward packets (wire dst=VIP)
+    vip.match.set(FieldId::kInPort, kCtInsidePort);
+    vip.match.set(FieldId::kIpDst, kCtLbVip);
+    vip.match.set(FieldId::kTcpDst, kCtLbVipPort);
+    vip.priority = 300;
+    vip.actions = {Action::ct_commit(1), Action::output(kCtOutsidePort)};
+    entries.push_back(std::move(vip));
+  }
+  {
+    FlowEntry est;  // backend replies, un-NATed to the VIP by the post-stage
+    est.match.set(FieldId::kInPort, kCtOutsidePort);
+    est.match.set(FieldId::kCtState, state::kCtEstablished, state::kCtEstablished);
+    est.priority = 200;
+    est.actions = {Action::output(kCtInsidePort)};
+    entries.push_back(std::move(est));
+  }
+  {
+    FlowEntry drop;
+    drop.priority = 100;
+    drop.actions = {Action::drop()};
+    entries.push_back(std::move(drop));
+  }
+  uc.pipeline.table(0).replace_all(std::move(entries));
+
+  uc.traffic = [seed](size_t n_flows, uint64_t run_seed) {
+    Rng rng(seed ^ (run_seed * 0x9E3779B9ULL));
+    std::vector<FlowSpec> flows;
+    flows.reserve(n_flows);
+    for (size_t i = 0; i < n_flows; ++i) {
+      FlowSpec fs;
+      fs.pkt.kind = proto::PacketKind::kTcp;
+      fs.in_port = kCtInsidePort;
+      fs.pkt.ip_src = static_cast<uint32_t>(rng.next());
+      fs.pkt.ip_dst = kCtLbVip;
+      fs.pkt.sport = static_cast<uint16_t>(1024 + rng.below(60000));
+      fs.pkt.dport = kCtLbVipPort;
+      fs.pkt.tcp_flags = proto::kTcpFlagSyn;
+      flows.push_back(std::move(fs));
+    }
+    return flows;
+  };
+  return uc;
 }
 
 }  // namespace esw::uc

@@ -16,6 +16,7 @@
 #include "flow/pipeline.hpp"
 #include "netio/nfpa.hpp"
 #include "netio/pktgen.hpp"
+#include "state/ct_config.hpp"
 
 namespace esw::uc {
 
@@ -79,5 +80,46 @@ std::vector<net::FlowSpec> fig3_sequence_2();  // 191 first
 
 /// Snort-community-like 5-tuple ACLs for the §3.2 decomposition experiment.
 flow::FlowTable make_snort_like_acls(size_t n_rules, uint64_t seed = 5);
+
+// --- stateful use cases (src/state/ connection tracking) ---------------------
+
+/// A use case whose pipeline needs the conntrack layer: the CtConfig it must
+/// be constructed with rides along (assign to CompilerConfig::ct).
+struct CtUseCase {
+  flow::Pipeline pipeline;
+  state::CtConfig ct;
+  std::function<std::vector<net::FlowSpec>(size_t n_flows, uint64_t seed)> traffic;
+};
+
+/// Port conventions shared by all three stateful use cases.
+inline constexpr uint32_t kCtInsidePort = 1;   // protected / client side
+inline constexpr uint32_t kCtOutsidePort = 2;  // untrusted / backend side
+
+/// Stateful firewall: inside traffic commits and forwards out; outside
+/// traffic forwards in only when it belongs to an established connection
+/// (`ct_state` established bit), everything else drops.  Traffic mixes
+/// inside flows, their replies, and unsolicited outside packets the firewall
+/// must drop.
+CtUseCase make_ct_firewall(uint32_t capacity = 1u << 16, uint64_t seed = 6);
+
+/// SNAT gateway: the firewall shape with commit profile 1 rewriting inside
+/// sources to `snat_ip` and an allocated port; replies un-NAT on the way in.
+/// Traffic is the inside->out direction (reply tuples depend on the dynamic
+/// port allocation, so tests derive them from the live table instead).
+CtUseCase make_ct_nat(uint32_t snat_ip, uint32_t capacity = 1u << 16,
+                      uint64_t seed = 7);
+/// The SNAT use case's VIP-side address constants for tests/examples.
+inline constexpr uint32_t kCtNatDefaultIp = 0xC6336401;  // 198.51.100.1
+
+/// Consistent-hashing load balancer: TCP flows to the VIP commit with an LB
+/// profile that rendezvous-hashes them onto one of `n_backends` backends and
+/// keeps per-connection affinity in the entry (backend churn never remaps a
+/// committed connection).  Backend i listens on kCtLbBackendBase + i : 8080.
+CtUseCase make_ct_lb(size_t n_backends, uint32_t capacity = 1u << 16,
+                     uint64_t seed = 8);
+inline constexpr uint32_t kCtLbVip = 0x0A630001;         // 10.99.0.1
+inline constexpr uint16_t kCtLbVipPort = 80;
+inline constexpr uint32_t kCtLbBackendBase = 0x0AC80001; // 10.200.0.1 + i
+inline constexpr uint16_t kCtLbBackendPort = 8080;
 
 }  // namespace esw::uc

@@ -84,7 +84,7 @@ void expect_round_trip(const FlowEntry& e) {
 }
 
 Action random_action(Rng& rng) {
-  switch (static_cast<ActionType>(rng.below(8))) {
+  switch (static_cast<ActionType>(rng.below(9))) {
     case ActionType::kOutput:
       return Action::output(static_cast<uint32_t>(rng.next()));
     case ActionType::kDrop:
@@ -101,6 +101,8 @@ Action random_action(Rng& rng) {
       return Action::push_vlan(static_cast<uint16_t>(rng.below(0x1000)));
     case ActionType::kPopVlan:
       return Action::pop_vlan();
+    case ActionType::kCtCommit:
+      return Action::ct_commit(static_cast<uint32_t>(rng.below(4)));
     default:
       return Action::dec_ttl();
   }
@@ -139,7 +141,7 @@ FlowEntry random_entry(Rng& rng) {
 }
 
 TEST(Dsl, RoundTripEveryActionType) {
-  for (unsigned i = 0; i < 8; ++i) {
+  for (unsigned i = 0; i < 9; ++i) {
     FlowEntry e;
     e.priority = 42;
     switch (static_cast<ActionType>(i)) {
@@ -153,6 +155,7 @@ TEST(Dsl, RoundTripEveryActionType) {
       case ActionType::kPushVlan:  e.actions = {Action::push_vlan(99)}; break;
       case ActionType::kPopVlan:   e.actions = {Action::pop_vlan()}; break;
       case ActionType::kDecTtl:    e.actions = {Action::dec_ttl()}; break;
+      case ActionType::kCtCommit:  e.actions = {Action::ct_commit(2)}; break;
     }
     expect_round_trip(e);
   }

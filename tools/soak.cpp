@@ -13,9 +13,12 @@
 //       so the harness's own tests can prove each check fires.
 //
 //   --chaos [--chaos-period MS] rotates a failpoint schedule (pool alloc, TX
-//       ring, JIT mapping, tbl8, hash insert, epoch reclaim — one armed per
-//       window) and audits per window that every injected fault landed in its
-//       degradation counter, on top of all the standard checks.
+//       ring, JIT mapping, tbl8, hash insert, epoch reclaim, conntrack insert
+//       — one armed per window) and audits per window that every injected
+//       fault landed in its degradation counter, on top of all the standard
+//       checks.  Chaos also attaches an undersized conntrack so the stateful
+//       layer soaks under eviction pressure (--ct-capacity to size it
+//       explicitly, with or without chaos).
 //
 // Every knob is also an env var (ESW_SOAK_PACKETS, ESW_SOAK_SECONDS,
 // ESW_SOAK_WORKERS, ESW_SOAK_FLOWS, ESW_SOAK_PREFIXES, ESW_SOAK_CHURN,
@@ -46,7 +49,7 @@ void usage() {
                "            [--flows N] [--prefixes N] [--churn MODS_PER_S]\n"
                "            [--trace FILE.pcap] [--floor FILE.json]\n"
                "            [--report FILE.json] [--fault NAME] [--seed S]\n"
-               "            [--chaos] [--chaos-period MS]\n");
+               "            [--chaos] [--chaos-period MS] [--ct-capacity N]\n");
 }
 
 bool parse_args(int argc, char** argv, SoakOptions* o, std::string* report_path) {
@@ -78,6 +81,8 @@ bool parse_args(int argc, char** argv, SoakOptions* o, std::string* report_path)
       o->chaos = true;
     } else if (arg == "--chaos-period" && (v = next())) {
       o->chaos_period_ms = std::atof(v);
+    } else if (arg == "--ct-capacity" && (v = next())) {
+      o->ct_capacity = static_cast<uint32_t>(std::strtoul(v, nullptr, 0));
     } else if (arg == "--fault" && (v = next())) {
       const auto f = esw::perf::soak_fault_from_name(v);
       if (!f) {
@@ -105,6 +110,8 @@ int main(int argc, char** argv) {
   if (const char* s = std::getenv("ESW_SOAK_CHURN")) opts.churn_rate = std::atof(s);
   if (const char* s = std::getenv("ESW_SOAK_CHAOS"))
     opts.chaos = *s != '\0' && *s != '0';
+  opts.ct_capacity =
+      static_cast<uint32_t>(env_u64("ESW_SOAK_CT_CAPACITY", opts.ct_capacity));
 
   std::string report_path;
   if (!parse_args(argc, argv, &opts, &report_path)) {
@@ -120,8 +127,8 @@ int main(int argc, char** argv) {
               opts.chaos ? " [chaos]" : "");
   if (opts.chaos)
     std::printf("[soak] chaos: rotating mbuf.alloc, ring.enqueue_mp, "
-                "jit.exec_map, lpm.tbl8, hash.insert, epoch.reclaim every "
-                "%.0fms\n",
+                "jit.exec_map, lpm.tbl8, hash.insert, epoch.reclaim, "
+                "ct.insert every %.0fms\n",
                 opts.chaos_period_ms);
   std::fflush(stdout);
 
