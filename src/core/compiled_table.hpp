@@ -100,6 +100,10 @@ class DirectCodeTable final : public CompiledTable {
   bool jitted() const { return jit_.has_value(); }
   size_t code_size() const { return jit_ ? jit_->code_size() : 0; }
 
+  /// The lowered entry chain — the fusion stage (jit/fusion.hpp) re-emits it
+  /// into the whole-pipeline function.  Immutable (direct code rebuilds).
+  const std::vector<jit::LoweredEntry>& lowered() const { return lowered_; }
+
  private:
   std::vector<jit::LoweredEntry> lowered_;
   std::optional<jit::DirectCodeFn> jit_;

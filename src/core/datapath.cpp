@@ -1,5 +1,6 @@
 #include "core/datapath.hpp"
 
+#include <algorithm>
 #include <iterator>
 
 #include "common/bits.hpp"
@@ -106,12 +107,22 @@ uint64_t CompiledDatapath::reclaim() {
   // Retirements stay pending (bounded growth, audited by the soak's reclaim
   // check) until a later pass runs with the point disarmed.
   if (ESW_FAILPOINT("epoch.reclaim")) return 0;
-  if (retired_impls_.pending() == 0 && retired_slots_.pending() == 0) return 0;
+  if (retired_impls_.pending() == 0 && retired_slots_.pending() == 0 &&
+      retired_fused_.pending() == 0)
+    return 0;
   const uint64_t horizon = domain_.advance_and_horizon();
   uint64_t n = retired_impls_.reclaim(horizon);
   n += retired_slots_.reclaim_into(horizon,
                                    [this](int32_t slot) { recycle_slot(slot); });
+  n += retired_fused_.reclaim(horizon);
   return n;
+}
+
+void CompiledDatapath::set_fused(std::unique_ptr<FusedPipeline> fused) {
+  fused_.store(fused.get(), std::memory_order_release);
+  if (fused_live_ != nullptr)
+    retired_fused_.retire(std::move(fused_live_), domain_.current_epoch());
+  fused_live_ = std::move(fused);
 }
 
 void CompiledDatapath::set_miss_policy(int32_t slot, flow::FlowTable::MissPolicy miss) {
@@ -132,8 +143,11 @@ void CompiledDatapath::reset() {
   n_slots_.store(0, std::memory_order_release);
   free_slots_.clear();
   live_.clear();
+  fused_.store(nullptr, std::memory_order_release);
+  fused_live_.reset();
   retired_impls_.clear();   // no workers: immediate free is safe
   retired_slots_.clear();
+  retired_fused_.clear();
   start_.store(-1, std::memory_order_release);
   clear_stats();
 }
@@ -193,8 +207,11 @@ flow::Verdict CompiledDatapath::process(Worker& w, net::Packet& pkt, MemTrace* t
 
   // Hot-loop discipline: per-table counters accumulate in a local window and
   // flush on return instead of read-modify-writing the shared slot counters
-  // two or three times per hop.  Real pipelines are a handful of hops deep;
-  // the window flushes mid-walk only on pathological goto chains.
+  // two or three times per hop.  The window-full check lives at the outer
+  // loop seam, not inside the per-hop walk — real pipelines finish within
+  // one window and never pay the guard branch; only pathological goto
+  // chains (bounded by kMaxHops, the policy every walk flavor shares) take
+  // another lap.
   struct Visit {
     int32_t slot;
     bool hit;
@@ -221,33 +238,38 @@ flow::Verdict CompiledDatapath::process(Worker& w, net::Packet& pkt, MemTrace* t
 
   flow::ActionSetBuilder action_set;
   int32_t slot = start;
-  for (int hops = 0; hops < kMaxHops; ++hops) {
-    Slot& s = slots_[slot];
-    const CompiledTable* impl = s.impl.load(std::memory_order_acquire);
-    if (ESW_UNLIKELY(nv == std::size(visited))) flush_visits();
-    const uint64_t r =
-        impl != nullptr ? impl->lookup(pkt.data(), pi, trace) : jit::kMissResult;
-    if (ESW_UNLIKELY(r == jit::kMissResult)) {
-      visited[nv++] = {slot, false};
-      return finish(s.miss.load(std::memory_order_relaxed) ==
-                            flow::FlowTable::MissPolicy::kController
-                        ? flow::Verdict::controller()
-                        : flow::Verdict::drop());
+  for (int hops = 0; hops < kMaxHops;) {
+    // One stats window per lap; the flush sits between laps.
+    const int lap_end =
+        std::min(hops + static_cast<int>(std::size(visited)), kMaxHops);
+    for (; hops < lap_end; ++hops) {
+      Slot& s = slots_[slot];
+      const CompiledTable* impl = s.impl.load(std::memory_order_acquire);
+      const uint64_t r =
+          impl != nullptr ? impl->lookup(pkt.data(), pi, trace) : jit::kMissResult;
+      if (ESW_UNLIKELY(r == jit::kMissResult)) {
+        visited[nv++] = {slot, false};
+        return finish(s.miss.load(std::memory_order_relaxed) ==
+                              flow::FlowTable::MissPolicy::kController
+                          ? flow::Verdict::controller()
+                          : flow::Verdict::drop());
+      }
+      visited[nv++] = {slot, true};
+      int32_t action = -1, next = -1;
+      jit::unpack_result(r, action, next);
+      if (action >= 0) action_set.merge(actions_.get(static_cast<uint32_t>(action)));
+      if (next < 0) {
+        // Conntrack post-stage: commit + NAT rewrite before the action set
+        // runs, so set-fields and output see the translated packet.
+        if (ESW_UNLIKELY(ct != nullptr))
+          ct->post(ct_hit, action_set.ct_commit(), action_set.ct_profile(),
+                   pkt.data(), pi, ct_now);
+        return finish(action_set.execute(pkt, pi));
+      }
+      ESW_DCHECK(next < num_slots());
+      slot = next;
     }
-    visited[nv++] = {slot, true};
-    int32_t action = -1, next = -1;
-    jit::unpack_result(r, action, next);
-    if (action >= 0) action_set.merge(actions_.get(static_cast<uint32_t>(action)));
-    if (next < 0) {
-      // Conntrack post-stage: commit + NAT rewrite before the action set
-      // runs, so set-fields and output see the translated packet.
-      if (ESW_UNLIKELY(ct != nullptr))
-        ct->post(ct_hit, action_set.ct_commit(), action_set.ct_profile(),
-                 pkt.data(), pi, ct_now);
-      return finish(action_set.execute(pkt, pi));
-    }
-    ESW_DCHECK(next < num_slots());
-    slot = next;
+    flush_visits();
   }
   return finish(flow::Verdict::drop());  // pathological loop guard
 }
@@ -271,6 +293,16 @@ CompiledDatapath::SlotSnapshot& CompiledDatapath::snapshot(Worker& w, int32_t sl
   return s;
 }
 
+/// Burst-shared state threaded from process_chunk into the fused walk: the
+/// parse results and the conntrack pre-stage outputs (both stamped in stage 1
+/// for every packet, identically in the fused and staged flavors).
+struct CompiledDatapath::BurstCtx {
+  proto::ParseInfo* pis;
+  state::Conntrack* ct;
+  state::Conntrack::Hit* ct_hits;
+  uint64_t ct_now;
+};
+
 void CompiledDatapath::process_burst(Worker& w, net::Packet* const* pkts, uint32_t n,
                                      flow::Verdict* out) {
   while (n > net::kBurstSize) {
@@ -292,8 +324,13 @@ void CompiledDatapath::process_chunk(Worker& w, net::Packet* const* pkts, uint32
 
   Stats local;
   local.packets = n;
+  // The fused plan is loaded once per chunk: the whole chunk runs against
+  // that consistent graph (its impl pointers, not the trampolines), so a
+  // concurrent republish only lands at the next chunk — the same staleness
+  // bound as the staged snapshots.
+  const FusedPipeline* const fp = fused_.load(std::memory_order_acquire);
   const int32_t start = start_.load(std::memory_order_acquire);
-  if (ESW_UNLIKELY(start < 0)) {
+  if (ESW_UNLIKELY(start < 0 && fp == nullptr)) {
     local.drops = n;
     for (uint32_t i = 0; i < n; ++i) out[i] = flow::Verdict::drop();
     counter_bump(w.stats_.packets, local.packets);
@@ -323,6 +360,15 @@ void CompiledDatapath::process_chunk(Worker& w, net::Packet* const* pkts, uint32
     pis[i].in_port = pkts[i]->in_port();
     if (ESW_UNLIKELY(ct != nullptr))
       ct_hits[i] = ct->pre(pkts[i]->data(), pis[i], ct_now);
+  }
+
+  // Fused fast path: the whole goto graph as one plan (machine code where
+  // members are direct-code, pinned impls elsewhere).  Falls back to the
+  // staged walk below whenever no plan is published.
+  if (fp != nullptr) {
+    const BurstCtx ctx{pis, ct, ct_hits, ct_now};
+    process_chunk_fused(w, *fp, pkts, n, out, ctx);
+    return;
   }
 
   // Stage 2: hoist the per-slot acquire loads and miss policies to once per
@@ -394,6 +440,153 @@ void CompiledDatapath::process_chunk(Worker& w, net::Packet* const* pkts, uint32
   counter_bump(w.stats_.to_controller, local.to_controller);
 }
 
+void CompiledDatapath::process_chunk_fused(Worker& w, const FusedPipeline& fp,
+                                           net::Packet* const* pkts, uint32_t n,
+                                           flow::Verdict* out, const BurstCtx& ctx) {
+  Stats local;
+  local.packets = n;
+  const uint32_t n_stages = static_cast<uint32_t>(fp.stages.size());
+  if (ESW_UNLIKELY(n_stages == 0)) {  // defensive: never published empty
+    local.drops = n;
+    for (uint32_t i = 0; i < n; ++i) out[i] = flow::Verdict::drop();
+    counter_bump(w.stats_.packets, local.packets);
+    counter_bump(w.stats_.drops, local.drops);
+    return;
+  }
+  ESW_DCHECK(fp.start_stage < n_stages);
+
+  // The per-stage stat delta block the machine code increments directly
+  // (jit/fusion.hpp layout) and the staged stages share.
+  const size_t n_counters = static_cast<size_t>(n_stages) * jit::kFusedStatStride;
+  if (w.fused_delta_.size() < n_counters) w.fused_delta_.resize(n_counters);
+  std::fill_n(w.fused_delta_.begin(), n_counters, uint64_t{0});
+  if (w.fused_actions_.size() < n_stages) w.fused_actions_.resize(n_stages);
+  uint64_t* const delta = w.fused_delta_.data();
+
+  // Walk state: cur >= 0 is the packet's stage; -1 = path end reached
+  // (finalized in packet order below); -2 = verdict already in vd.
+  flow::ActionSetBuilder asb[net::kBurstSize];
+  int32_t cur[net::kBurstSize];
+  flow::Verdict vd[net::kBurstSize];
+  uint32_t live = n;
+  for (uint32_t i = 0; i < n; ++i) cur[i] = static_cast<int32_t>(fp.start_stage);
+
+  // Round 0 keeps the staged walk's one-ahead start-stage prefetch.
+  const FusedPipeline::Stage& ss = fp.stages[fp.start_stage];
+  if (ss.want_prefetch) ss.impl->prefetch(pkts[0]->data(), ctx.pis[0]);
+
+  // Round-based walk: every live packet advances at least one stage per
+  // round (gotos are forward-only in a fused plan), so n_stages rounds
+  // finish every packet; anything still live after the clamp takes the
+  // same drop the kMaxHops guard applies on the staged paths.
+  for (uint32_t round = 0; round <= n_stages && live > 0; ++round) {
+    for (uint32_t i = 0; i < n; ++i) {
+      const int32_t cs = cur[i];
+      if (cs < 0) continue;
+      if (round == 0 && i + 1 < n && ss.want_prefetch)
+        ss.impl->prefetch(pkts[i + 1]->data(), ctx.pis[i + 1]);
+      net::Packet& pkt = *pkts[i];
+      proto::ParseInfo& pi = ctx.pis[i];
+      const FusedPipeline::Stage& s = fp.stages[cs];
+      int32_t ts;  // next stage
+      if (s.entry != nullptr) {
+        // Machine subgraph: runs fused members until the walk completes,
+        // misses, or exits toward a staged stage.  Per-stage counters are
+        // bumped by the generated code itself.
+        const uint64_t word =
+            s.entry(pkt.data(), &pi, w.fused_actions_.data(), delta);
+        const uint32_t nact = jit::fused_exit_actions(word);
+        for (uint32_t k = 0; k < nact; ++k)
+          asb[i].merge(actions_.get(static_cast<uint32_t>(w.fused_actions_[k])));
+        if (word & jit::kFusedCompleted) {
+          cur[i] = -1;
+          --live;
+          continue;
+        }
+        if (word & jit::kFusedMiss) {
+          const uint32_t ms = jit::fused_exit_stage(word);
+          vd[i] = fp.stages[ms].miss == flow::FlowTable::MissPolicy::kController
+                      ? flow::Verdict::controller()
+                      : flow::Verdict::drop();
+          cur[i] = -2;
+          --live;
+          continue;
+        }
+        ts = static_cast<int32_t>(jit::fused_exit_stage(word));
+      } else {
+        // Staged stage inside the plan: pinned impl, same decode as the
+        // slot walk, stats into the shared delta block.
+        ++delta[cs * jit::kFusedStatStride + jit::kFusedStatLookups];
+        const uint64_t r = s.impl->lookup(pkt.data(), pi);
+        if (ESW_UNLIKELY(r == jit::kMissResult)) {
+          ++delta[cs * jit::kFusedStatStride + jit::kFusedStatMisses];
+          vd[i] = s.miss == flow::FlowTable::MissPolicy::kController
+                      ? flow::Verdict::controller()
+                      : flow::Verdict::drop();
+          cur[i] = -2;
+          --live;
+          continue;
+        }
+        ++delta[cs * jit::kFusedStatStride + jit::kFusedStatHits];
+        int32_t action = -1, next = -1;
+        jit::unpack_result(r, action, next);
+        if (action >= 0) asb[i].merge(actions_.get(static_cast<uint32_t>(action)));
+        if (next < 0) {
+          cur[i] = -1;
+          --live;
+          continue;
+        }
+        ts = static_cast<size_t>(next) < fp.stage_of_slot.size()
+                 ? fp.stage_of_slot[next]
+                 : -1;
+      }
+      if (ESW_UNLIKELY(ts <= cs || static_cast<uint32_t>(ts) >= n_stages)) {
+        vd[i] = flow::Verdict::drop();  // unresolvable/backward: guard drop
+        cur[i] = -2;
+        --live;
+        continue;
+      }
+      // Transition: issue the next stage's lookup prefetch now, consume it
+      // next round — the cross-table extension of the one-ahead pipelining.
+      const FusedPipeline::Stage& nx = fp.stages[ts];
+      if (nx.want_prefetch) nx.impl->prefetch(pkt.data(), pi);
+      cur[i] = ts;
+    }
+  }
+
+  // Finalize in packet order: conntrack post-stage + action execution for
+  // completed packets — identical ordering and side effects to the staged
+  // walk, which finishes packet i before touching packet i+1.
+  for (uint32_t i = 0; i < n; ++i) {
+    flow::Verdict v = flow::Verdict::drop();
+    if (cur[i] == -1) {
+      if (ESW_UNLIKELY(ctx.ct != nullptr))
+        ctx.ct->post(ctx.ct_hits[i], asb[i].ct_commit(), asb[i].ct_profile(),
+                     pkts[i]->data(), ctx.pis[i], ctx.ct_now);
+      v = asb[i].execute(*pkts[i], ctx.pis[i]);
+    } else if (cur[i] == -2) {
+      v = vd[i];
+    }
+    count_verdict(v, local);
+    out[i] = v;
+  }
+
+  // Flush the chunk's stat deltas into the owning slots' shared counters.
+  for (uint32_t cs = 0; cs < n_stages; ++cs) {
+    Slot& s = slots_[fp.stages[cs].slot];
+    const uint64_t* d = delta + cs * jit::kFusedStatStride;
+    if (d[jit::kFusedStatLookups] != 0)
+      counter_add(s.lookups, d[jit::kFusedStatLookups]);
+    if (d[jit::kFusedStatHits] != 0) counter_add(s.hits, d[jit::kFusedStatHits]);
+    if (d[jit::kFusedStatMisses] != 0)
+      counter_add(s.misses, d[jit::kFusedStatMisses]);
+  }
+  counter_bump(w.stats_.packets, local.packets);
+  counter_bump(w.stats_.outputs, local.outputs);
+  counter_bump(w.stats_.drops, local.drops);
+  counter_bump(w.stats_.to_controller, local.to_controller);
+}
+
 // --- introspection -----------------------------------------------------------
 
 CompiledDatapath::TableStats CompiledDatapath::table_stats(int32_t slot) const {
@@ -432,9 +625,12 @@ void CompiledDatapath::clear_stats() {
 }
 
 CompiledDatapath::ReclaimStats CompiledDatapath::reclaim_stats() const {
-  return {retired_impls_.retired_total() + retired_slots_.retired_total(),
-          retired_impls_.reclaimed_total() + retired_slots_.reclaimed_total(),
-          retired_impls_.pending() + retired_slots_.pending()};
+  return {retired_impls_.retired_total() + retired_slots_.retired_total() +
+              retired_fused_.retired_total(),
+          retired_impls_.reclaimed_total() + retired_slots_.reclaimed_total() +
+              retired_fused_.reclaimed_total(),
+          retired_impls_.pending() + retired_slots_.pending() +
+              retired_fused_.pending()};
 }
 
 size_t CompiledDatapath::memory_bytes() const {

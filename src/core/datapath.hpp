@@ -32,6 +32,7 @@
 #include "common/epoch.hpp"
 #include "core/compiled_table.hpp"
 #include "flow/pipeline.hpp"
+#include "jit/fusion.hpp"
 #include "netio/packet.hpp"
 
 namespace esw::state {
@@ -39,6 +40,35 @@ class Conntrack;
 }
 
 namespace esw::core {
+
+/// The whole-pipeline fusion plan (ROADMAP item 3): an immutable snapshot of
+/// the steady-state goto graph, with the direct-code members compiled into
+/// one machine function (jit::FusedProgram) and every other stage pinned to
+/// its impl pointer so the burst walk never touches the trampoline slots.
+/// Published/retired through the epoch domain exactly like a table impl —
+/// the writer builds a fresh plan on churn (core::fuse_pipeline) and swaps
+/// it in with set_fused(); a worker loads it once per chunk (acquire) and
+/// runs the whole chunk against that consistent graph.
+struct FusedPipeline {
+  struct Stage {
+    int32_t slot = -1;                 // owning trampoline slot (stat flush)
+    const CompiledTable* impl = nullptr;
+    flow::FlowTable::MissPolicy miss = flow::FlowTable::MissPolicy::kDrop;
+    bool want_prefetch = false;
+    jit::FusedProgram::Fn entry = nullptr;  // machine entry; null = staged stage
+  };
+  std::vector<Stage> stages;           // pipeline walk order (ascending table id)
+  std::vector<int32_t> stage_of_slot;  // slot id -> stage index, -1 = not in plan
+  uint32_t start_stage = 0;
+  std::shared_ptr<const jit::FusedProgram> program;  // null = no machine members
+  /// Identity of (start, slot, impl, miss) — an unchanged fingerprint means
+  /// the published plan is still exact and republish can be skipped.
+  uint64_t fingerprint = 0;
+  /// Identity of the direct-code member set only: when churn touched other
+  /// tables (e.g. a hash clone-swap) the previous plan's machine program is
+  /// reused instead of re-emitted.
+  uint64_t program_key = 0;
+};
 
 class CompiledDatapath {
  public:
@@ -65,6 +95,19 @@ class CompiledDatapath {
     uint64_t reclaimed = 0;  // freed after their grace period
     uint64_t pending = 0;    // retired, grace period not yet over
   };
+
+  /// One loop-bound policy for every walk flavor: a packet that has not
+  /// reached a verdict after this many table hops is dropped.  The staged
+  /// paths count hops directly; the fused walk's round bound (DAG depth,
+  /// forward-only gotos) is strictly tighter and ends in the same drop.
+  static constexpr int kMaxHops = 8192;
+  /// Tables whose resident bytes fit in the private caches are skipped by
+  /// the prefetch hints: the hint recomputes the lookup key (hash templates
+  /// pay the key hash twice), which only amortizes when the lookup would
+  /// otherwise stall on LLC/DRAM.  Structures below this bound (L2-sized)
+  /// serve lookups from warm lines anyway.  Shared by the staged snapshots
+  /// and the fusion planner (core::fuse_pipeline).
+  static constexpr size_t kPrefetchMinBytes = 1024 * 1024;
 
  private:
   /// Per-burst view of a slot: impl/miss hoisted out of the hot loop, local
@@ -100,6 +143,11 @@ class CompiledDatapath {
     StatBlock stats_;
     std::vector<SlotSnapshot> snap_;
     std::vector<int32_t> snap_touched_;
+    // Fused-walk scratch: the per-stage lookup/hit/miss delta block the
+    // machine code increments (stage * 3 + field, jit/fusion.hpp layout) and
+    // the per-call action-id spill array.
+    std::vector<uint64_t> fused_delta_;
+    std::vector<int32_t> fused_actions_;
     uint64_t snap_gen_ = 0;
     common::EpochDomain::WorkerSlot* epoch_ = nullptr;  // null for the owner ctx
     uint32_t id_ = 0;
@@ -130,6 +178,17 @@ class CompiledDatapath {
 
   void set_miss_policy(int32_t slot, flow::FlowTable::MissPolicy miss);
   void set_start(int32_t slot) { start_.store(slot, std::memory_order_release); }
+
+  /// Publishes a fused whole-pipeline plan (release), or clears the fast
+  /// path (nullptr) so bursts fall back to the staged walk.  The displaced
+  /// plan is retired into the epoch domain — a worker mid-chunk keeps
+  /// running the old graph until its next tick, like any impl swap.  The
+  /// writer must republish (or clear) *before* reclaim() whenever an impl
+  /// referenced by the published plan was retired.
+  void set_fused(std::unique_ptr<FusedPipeline> fused);
+  const FusedPipeline* fused() const {
+    return fused_.load(std::memory_order_acquire);
+  }
   void set_plan(const proto::ParserPlan& plan) {
     plan_.store(plan, std::memory_order_release);
   }
@@ -247,17 +306,13 @@ class CompiledDatapath {
     std::atomic<uint64_t> misses{0};
   };
 
-  static constexpr int kMaxHops = 8192;
-  /// Tables whose resident bytes fit in the private caches are skipped by the
-  /// prefetch hints: the hint recomputes the lookup key (hash templates pay
-  /// the key hash twice), which only amortizes when the lookup would
-  /// otherwise stall on LLC/DRAM.  Structures below this bound (L2-sized)
-  /// serve lookups from warm lines anyway.
-  static constexpr size_t kPrefetchMinBytes = 1024 * 1024;
-
   SlotSnapshot& snapshot(Worker& w, int32_t slot);
   void process_chunk(Worker& w, net::Packet* const* pkts, uint32_t n,
                      flow::Verdict* out);
+  struct BurstCtx;  // cpp-internal: parse results + conntrack pre-stage state
+  void process_chunk_fused(Worker& w, const FusedPipeline& fp,
+                           net::Packet* const* pkts, uint32_t n, flow::Verdict* out,
+                           const BurstCtx& ctx);
   std::unique_ptr<CompiledTable> take_live(CompiledTable* old);
   void retire_impl(CompiledTable* old);
   void recycle_slot(int32_t slot);
@@ -273,7 +328,11 @@ class CompiledDatapath {
   common::EpochDomain domain_;
   common::RetireList<std::unique_ptr<CompiledTable>> retired_impls_;
   common::RetireList<int32_t> retired_slots_;
+  common::RetireList<std::unique_ptr<FusedPipeline>> retired_fused_;
   std::atomic<state::Conntrack*> ct_{nullptr};
+  // Published fused plan (readers, acquire) + writer-side ownership of it.
+  std::atomic<const FusedPipeline*> fused_{nullptr};
+  std::unique_ptr<FusedPipeline> fused_live_;
 
   // workers_[0] is the implicit owner context; 1..kMaxWorkers are
   // registerable packet workers.

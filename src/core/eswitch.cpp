@@ -60,6 +60,53 @@ void Eswitch::compile_all() {
     goto_map_[t.id()] = dp_.add_slot(t.miss_policy());
   for (const FlowTable& t : pipeline_.tables()) rebuild_logical(t.id());
   refresh_start_and_plan();
+  fusion_retry_.reset();  // the old program's degradation owes us nothing
+  refresh_fusion();
+}
+
+/// Re-plans the fused whole-pipeline fast path against the freshly published
+/// compiled state.  Must run after every control-plane mutation and *before*
+/// dp_.reclaim(): a published plan pins impl pointers, so any update that
+/// retired one has to republish (or clear) the plan while the retiree is
+/// still in its grace period.
+void Eswitch::refresh_fusion() {
+  if (!cfg_.enable_fusion) return;  // never published
+  // Retry pacing after a fused machine-compile failure: stay staged until
+  // the window elapses (no plan is published then — see fusion_retry_'s
+  // invariant — so skipping the re-plan cannot strand stale pointers).
+  if (fusion_retry_.has_value() && update_seq_ < fusion_retry_->next_at) return;
+  const bool retrying = fusion_retry_.has_value();
+  if (retrying) ++degradation_.fusion_retries;
+
+  FusionResult r =
+      fuse_pipeline(pipeline_, dp_, goto_map_, decomposed_, cfg_, dp_.fused());
+  if (r.unchanged) return;
+  if (r.fused == nullptr) {
+    if (r.machine_failed) {
+      // The exec-map edge: degrade bursts to the staged walk and schedule a
+      // bounded-backoff re-fusion attempt (the PR 7 retry policy, one knob).
+      ++degradation_.fusion_fallbacks;
+      if (!retrying && cfg_.jit_retry_base_updates > 0) {
+        fusion_retry_ = JitRetry{update_seq_ + cfg_.jit_retry_base_updates,
+                                 cfg_.jit_retry_base_updates};
+      } else if (retrying) {
+        fusion_retry_->backoff =
+            std::min<uint64_t>(fusion_retry_->backoff * 2,
+                               std::max(cfg_.jit_retry_max_updates,
+                                        cfg_.jit_retry_base_updates));
+        fusion_retry_->next_at = update_seq_ + fusion_retry_->backoff;
+      }
+    } else {
+      fusion_retry_.reset();  // genuinely non-fusable: nothing to retry
+    }
+    if (dp_.fused() != nullptr) dp_.set_fused(nullptr);
+    return;
+  }
+  if (retrying) {
+    ++degradation_.fusion_recoveries;
+    fusion_retry_.reset();
+  }
+  dp_.set_fused(std::move(r.fused));
 }
 
 void Eswitch::rebuild_logical(uint8_t id) {
@@ -319,6 +366,7 @@ void Eswitch::apply(const FlowMod& fm) {
     throw;
   }
   maybe_retry_jit();
+  refresh_fusion();
   dp_.reclaim();
 }
 
@@ -347,6 +395,7 @@ void Eswitch::apply_batch(const std::vector<FlowMod>& fms) {
     ++update_stats_.cow_swaps;
   }
   maybe_retry_jit();
+  refresh_fusion();
   dp_.reclaim();
 }
 

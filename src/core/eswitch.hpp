@@ -30,6 +30,7 @@
 #include <array>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/compiler.hpp"
@@ -134,11 +135,20 @@ class Eswitch {
     uint64_t jit_recoveries = 0;   // degraded tables that regained machine code
     uint64_t template_fallbacks = 0;  // exhausted builds demoted to linked list
     uint64_t mods_refused_table_full = 0;  // adds refused at table_capacity
+    // Whole-pipeline fusion (jit/fusion.hpp): a fused machine compile the
+    // exec mapper refused degrades bursts to the staged walk, with the same
+    // bounded-backoff retry/recovery ledger as the per-table JIT.
+    uint64_t fusion_fallbacks = 0;   // fused compiles degraded to the staged walk
+    uint64_t fusion_retries = 0;     // elapsed re-fusion retry windows
+    uint64_t fusion_recoveries = 0;  // degraded pipelines that re-fused
   };
   const DegradationStats& degradation_stats() const { return degradation_; }
   /// Logical tables currently degraded to the interpreter and awaiting a
   /// re-JIT retry window.
   size_t degraded_jit_tables() const { return degraded_jit_.size(); }
+  /// True while a fused whole-pipeline plan is published (bursts take the
+  /// fused fast path; the scalar process() stays the staged reference).
+  bool fused_active() const { return dp_.fused() != nullptr; }
 
   /// Retire/reclaim counters of the epoch-based reclamation path (the only
   /// reclamation path; the old caller-coordinated collect() is gone).
@@ -160,6 +170,7 @@ class Eswitch {
   void check_capacity(const flow::Pipeline& pl, const flow::FlowMod& fm) const;
   void note_jit_state(uint8_t id, bool degraded);
   void maybe_retry_jit();
+  void refresh_fusion();
 
   CompilerConfig cfg_;
   flow::Pipeline pipeline_;
@@ -180,6 +191,11 @@ class Eswitch {
     uint64_t backoff = 0;
   };
   std::map<uint8_t, JitRetry> degraded_jit_;
+  /// Re-fusion retry schedule after a fused machine-compile failure (same
+  /// pacing knobs as the per-table schedule).  Invariant: while this is set,
+  /// no fused plan is published — the early-out in refresh_fusion() is only
+  /// safe because there is no stale plan whose impls churn could free.
+  std::optional<JitRetry> fusion_retry_;
   uint64_t update_seq_ = 0;  // apply()/apply_batch() calls, for retry pacing
 };
 

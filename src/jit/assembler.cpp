@@ -155,6 +155,46 @@ void Assembler::emit_return(uint64_t packed, Label epilogue) {
 
 void Assembler::emit_jmp(Label target) { jmp32(target); }
 
+void Assembler::emit_fused_prologue() {
+  // Park the extra arguments before anything can clobber rcx/rdx (the 8-byte
+  // field test uses both as scratch).
+  u8(0x49); u8(0x89); u8(0xD0);  // mov r8, rdx   (actions cursor)
+  u8(0x49); u8(0x89); u8(0xC9);  // mov r9, rcx   (stats base)
+  u8(0x45); u8(0x31); u8(0xD2);  // xor r10d, r10d (action count)
+  emit_prologue();
+}
+
+void Assembler::emit_action_push(uint32_t action_set) {
+  u8(0x41); u8(0xC7); u8(0x00); u32le(action_set);  // mov dword [r8], imm32
+  u8(0x49); u8(0x83); u8(0xC0); u8(0x04);           // add r8, 4
+  u8(0x41); u8(0xFF); u8(0xC2);                     // inc r10d
+}
+
+void Assembler::emit_stat_inc(uint32_t index) {
+  const uint32_t disp = index * 8;
+  if (disp < 128) {
+    // inc qword [r9 + disp8]
+    u8(0x49); u8(0xFF); u8(0x41); u8(static_cast<uint8_t>(disp));
+  } else {
+    // inc qword [r9 + disp32]
+    u8(0x49); u8(0xFF); u8(0x81); u32le(disp);
+  }
+}
+
+void Assembler::emit_fused_exit(uint8_t marker_bit, uint32_t stage,
+                                Label epilogue) {
+  u8(0x4C); u8(0x89); u8(0xD0);            // mov rax, r10
+  u8(0x48); u8(0xC1); u8(0xE0); u8(0x20);  // shl rax, 32
+  if (stage != 0) {
+    u8(0x48); u8(0x0D); u32le(stage);      // or rax, imm32 (stage id)
+  }
+  if (marker_bit != 0) {
+    // bts rax, 62/63 — the completed / miss marker.
+    u8(0x48); u8(0x0F); u8(0xBA); u8(0xE8); u8(marker_bit);
+  }
+  jmp32(epilogue);
+}
+
 bool Assembler::link() {
   for (const Fixup& f : fixups_) {
     const int32_t at_label = labels_[f.label];

@@ -51,6 +51,35 @@ class Assembler {
   /// Unconditional jump (used for the final fall-through miss).
   void emit_jmp(Label target);
 
+  // --- whole-pipeline fusion building blocks (jit/fusion.hpp) --------------
+  //
+  // Fused functions use a wider signature:
+  //   uint64_t fn(const uint8_t* pkt /*rdi*/, const proto::ParseInfo* pi /*rsi*/,
+  //               int32_t* actions /*rdx*/, uint64_t* stats /*rcx*/);
+  // The 8-byte field test clobbers rcx/rdx, so the fused prologue parks the
+  // out-pointers in r8 (actions cursor) / r9 (stats base) and zeroes the
+  // pushed-action count in r10d before the shared register loads.
+
+  /// mov r8, rdx; mov r9, rcx; xor r10d, r10d; then the standard prologue.
+  void emit_fused_prologue();
+
+  /// Appends one action-set id to the actions array:
+  /// mov dword [r8], id; add r8, 4; inc r10d.
+  void emit_action_push(uint32_t action_set);
+
+  /// inc qword [r9 + 8*index] — bumps one per-stage stat counter in the
+  /// caller-provided delta block.
+  void emit_stat_inc(uint32_t index);
+
+  /// Terminates a fused walk: rax = (r10 << 32) | marker_bits | stage,
+  /// jmp epilogue.  `marker` is OR-ed in via bts (bit 63 = completed,
+  /// bit 62 = miss); stage occupies the low 32 bits.
+  void emit_fused_exit(uint8_t marker_bit, uint32_t stage, Label epilogue);
+
+  /// Offset a bound label resolved to (for entry-stub tables). kUnbound if
+  /// the label was never bound.
+  int32_t label_offset(Label l) const { return labels_[l]; }
+
   // --- linking -------------------------------------------------------------
 
   /// Resolves all fixups; returns false if any label stayed unbound.

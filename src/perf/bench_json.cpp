@@ -708,6 +708,22 @@ void check_ct_point(const BenchReport& r, const BenchSeries& s,
     errors->push_back(point_id(r, s, p) + ": ct point has no throughput");
 }
 
+/// Fusion ("fusion") point-shape contract: every point is tagged with a
+/// boolean `fused` counter (1 = the backend actually published a fused
+/// whole-pipeline plan for the measurement, 0 = staged walk or interpreter)
+/// and carries throughput — the fused/staged speedup gate in CI divides two
+/// points and must be able to trust which leg is which.
+void check_fusion_point(const BenchReport& r, const BenchSeries& s,
+                        const BenchPoint& p, std::vector<std::string>* errors) {
+  const auto it = p.counters.find("fused");
+  if (it == p.counters.end())
+    errors->push_back(point_id(r, s, p) + ": missing fused counter");
+  else if (it->second != 0 && it->second != 1)
+    errors->push_back(point_id(r, s, p) + ": fused counter must be 0 or 1");
+  if (p.pps <= 0)
+    errors->push_back(point_id(r, s, p) + ": fusion point has no throughput");
+}
+
 }  // namespace
 
 std::vector<std::string> validate_report(const BenchReport& report) {
@@ -720,6 +736,7 @@ std::vector<std::string> validate_report(const BenchReport& report) {
       if (report.figure == "fig10" || report.figure == "fig11")
         check_trace_point(report, s, p, &errors);
       if (report.figure == "ct") check_ct_point(report, s, p, &errors);
+      if (report.figure == "fusion") check_fusion_point(report, s, p, &errors);
     }
   }
   return errors;

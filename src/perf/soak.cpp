@@ -89,6 +89,7 @@ struct ChaosWindowBase {
   uint64_t alloc_failures = 0;
   uint64_t tx_rejected = 0;
   uint64_t jit_fallbacks = 0;
+  uint64_t fusion_fallbacks = 0;
   uint64_t template_fallbacks = 0;
   uint64_t table_rebuilds = 0;
   uint64_t ct_absorbed = 0;  // conntrack forced evictions + commit drops
@@ -106,6 +107,7 @@ ChaosWindowBase chaos_snapshot(core::SwitchRuntime<core::Eswitch>& rt,
   b.alloc_failures = rt.pool().alloc_failures();
   b.tx_rejected = c.tx_rejected;
   b.jit_fallbacks = deg.jit_fallbacks;
+  b.fusion_fallbacks = deg.fusion_fallbacks;
   b.template_fallbacks = deg.template_fallbacks;
   b.table_rebuilds = rt.backend().update_stats().table_rebuilds;
   if (const state::Conntrack* ct = rt.backend().conntrack()) {
@@ -133,7 +135,10 @@ SoakCheck close_chaos_window(core::SwitchRuntime<core::Eswitch>& rt,
   else if (name == "ring.enqueue_mp")
     delta = now.tx_rejected - base.tx_rejected;
   else if (name == "jit.exec_map")
-    delta = now.jit_fallbacks - base.jit_fallbacks;
+    // The exec mapper serves both the per-table JIT and the whole-pipeline
+    // fusion compiler; a fire lands in whichever ledger owned the mapping.
+    delta = (now.jit_fallbacks - base.jit_fallbacks) +
+            (now.fusion_fallbacks - base.fusion_fallbacks);
   else if (name == "lpm.tbl8")
     delta = (now.table_rebuilds - base.table_rebuilds) +
             (now.template_fallbacks - base.template_fallbacks);
@@ -457,6 +462,9 @@ SoakReport run_soak(const SoakOptions& opts) {
   rep.degradation.jit_fallbacks = deg.jit_fallbacks;
   rep.degradation.jit_retries = deg.jit_retries;
   rep.degradation.jit_recoveries = deg.jit_recoveries;
+  rep.degradation.fusion_fallbacks = deg.fusion_fallbacks;
+  rep.degradation.fusion_retries = deg.fusion_retries;
+  rep.degradation.fusion_recoveries = deg.fusion_recoveries;
   rep.degradation.template_fallbacks = deg.template_fallbacks;
   rep.degradation.mods_refused_table_full = deg.mods_refused_table_full;
   rep.degradation.watchdog_stalled = rt.watchdog_stalled_total();
@@ -595,6 +603,11 @@ std::string SoakReport::to_json() const {
   deg.set("jit_fallbacks", Json::number(static_cast<double>(degradation.jit_fallbacks)));
   deg.set("jit_retries", Json::number(static_cast<double>(degradation.jit_retries)));
   deg.set("jit_recoveries", Json::number(static_cast<double>(degradation.jit_recoveries)));
+  deg.set("fusion_fallbacks",
+          Json::number(static_cast<double>(degradation.fusion_fallbacks)));
+  deg.set("fusion_retries", Json::number(static_cast<double>(degradation.fusion_retries)));
+  deg.set("fusion_recoveries",
+          Json::number(static_cast<double>(degradation.fusion_recoveries)));
   deg.set("template_fallbacks",
           Json::number(static_cast<double>(degradation.template_fallbacks)));
   deg.set("mods_refused_table_full",

@@ -55,7 +55,20 @@ std::string verdict_str(const Verdict& v) {
   return "?";
 }
 
-const char* kPathNames[3] = {"es-jit", "es-interp", "ovs"};
+const char* kPathNames[4] = {"es-fused", "es-jit", "es-interp", "ovs"};
+
+/// The three Eswitch leg configurations: fused (JIT + whole-pipeline
+/// fusion), staged (JIT only) and interpreted.  The planted-fault hook rides
+/// the fused leg — the newest path is the one under the most suspicion.
+void make_es_cfgs(const core::CompilerConfig& cfg, core::CompilerConfig out[3]) {
+  out[0] = out[1] = out[2] = cfg;
+  out[0].enable_jit = true;
+  out[0].enable_fusion = true;
+  out[1].enable_jit = true;
+  out[1].enable_fusion = false;
+  out[2].enable_jit = false;
+  out[2].enable_fusion = false;
+}
 
 /// Replays `trace[0..prefix)` through `sw` in kBurstSize bursts, folding
 /// (verdict, mutated bytes) into a behavior hash.  `fault` (nullable) rewrites
@@ -119,6 +132,7 @@ std::string cfg_line(const core::CompilerConfig& cfg) {
      << " specialize_parser=" << (cfg.specialize_parser ? 1 : 0)
      << " lpm_max_tbl8_groups=" << cfg.lpm_max_tbl8_groups
      << " enable_range_template=" << (cfg.enable_range_template ? 1 : 0)
+     << " enable_fusion=" << (cfg.enable_fusion ? 1 : 0)
      << " force_template=";
   if (cfg.force_template.has_value())
     os << static_cast<int>(*cfg.force_template);
@@ -144,34 +158,29 @@ DiffTrace DiffTrace::from_flows(const std::vector<net::FlowSpec>& flows) {
 bool DiffRunner::diverged(const flow::Pipeline& pl, const core::CompilerConfig& cfg,
                           const DiffTrace& trace, size_t prefix,
                           std::string* kind) {
-  core::CompilerConfig jit_cfg = cfg, interp_cfg = cfg;
-  jit_cfg.enable_jit = true;
-  interp_cfg.enable_jit = false;
+  core::CompilerConfig es_cfgs[3];
+  make_es_cfgs(cfg, es_cfgs);
 
-  PathSummary s[3];
-  {
-    core::Eswitch sw(jit_cfg);
+  PathSummary s[4];
+  for (int i = 0; i < 3; ++i) {
+    core::Eswitch sw(es_cfgs[i]);
     sw.install(pl);
-    s[0].behavior_hash = replay_hash(sw, trace, prefix, &opts_.fault);
-    s[0].stats = sw.stats();
-  }
-  {
-    core::Eswitch sw(interp_cfg);
-    sw.install(pl);
-    s[1].behavior_hash = replay_hash(sw, trace, prefix, nullptr);
-    s[1].stats = sw.stats();
+    s[i].behavior_hash =
+        replay_hash(sw, trace, prefix, i == 0 ? &opts_.fault : nullptr);
+    s[i].stats = sw.stats();
   }
   {
     ovs::OvsSwitch sw(opts_.ovs);
     sw.install(pl);
-    s[2].behavior_hash = replay_hash(sw, trace, prefix, nullptr);
-    s[2].stats = sw.stats();
+    s[3].behavior_hash = replay_hash(sw, trace, prefix, nullptr);
+    s[3].stats = sw.stats();
   }
 
-  const bool hash_diff = s[0].behavior_hash != s[1].behavior_hash ||
-                         s[1].behavior_hash != s[2].behavior_hash;
-  const bool stats_diff =
-      !stats_equal(s[0].stats, s[1].stats) || !stats_equal(s[1].stats, s[2].stats);
+  bool hash_diff = false, stats_diff = false;
+  for (int i = 1; i < 4; ++i) {
+    hash_diff |= s[i - 1].behavior_hash != s[i].behavior_hash;
+    stats_diff |= !stats_equal(s[i - 1].stats, s[i].stats);
+  }
   if (kind != nullptr && (hash_diff || stats_diff))
     *kind = hash_diff ? "behavior" : "stats";
   return hash_diff || stats_diff;
@@ -181,59 +190,59 @@ std::string DiffRunner::classify(const flow::Pipeline& pl,
                                  const core::CompilerConfig& cfg,
                                  const DiffTrace& trace, size_t prefix,
                                  std::string* kind) {
-  core::CompilerConfig jit_cfg = cfg, interp_cfg = cfg;
-  jit_cfg.enable_jit = true;
-  interp_cfg.enable_jit = false;
+  core::CompilerConfig es_cfgs[3];
+  make_es_cfgs(cfg, es_cfgs);
 
-  Verdict v[3];
-  net::Packet pkt[3];
-  DataplaneStats st[3];
-  {
-    core::Eswitch sw(jit_cfg);
+  Verdict v[4];
+  net::Packet pkt[4];
+  DataplaneStats st[4];
+  for (int i = 0; i < 3; ++i) {
+    core::Eswitch sw(es_cfgs[i]);
     sw.install(pl);
-    v[0] = step_last(sw, trace, prefix, &opts_.fault, pkt[0]);
-    st[0] = sw.stats();
-  }
-  {
-    core::Eswitch sw(interp_cfg);
-    sw.install(pl);
-    v[1] = step_last(sw, trace, prefix, nullptr, pkt[1]);
-    st[1] = sw.stats();
+    v[i] = step_last(sw, trace, prefix, i == 0 ? &opts_.fault : nullptr, pkt[i]);
+    st[i] = sw.stats();
   }
   {
     ovs::OvsSwitch sw(opts_.ovs);
     sw.install(pl);
-    v[2] = step_last(sw, trace, prefix, nullptr, pkt[2]);
-    st[2] = sw.stats();
+    v[3] = step_last(sw, trace, prefix, nullptr, pkt[3]);
+    st[3] = sw.stats();
   }
 
   std::ostringstream os;
-  const bool verdict_diff = !(v[0] == v[1] && v[1] == v[2]);
-  bool bytes_diff = pkt[0].len() != pkt[1].len() || pkt[1].len() != pkt[2].len();
+  bool verdict_diff = false, bytes_diff = false;
+  for (int i = 1; i < 4; ++i) {
+    verdict_diff |= !(v[i - 1] == v[i]);
+    bytes_diff |= pkt[i - 1].len() != pkt[i].len();
+  }
   if (!bytes_diff)
-    bytes_diff = std::memcmp(pkt[0].data(), pkt[1].data(), pkt[0].len()) != 0 ||
-                 std::memcmp(pkt[1].data(), pkt[2].data(), pkt[1].len()) != 0;
+    for (int i = 1; i < 4; ++i)
+      bytes_diff |=
+          std::memcmp(pkt[i - 1].data(), pkt[i].data(), pkt[0].len()) != 0;
   if (kind != nullptr)
     *kind = verdict_diff ? "verdict" : bytes_diff ? "bytes" : "stats";
 
   os << "packet " << prefix - 1 << ": ";
-  for (int i = 0; i < 3; ++i)
+  for (int i = 0; i < 4; ++i)
     os << kPathNames[i] << "={" << verdict_str(v[i]) << " len=" << pkt[i].len()
        << "} ";
   if (bytes_diff) {
-    const uint32_t n = std::min(pkt[0].len(), std::min(pkt[1].len(), pkt[2].len()));
+    uint32_t n = pkt[0].len();
+    for (int i = 1; i < 4; ++i) n = std::min(n, pkt[i].len());
     for (uint32_t off = 0; off < n; ++off) {
-      const uint8_t a = pkt[0].data()[off], b = pkt[1].data()[off],
-                    c = pkt[2].data()[off];
-      if (a != b || b != c) {
-        os << "first byte diff at +" << off << " (" << +a << "/" << +b << "/" << +c
-           << ") ";
+      bool diff = false;
+      for (int i = 1; i < 4; ++i)
+        diff |= pkt[i - 1].data()[off] != pkt[i].data()[off];
+      if (diff) {
+        os << "first byte diff at +" << off << " (";
+        for (int i = 0; i < 4; ++i) os << (i ? "/" : "") << +pkt[i].data()[off];
+        os << ") ";
         break;
       }
     }
   }
   os << "| stats ";
-  for (int i = 0; i < 3; ++i) os << kPathNames[i] << "={" << stats_str(st[i]) << "} ";
+  for (int i = 0; i < 4; ++i) os << kPathNames[i] << "={" << stats_str(st[i]) << "} ";
   return os.str();
 }
 
@@ -374,6 +383,8 @@ std::optional<ReproArtifact> load_repro(const std::string& rules_path,
           art.cfg.lpm_max_tbl8_groups = static_cast<uint32_t>(num());
         else if (key == "enable_range_template")
           art.cfg.enable_range_template = num() != 0;
+        else if (key == "enable_fusion")
+          art.cfg.enable_fusion = num() != 0;
         else if (key == "force_template" && val != "-")
           art.cfg.force_template = static_cast<core::TableTemplate>(num());
       }

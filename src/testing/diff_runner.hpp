@@ -1,11 +1,14 @@
 // The differential oracle: prove that the specialized datapath is
 // behavior-identical to the general-purpose one it replaces.
 //
-// One trace is replayed through three execution paths —
+// One trace is replayed through four execution paths —
 //
-//   1. core::Eswitch with the JIT on (direct-code tables run machine code),
-//   2. core::Eswitch with the JIT off (the same lowered IR, interpreted),
-//   3. ovs::OvsSwitch (microflow/megaflow caches over the slow path),
+//   1. core::Eswitch with whole-pipeline fusion on (bursts run the fused
+//      goto-graph function where the plan allows),
+//   2. core::Eswitch with the JIT on but fusion off (the staged per-table
+//      machine-code walk),
+//   3. core::Eswitch with the JIT off (the same lowered IR, interpreted),
+//   4. ovs::OvsSwitch (microflow/megaflow caches over the slow path),
 //
 // comparing per-packet verdicts, mutated frame bytes and end-of-run
 // DataplaneStats.  Detection is cheap: each path folds its behavior into a
@@ -53,7 +56,7 @@ struct DiffOptions {
   /// (Shelly-style) masks are deliberately unsound (Fig. 3) and would report
   /// false divergences.
   ovs::OvsSwitch::Config ovs{};
-  /// Test-only fault injection: applied to the ES-JIT path's verdict stream
+  /// Test-only fault injection: applied to the ES-fused path's verdict stream
   /// (packet index, real verdict) -> observed verdict.  Lets tests prove the
   /// minimizer finds a planted divergence and produces a working artifact.
   std::function<flow::Verdict(size_t, flow::Verdict)> fault;
@@ -72,7 +75,7 @@ class DiffRunner {
  public:
   explicit DiffRunner(const DiffOptions& opts = {}) : opts_(opts) {}
 
-  /// Replays `trace` through all three paths; nullopt = behaviorally equal.
+  /// Replays `trace` through all four paths; nullopt = behaviorally equal.
   /// On divergence, minimizes and (artifact_dir set) writes `<tag>.pcap` +
   /// `<tag>.rules`.
   std::optional<Divergence> run(const flow::Pipeline& pl,

@@ -349,6 +349,32 @@ TEST(ValidateReport, RejectsFig19ChurnPointWithoutLatency) {
   EXPECT_TRUE(validate_report(r).empty());
 }
 
+TEST(ValidateReport, RejectsMalformedFusionPoint) {
+  // The fusion figure's CI gate divides a fused point's pps by a staged
+  // point's; a point without the boolean `fused` tag (or without throughput)
+  // makes the ratio meaningless, so --check must refuse the report.
+  BenchReport r = sample_report();
+  r.figure = "fusion";
+  r.series[0].points[0].counters["fused"] = 1;
+  // points[1] carries no fused counter at all
+  auto errs = validate_report(r);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NE(errs[0].find("fused"), std::string::npos);
+  // A non-boolean tag is rejected too.
+  r.series[0].points[1].counters["fused"] = 2;
+  errs = validate_report(r);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NE(errs[0].find("0 or 1"), std::string::npos);
+  // Well-formed: both points tagged.
+  r.series[0].points[1].counters["fused"] = 0;
+  EXPECT_TRUE(validate_report(r).empty());
+  // A fusion point with no throughput is dead weight for the ratio gate.
+  r.series[0].points[0].pps = 0;
+  errs = validate_report(r);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NE(errs[0].find("throughput"), std::string::npos);
+}
+
 TEST(ValidateReport, RejectsMissingTraceMarker) {
   BenchReport r = sample_report();  // fig10
   r.series[0].points[0].counters["trace"] = 0;
