@@ -111,15 +111,19 @@ bool parse_args(int argc, char** argv, Options* opts) {
 /// "bench_fig10_l2" -> {"fig10", "l2"}; {"", ""} if not a bench binary name.
 /// Besides the fig*/tab* paper figures, the "burst" guard bench
 /// (bench_burst_compare), the whole-pipeline fusion guard
-/// (bench_fusion_compare, figure "fusion") and the conntrack bench
-/// (bench_ct_conntrack, figure "ct") are recognized.
+/// (bench_fusion_compare, figure "fusion"), the conntrack bench
+/// (bench_ct_conntrack, figure "ct"), and the million-flow pair — the
+/// cuckoo scale curve (bench_scale_cuckoo, figure "scale") and the batched
+/// flow-mod churn curve (bench_churn_flowmods, figure "churn") — are
+/// recognized.
 std::pair<std::string, std::string> split_bench_name(const std::string& stem) {
   const std::string prefix = "bench_";
   if (stem.rfind(prefix, 0) != 0) return {"", ""};
   const std::string rest = stem.substr(prefix.size());
   if (rest.rfind("fig", 0) != 0 && rest.rfind("tab", 0) != 0 &&
       rest.rfind("burst", 0) != 0 && rest.rfind("fusion", 0) != 0 &&
-      rest.rfind("ct", 0) != 0)
+      rest.rfind("ct", 0) != 0 && rest.rfind("scale", 0) != 0 &&
+      rest.rfind("churn", 0) != 0)
     return {"", ""};
   const size_t us = rest.find('_');
   if (us == std::string::npos) return {rest, rest};

@@ -8,15 +8,41 @@
 
 namespace esw::cls {
 
-ExactMatchTable::ExactMatchTable(const Config& cfg) : cfg_(cfg) { slots_.resize(16); }
+ExactMatchTable::ExactMatchTable(const Config& cfg) : cfg_(cfg) {
+  auto t = std::make_unique<Table>();
+  t->slots.resize(16);
+  t->mask = 15;
+  publish(std::move(t));
+}
+
+ExactMatchTable::ExactMatchTable(const ExactMatchTable& o)
+    : cfg_(o.cfg_),
+      arena_(o.arena_),
+      items_(o.items_),
+      size_(o.size_),
+      rebuilds_(o.rebuilds_) {
+  publish(std::make_unique<Table>(*o.own_));
+}
+
+ExactMatchTable& ExactMatchTable::operator=(const ExactMatchTable& o) {
+  if (this == &o) return *this;
+  cfg_ = o.cfg_;
+  arena_ = o.arena_;
+  items_ = o.items_;
+  size_ = o.size_;
+  rebuilds_ = o.rebuilds_;
+  publish(std::make_unique<Table>(*o.own_));
+  return *this;
+}
 
 const ExactMatchTable::Slot* ExactMatchTable::find_slot(const uint8_t* key,
                                                         uint32_t key_len,
                                                         MemTrace* trace) const {
-  const uint64_t h = hash_bytes(key, key_len, seed_);
-  const uint32_t mask = capacity() - 1;
-  for (uint32_t i = 0; i < capacity(); ++i) {
-    const Slot& s = slots_[(h + i) & mask];
+  const Table* t = tbl_.load(std::memory_order_acquire);
+  const uint64_t h = hash_bytes(key, key_len, t->seed);
+  const uint32_t mask = t->mask;
+  for (uint32_t i = 0; i <= mask; ++i) {
+    const Slot& s = t->slots[(h + i) & mask];
     if (trace) trace->touch(&s, sizeof(Slot));
     if (s.key_pos == Slot::kEmpty) return nullptr;
     if (s.key_pos == Slot::kTomb) continue;
@@ -58,10 +84,11 @@ void ExactMatchTable::insert(const uint8_t* key, uint32_t key_len, uint32_t valu
 
   // Probe for a free slot; rebuild with a fresh seed if the chain gets long
   // (the "perfect hash" construction from the paper).
-  const uint64_t h = hash_bytes(key, key_len, seed_);
-  const uint32_t mask = capacity() - 1;
-  for (uint32_t i = 0; i < capacity(); ++i) {
-    Slot& s = slots_[(h + i) & mask];
+  Table* t = own_.get();
+  const uint64_t h = hash_bytes(key, key_len, t->seed);
+  const uint32_t mask = t->mask;
+  for (uint32_t i = 0; i <= mask; ++i) {
+    Slot& s = t->slots[(h + i) & mask];
     if (s.key_pos == Slot::kEmpty || s.key_pos == Slot::kTomb) {
       if (i >= cfg_.max_probe) break;  // chain too long: rebuild below
       s = {key_pos, static_cast<uint16_t>(key_len), value, h};
@@ -88,13 +115,15 @@ bool ExactMatchTable::erase(const uint8_t* key, uint32_t key_len) {
 }
 
 bool ExactMatchTable::try_insert_all(uint32_t cap, uint64_t seed) {
-  std::vector<Slot> fresh(cap);
-  const uint32_t mask = cap - 1;
+  auto fresh = std::make_unique<Table>();
+  fresh->seed = seed;
+  fresh->mask = cap - 1;
+  fresh->slots.resize(cap);
   for (const Item& it : items_) {
     const uint64_t h = hash_bytes(arena_.data() + it.key_pos, it.key_len, seed);
     bool placed = false;
     for (uint32_t i = 0; i <= cfg_.max_probe; ++i) {
-      Slot& s = fresh[(h + i) & mask];
+      Slot& s = fresh->slots[(h + i) & fresh->mask];
       if (s.key_pos == Slot::kEmpty) {
         s = {it.key_pos, it.key_len, it.value, h};
         placed = true;
@@ -103,8 +132,7 @@ bool ExactMatchTable::try_insert_all(uint32_t cap, uint64_t seed) {
     }
     if (!placed) return false;
   }
-  slots_ = std::move(fresh);
-  seed_ = seed;
+  publish(std::move(fresh));
   return true;
 }
 
@@ -112,7 +140,7 @@ void ExactMatchTable::rebuild(uint32_t min_cap) {
   ++rebuilds_;
   uint32_t cap = min_cap < 16 ? 16 : min_cap;
   while (static_cast<double>(size_) > cfg_.max_load * cap) cap *= 2;
-  uint64_t seed = seed_;
+  uint64_t seed = own_->seed;
   for (;;) {
     for (uint32_t attempt = 0; attempt < cfg_.seed_attempts; ++attempt) {
       seed = mix64(seed + attempt + cap);
@@ -123,12 +151,13 @@ void ExactMatchTable::rebuild(uint32_t min_cap) {
 }
 
 uint32_t ExactMatchTable::longest_probe() const {
+  const Table* t = tbl_.load(std::memory_order_acquire);
   uint32_t longest = 0;
-  const uint32_t mask = capacity() - 1;
-  for (const Slot& s : slots_) {
+  const uint32_t mask = t->mask;
+  for (const Slot& s : t->slots) {
     if (s.key_pos >= Slot::kTomb) continue;
     const uint32_t home = static_cast<uint32_t>(s.hash) & mask;
-    const uint32_t at = static_cast<uint32_t>(&s - slots_.data());
+    const uint32_t at = static_cast<uint32_t>(&s - t->slots.data());
     longest = std::max(longest, (at - home) & mask);
   }
   return longest;

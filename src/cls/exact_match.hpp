@@ -6,9 +6,18 @@
 // memory for near-constant lookups ("it requires more memory and more time to
 // build, [but] it supports fast constant time lookups").  Incremental add and
 // remove are supported; rebuilds are internal.
+//
+// Seed, mask and slot array live together in one heap `Table` blob published
+// through an atomic pointer: lookup() and prefetch() acquire-load the blob
+// once and derive everything from that snapshot, so a rebuild can never pair
+// a fresh capacity mask with a stale slot base (or vice versa) inside one
+// probe.  Rebuilds swap the pointer and free the old blob immediately —
+// writer-private mutation, same lifetime contract as the old move-assign.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -28,6 +37,9 @@ class ExactMatchTable {
   ExactMatchTable() : ExactMatchTable(Config{}) {}
   explicit ExactMatchTable(const Config& cfg);
 
+  ExactMatchTable(const ExactMatchTable& o);
+  ExactMatchTable& operator=(const ExactMatchTable& o);
+
   /// Inserts or overwrites; may rebuild internally.
   void insert(const uint8_t* key, uint32_t key_len, uint32_t value);
 
@@ -40,14 +52,19 @@ class ExactMatchTable {
 
   /// Starts the home bucket's cache line toward the core ahead of lookup()
   /// (burst-mode software pipelining).  Pays the key hash twice; worth it only
-  /// when the slot array does not sit in L1.
+  /// when the slot array does not sit in L1.  Seed, mask and slot base come
+  /// from the same acquire-loaded snapshot lookup() probes, so the computed
+  /// index is always in bounds of the array it touches.
   void prefetch(const uint8_t* key, uint32_t key_len) const {
-    const uint64_t h = hash_bytes(key, key_len, seed_);
-    esw_prefetch(&slots_[static_cast<uint32_t>(h) & (capacity() - 1)]);
+    const Table* t = tbl_.load(std::memory_order_acquire);
+    const uint64_t h = hash_bytes(key, key_len, t->seed);
+    esw_prefetch(&t->slots[static_cast<uint32_t>(h) & t->mask]);
   }
 
   size_t size() const { return size_; }
-  uint32_t capacity() const { return static_cast<uint32_t>(slots_.size()); }
+  uint32_t capacity() const {
+    return static_cast<uint32_t>(tbl_.load(std::memory_order_acquire)->slots.size());
+  }
   uint64_t rebuilds() const { return rebuilds_; }
   uint32_t longest_probe() const;
 
@@ -61,13 +78,25 @@ class ExactMatchTable {
     uint64_t hash = 0;
   };
 
+  // One coherent generation of the index: everything a probe dereferences.
+  struct Table {
+    uint64_t seed = 0x9E3779B97F4A7C15ULL;
+    uint32_t mask = 0;
+    std::vector<Slot> slots;
+  };
+
+  void publish(std::unique_ptr<Table> t) {
+    own_ = std::move(t);
+    tbl_.store(own_.get(), std::memory_order_release);
+  }
+
   bool try_insert_all(uint32_t cap, uint64_t seed);
   void rebuild(uint32_t min_cap);
   const Slot* find_slot(const uint8_t* key, uint32_t key_len, MemTrace* trace) const;
 
   Config cfg_;
-  uint64_t seed_ = 0x9E3779B97F4A7C15ULL;
-  std::vector<Slot> slots_;
+  std::unique_ptr<Table> own_;      // current generation (writer-owned)
+  std::atomic<const Table*> tbl_;   // published snapshot (== own_.get())
   std::vector<uint8_t> arena_;
   // Live (key_pos,key_len,value) mirror used for rebuilds.
   struct Item {

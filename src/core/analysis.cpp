@@ -129,8 +129,12 @@ AnalysisResult analyze_entries(const AnalysisEntries& entries,
   if (entries.size() <= cfg.direct_code_max_entries)
     return {TableTemplate::kDirectCode,
             "table small enough to compile rules straight to code"};
-  if (hash_prerequisite(entries, nullptr, nullptr))
+  if (hash_prerequisite(entries, nullptr, nullptr)) {
+    if (cfg.cuckoo_min_entries != 0 && entries.size() >= cfg.cuckoo_min_entries)
+      return {TableTemplate::kCuckooHash,
+              "global mask at million-flow scale: resizable cuckoo exact match"};
     return {TableTemplate::kCompoundHash, "global mask, exact match under mask"};
+  }
   if (lpm_prerequisite(entries, nullptr))
     return {TableTemplate::kLpm, "single-field prefix rules, priority-consistent"};
   if (cfg.enable_range_template && range_prerequisite(entries, nullptr))

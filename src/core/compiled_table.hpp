@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "cls/cuckoo.hpp"
 #include "cls/exact_match.hpp"
 #include "cls/lpm.hpp"
 #include "cls/range_tree.hpp"
@@ -82,6 +83,17 @@ class CompiledTable {
   /// as in place, plus an O(table) copy.  nullptr = not clonable (direct
   /// code and range rebuild from scratch anyway).
   virtual std::unique_ptr<CompiledTable> clone_for_update() const { return nullptr; }
+
+  /// Epoch-reclamation hooks for templates that retire *internal* memory
+  /// (cuckoo entries/views) rather than being swapped wholesale.  The
+  /// datapath attaches its domain at publication and drains the template's
+  /// retire lists during its reclaim pass; defaults are no-ops.
+  virtual void attach_epoch_domain(common::EpochDomain*) {}
+  virtual uint64_t epoch_reclaim(uint64_t horizon) {
+    (void)horizon;
+    return 0;
+  }
+  virtual size_t retired_pending() const { return 0; }
 };
 
 // --- direct code -------------------------------------------------------------
@@ -152,6 +164,61 @@ class HashTemplateTable final : public CompiledTable {
   };
   std::vector<Stored> stored_;
   uint64_t catch_all_result_ = jit::kMissResult;
+  uint16_t catch_all_priority_ = 0;
+  bool has_catch_all_ = false;
+  uint16_t min_specific_priority_ = 0xFFFF;
+  size_t count_ = 0;
+};
+
+// --- cuckoo hash (million-flow exact match) ----------------------------------------
+
+/// Same matching semantics and prerequisite as the compound hash, backed by
+/// the resizable reader-safe cls::CuckooTable: one control-plane writer
+/// mutates in place under live readers (epoch-retired entries, seqlock-guarded
+/// displacement), so updates at million-flow scale never clone the table.
+class CuckooTemplateTable final : public CompiledTable {
+ public:
+  static std::unique_ptr<CuckooTemplateTable> build(
+      const std::vector<BuildEntry>& entries, const flow::Match& mask_template,
+      BuildCtx& ctx);
+
+  uint64_t lookup(const uint8_t* pkt, const proto::ParseInfo& pi,
+                  MemTrace* trace) const override;
+  void prefetch(const uint8_t* pkt, const proto::ParseInfo& pi) const override;
+  TableTemplate kind() const override { return TableTemplate::kCuckooHash; }
+  size_t size() const override { return count_; }
+  size_t memory_bytes() const override;
+
+  bool try_add(const flow::FlowEntry& e, BuildCtx& ctx) override;
+  bool try_remove(const flow::Match& m, uint16_t priority) override;
+  /// In-place incremental updates are reader-safe: slot words are atomic,
+  /// entries immutable and epoch-retired, multi-slot moves seqlock-guarded.
+  bool concurrent_update_safe() const override { return true; }
+
+  void attach_epoch_domain(common::EpochDomain* d) override { index_.set_domain(d); }
+  uint64_t epoch_reclaim(uint64_t horizon) override {
+    return index_.epoch_reclaim(horizon);
+  }
+  size_t retired_pending() const override { return index_.retired_pending(); }
+
+  uint64_t grows() const { return index_.grows(); }
+  uint64_t reseeds() const { return index_.reseeds(); }
+  const cls::CuckooTable& index() const { return index_; }
+
+ private:
+  CuckooTemplateTable() = default;
+
+  uint32_t key_from_match(const flow::Match& m, uint8_t* out) const;
+  uint32_t key_from_packet(const uint8_t* pkt, const proto::ParseInfo& pi,
+                           uint8_t* out) const;
+
+  std::vector<flow::FieldId> fields_;
+  std::vector<uint64_t> field_masks_;
+  uint32_t proto_required_ = 0;
+  // value = packed result, aux = priority — no side array to keep coherent
+  // with the index under concurrent readers.
+  cls::CuckooTable index_;
+  std::atomic<uint64_t> catch_all_result_{jit::kMissResult};
   uint16_t catch_all_priority_ = 0;
   bool has_catch_all_ = false;
   uint16_t min_specific_priority_ = 0xFFFF;

@@ -19,6 +19,7 @@ std::unique_ptr<CompiledTable> build_table_impl(const std::vector<BuildEntry>& e
   FieldId range_field = FieldId::kCount;
   switch (ar.chosen) {
     case TableTemplate::kCompoundHash:
+    case TableTemplate::kCuckooHash:  // same prerequisite as the compound hash
       if (!hash_prerequisite(entries, &mask_template, &has_catch_all))
         ar.chosen = TableTemplate::kLinkedList;
       break;
@@ -42,6 +43,9 @@ std::unique_ptr<CompiledTable> build_table_impl(const std::vector<BuildEntry>& e
         break;
       case TableTemplate::kCompoundHash:
         impl = HashTemplateTable::build(entries, mask_template, ctx);
+        break;
+      case TableTemplate::kCuckooHash:
+        impl = CuckooTemplateTable::build(entries, mask_template, ctx);
         break;
       case TableTemplate::kLpm:
         impl = LpmTemplateTable::build(entries, lpm_field, ctx, cfg.lpm_max_tbl8_groups);

@@ -76,6 +76,9 @@ void CompiledDatapath::retire_impl(CompiledTable* old) {
 
 void CompiledDatapath::set_impl(int32_t slot, std::unique_ptr<CompiledTable> impl) {
   CompiledTable* fresh = impl.get();
+  // Templates that retire internal memory (cuckoo) ride this domain from the
+  // moment they are published under readers.
+  fresh->attach_epoch_domain(&domain_);
   live_.push_back(std::move(impl));
   CompiledTable* old = slots_[slot].impl.exchange(fresh, std::memory_order_acq_rel);
   if (old != nullptr) retire_impl(old);
@@ -107,14 +110,19 @@ uint64_t CompiledDatapath::reclaim() {
   // Retirements stay pending (bounded growth, audited by the soak's reclaim
   // check) until a later pass runs with the point disarmed.
   if (ESW_FAILPOINT("epoch.reclaim")) return 0;
+  size_t internal_pending = 0;
+  for (const auto& t : live_) internal_pending += t->retired_pending();
   if (retired_impls_.pending() == 0 && retired_slots_.pending() == 0 &&
-      retired_fused_.pending() == 0)
+      retired_fused_.pending() == 0 && internal_pending == 0)
     return 0;
   const uint64_t horizon = domain_.advance_and_horizon();
   uint64_t n = retired_impls_.reclaim(horizon);
   n += retired_slots_.reclaim_into(horizon,
                                    [this](int32_t slot) { recycle_slot(slot); });
   n += retired_fused_.reclaim(horizon);
+  // Drain template-internal retire lists (cuckoo entries/views) on the same
+  // horizon.
+  for (const auto& t : live_) n += t->epoch_reclaim(horizon);
   return n;
 }
 

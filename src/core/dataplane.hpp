@@ -19,6 +19,15 @@
 
 namespace esw::core {
 
+/// Per-mod outcome of a best-effort batch (apply_batch_partial): the agent
+/// maps each refused mod to one OpenFlow ERROR while the rest of the batch
+/// lands.
+enum class ModStatus : uint8_t {
+  kApplied = 0,
+  kRefusedTableFull,  // table_capacity admission refusal (OFPFMFC_TABLE_FULL)
+  kRefusedInvalid,    // malformed mod (bad goto, unknown shape, ...)
+};
+
 /// Verdict-level counters every backend reports in the same shape.
 /// Flood fan-outs count under `outputs` (one per processed packet — the
 /// per-copy accounting lives with the runtime's ports).

@@ -49,6 +49,7 @@ void Eswitch::install(const flow::Pipeline& pl) {
 }
 
 void Eswitch::compile_all() {
+  installing_ = true;
   dp_.reset();
   goto_map_.assign(256, -1);
   decomposed_.fill(false);
@@ -62,6 +63,7 @@ void Eswitch::compile_all() {
   refresh_start_and_plan();
   fusion_retry_.reset();  // the old program's degradation owes us nothing
   refresh_fusion();
+  installing_ = false;
 }
 
 /// Re-plans the fused whole-pipeline fast path against the freshly published
@@ -106,10 +108,11 @@ void Eswitch::refresh_fusion() {
     ++degradation_.fusion_recoveries;
     fusion_retry_.reset();
   }
+  ++update_stats_.fusion_republishes;
   dp_.set_fused(std::move(r.fused));
 }
 
-void Eswitch::rebuild_logical(uint8_t id) {
+void Eswitch::rebuild_logical(uint8_t id, bool fresh_table) {
   const FlowTable* t = pipeline_.find_table(id);
   ESW_CHECK(t != nullptr);
   const int32_t root = goto_map_[id];
@@ -118,6 +121,15 @@ void Eswitch::rebuild_logical(uint8_t id) {
   dp_.set_miss_policy(root, t->miss_policy());
 
   ++update_stats_.table_rebuilds;
+  // Template re-selection accounting: a churn-path rebuild whose re-analysis
+  // lands on a different template than the table ran on means the table
+  // crossed a shape's sweet spot (or broke a prerequisite).  Wholesale
+  // install() and first builds of fresh tables don't count.
+  const TableTemplate prev_kind = root_template_[id];
+  const auto note_reselection = [&](TableTemplate kind) {
+    if (!installing_ && !fresh_table && kind != prev_kind)
+      ++update_stats_.template_reselections;
+  };
   // The outgoing sub-table chain (if any) becomes unreachable once the root
   // swaps below; retire it behind the swap so its slots recycle after the
   // grace period instead of leaking until the next install().
@@ -153,7 +165,10 @@ void Eswitch::rebuild_logical(uint8_t id) {
         auto impl = build_table_impl(entries, cfg_, ctx, &kind, &fell_back);
         note_impl(impl.get(), kind);
         dp_.set_impl(slot_of[i], std::move(impl));
-        if (i == 0) root_template_[id] = kind;
+        if (i == 0) {
+          note_reselection(kind);
+          root_template_[id] = kind;
+        }
       }
       decomposed_[id] = true;
       sub_slots_[id].assign(slot_of.begin() + 1, slot_of.end());
@@ -168,6 +183,7 @@ void Eswitch::rebuild_logical(uint8_t id) {
   auto impl = build_table_impl(to_build_entries(*t), cfg_, ctx, &kind, &fell_back);
   note_impl(impl.get(), kind);
   dp_.set_impl(root, std::move(impl));
+  note_reselection(kind);
   root_template_[id] = kind;
   for (const int32_t s : stale_subs) dp_.retire_slot(s);
   if (fell_back) ++degradation_.template_fallbacks;
@@ -331,7 +347,20 @@ bool Eswitch::try_incremental(uint8_t table, const FlowMod& fm, CowMap* cow) {
   return true;
 }
 
-void Eswitch::apply_one(const FlowMod& fm, CowMap* cow) {
+/// True when an incremental update just pushed a table past its template's
+/// sweet spot and a rebuild would re-select a better shape: today's one
+/// trigger is a fixed-capacity compound hash crossing cuckoo_min_entries
+/// (small direct-code tables crossing direct_code_max_entries re-select for
+/// free — their try_add refuses, forcing the rebuild anyway).
+bool Eswitch::wants_reselection(uint8_t table) const {
+  if (decomposed_[table] || cfg_.force_template.has_value()) return false;
+  if (root_template_[table] != TableTemplate::kCompoundHash) return false;
+  if (cfg_.cuckoo_min_entries == 0) return false;
+  const FlowTable* t = pipeline_.find_table(table);
+  return t != nullptr && t->size() >= cfg_.cuckoo_min_entries;
+}
+
+void Eswitch::apply_one(const FlowMod& fm, CowMap* cow, DirtySet* dirty) {
   const bool new_table =
       fm.command != FlowMod::Cmd::kDelete && pipeline_.find_table(fm.table_id) == nullptr;
 
@@ -343,18 +372,62 @@ void Eswitch::apply_one(const FlowMod& fm, CowMap* cow) {
 
   if (new_table) {
     goto_map_[fm.table_id] = dp_.add_slot(pipeline_.table(fm.table_id).miss_policy());
-    rebuild_logical(fm.table_id);
+    if (dirty != nullptr) {
+      // Batch path: the slot exists (gotos resolve; readers miss on its null
+      // impl until commit), the one build runs at commit from the batch's
+      // final state.
+      (*dirty)[fm.table_id] = true;  // created by this batch
+      return;
+    }
+    rebuild_logical(fm.table_id, /*fresh_table=*/true);
     refresh_start_and_plan();
     return;
   }
+
+  // A table already scheduled for a commit-time rebuild takes further batch
+  // mods in the pipeline only — one rebuild per table per batch, not one per
+  // failing mod.
+  if (dirty != nullptr && dirty->count(fm.table_id) != 0) return;
 
   if (!try_incremental(fm.table_id, fm, cow)) {
     // Rebuilding from the pipeline (which already carries this batch's mods
     // for the table) obsoletes any pending clone.
     if (cow != nullptr) cow->erase(fm.table_id);
+    if (dirty != nullptr) {
+      dirty->emplace(fm.table_id, false);
+      return;
+    }
+    rebuild_logical(fm.table_id);
+    refresh_start_and_plan();
+    return;
+  }
+
+  // The add landed incrementally but pushed the table past its template's
+  // sweet spot: schedule the re-selecting rebuild (deferred to commit inside
+  // a batch, so a churn burst re-selects once).
+  if (fm.command == FlowMod::Cmd::kAdd && wants_reselection(fm.table_id)) {
+    if (cow != nullptr) cow->erase(fm.table_id);
+    if (dirty != nullptr) {
+      dirty->emplace(fm.table_id, false);
+      return;
+    }
     rebuild_logical(fm.table_id);
     refresh_start_and_plan();
   }
+}
+
+/// Batch commit: one rebuild per dirty table (from the final pipeline state),
+/// one trampoline swap per pending clone, one start/plan refresh.
+void Eswitch::commit_batch(CowMap& cow, const DirtySet& dirty) {
+  for (const auto& [id, fresh] : dirty) {
+    cow.erase(id);  // a rebuild supersedes any pending clone
+    rebuild_logical(id, fresh);
+  }
+  for (auto& [table, impl] : cow) {
+    dp_.set_impl(goto_map_[table], std::move(impl));
+    ++update_stats_.cow_swaps;
+  }
+  if (!dirty.empty()) refresh_start_and_plan();
 }
 
 void Eswitch::apply(const FlowMod& fm) {
@@ -385,18 +458,43 @@ void Eswitch::apply_batch(const std::vector<FlowMod>& fms) {
 
   // Commit through the regular path: validated mods cannot throw, and each
   // lands incrementally where its table's template allows, so a batch of
-  // route adds does not force wholesale LPM rebuilds.  Under concurrent
-  // workers, clone-and-swap tables are cloned once for the whole batch and
-  // published here with a single trampoline swap each.
+  // route adds does not force wholesale LPM rebuilds.  Tables that do need a
+  // rebuild collect in the dirty set and rebuild once at commit; under
+  // concurrent workers, clone-and-swap tables are cloned once for the whole
+  // batch and published with a single trampoline swap each.
   CowMap cow;
-  for (const FlowMod& fm : fms) apply_one(fm, &cow);
-  for (auto& [table, impl] : cow) {
-    dp_.set_impl(goto_map_[table], std::move(impl));
-    ++update_stats_.cow_swaps;
-  }
+  DirtySet dirty;
+  for (const FlowMod& fm : fms) apply_one(fm, &cow, &dirty);
+  commit_batch(cow, dirty);
   maybe_retry_jit();
   refresh_fusion();
   dp_.reclaim();
+}
+
+std::vector<ModStatus> Eswitch::apply_batch_partial(const std::vector<FlowMod>& fms) {
+  ++update_seq_;
+  std::vector<ModStatus> out;
+  out.reserve(fms.size());
+  CowMap cow;
+  DirtySet dirty;
+  for (const FlowMod& fm : fms) {
+    try {
+      apply_one(fm, &cow, &dirty);
+      out.push_back(ModStatus::kApplied);
+    } catch (const TableFullError&) {
+      // apply_one throws before mutating anything, so refusing this mod
+      // leaves the batch's accumulated state intact and the rest still lands.
+      ++degradation_.mods_refused_table_full;
+      out.push_back(ModStatus::kRefusedTableFull);
+    } catch (const CheckError&) {
+      out.push_back(ModStatus::kRefusedInvalid);
+    }
+  }
+  commit_batch(cow, dirty);
+  maybe_retry_jit();
+  refresh_fusion();
+  dp_.reclaim();
+  return out;
 }
 
 }  // namespace esw::core

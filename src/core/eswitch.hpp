@@ -60,8 +60,17 @@ class Eswitch {
 
   /// Transactional batch: every mod validated against a scratch pipeline
   /// before anything is applied; dirty tables are rebuilt once and swapped
-  /// atomically ("partial updates automatically rolled back").
+  /// atomically ("partial updates automatically rolled back").  Exactly one
+  /// fusion re-plan and one epoch reclaim pass per batch, however many mods
+  /// it carries.
   void apply_batch(const std::vector<flow::FlowMod>& fms);
+
+  /// Best-effort batch for controller ingestion (the OfAgent path): applies
+  /// every mod it can and reports a per-mod outcome instead of aborting the
+  /// remainder — a mid-batch TABLE_FULL refuses *that* mod (one error on the
+  /// wire) while the rest land.  Same once-per-batch recompile/fusion/reclaim
+  /// schedule as apply_batch; never throws for per-mod failures.
+  std::vector<ModStatus> apply_batch_partial(const std::vector<flow::FlowMod>& fms);
 
   /// Datapath fast path (scalar reference implementation, owner context).
   flow::Verdict process(net::Packet& pkt, MemTrace* trace = nullptr) {
@@ -124,6 +133,16 @@ class Eswitch {
     uint64_t incremental = 0;     // served by try_add/try_remove (either shape)
     uint64_t cow_swaps = 0;       // of which: clone-update-swap publications
     uint64_t table_rebuilds = 0;  // side-by-side rebuild + trampoline swap
+    // Rebuilds whose re-analysis picked a *different* template than the one
+    // the table ran on — the table grew (or shrank) past its shape's sweet
+    // spot: exact-match hash → cuckoo at cuckoo_min_entries, small
+    // direct-code → hash past direct_code_max_entries, and every fallback
+    // demotion.  Wholesale install() recompiles are not re-selections.
+    uint64_t template_reselections = 0;
+    // Fused whole-pipeline plans actually republished (set_fused with a new
+    // plan).  A batch republishes at most once however many mods it carried;
+    // the PR 9 fingerprint skip keeps no-op refreshes out of this count.
+    uint64_t fusion_republishes = 0;
   };
   const UpdateStats& update_stats() const { return update_stats_; }
 
@@ -160,12 +179,21 @@ class Eswitch {
   /// trampoline swap at commit — not K clones for K mods.
   using CowMap = std::map<uint8_t, std::unique_ptr<CompiledTable>>;
 
+  /// Logical tables whose datapath rebuild is deferred to the batch commit:
+  /// each is rebuilt exactly once per batch from the final pipeline state,
+  /// however many of the batch's mods touched it.  The mapped flag records
+  /// whether the table was *created* by this batch (a fresh table's first
+  /// build is not a template re-selection).
+  using DirtySet = std::map<uint8_t, bool>;
+
   void compile_all();
-  void rebuild_logical(uint8_t id);
+  void rebuild_logical(uint8_t id, bool fresh_table = false);
   void refresh_start_and_plan();
   void maybe_widen_plan(const flow::FlowEntry& e);
-  void apply_one(const flow::FlowMod& fm, CowMap* cow);
+  void apply_one(const flow::FlowMod& fm, CowMap* cow, DirtySet* dirty = nullptr);
   bool try_incremental(uint8_t table, const flow::FlowMod& fm, CowMap* cow);
+  bool wants_reselection(uint8_t table) const;
+  void commit_batch(CowMap& cow, const DirtySet& dirty);
   void apply_to_pipeline(flow::Pipeline& pl, const flow::FlowMod& fm) const;
   void check_capacity(const flow::Pipeline& pl, const flow::FlowMod& fm) const;
   void note_jit_state(uint8_t id, bool degraded);
@@ -197,6 +225,7 @@ class Eswitch {
   /// safe because there is no stale plan whose impls churn could free.
   std::optional<JitRetry> fusion_retry_;
   uint64_t update_seq_ = 0;  // apply()/apply_batch() calls, for retry pacing
+  bool installing_ = false;  // inside compile_all(): rebuilds are not re-selections
 };
 
 static_assert(Dataplane<Eswitch>, "Eswitch must satisfy the unified interface");

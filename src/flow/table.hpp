@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "flow/actions.hpp"
@@ -67,9 +68,21 @@ class FlowTable {
   }
 
  private:
+  /// Re-points the index node that held `old_pos` at the entry's new `pos`.
+  void index_repoint(uint32_t pos, uint32_t old_pos);
+  void rebuild_index();
+
   uint8_t id_;
   MissPolicy miss_policy_ = MissPolicy::kDrop;
   std::vector<FlowEntry> entries_;
+  // (match, priority) identity → position in entries_.  A flow-mod must find
+  // its exact entry; without the index that was a match-equality scan of the
+  // whole equal-priority band, which at million-flow scale (one L2 table, one
+  // priority) made every churn mod O(table).  Positions right of an
+  // insert/erase point shift by one and are fixed up in O(tail) — the same
+  // cost class as the vector's own element moves, so mutation asymptotics
+  // are unchanged while the band scan is gone.
+  std::unordered_multimap<uint64_t, uint32_t> index_;
   uint64_t version_ = 0;
 };
 

@@ -724,6 +724,78 @@ void check_fusion_point(const BenchReport& r, const BenchSeries& s,
     errors->push_back(point_id(r, s, p) + ": fusion point has no throughput");
 }
 
+/// Million-flow scale ("scale") point-shape contract: every point carries
+/// the full build/probe block — `entries`, `build_seconds`, `lookups_per_s`,
+/// `lines_per_lookup`, `memory_bytes`, `grows` — with a positive entry count
+/// and probe rate, and reports zero `lookup_misses` (every probe key was
+/// inserted, so a miss means the table lost an entry while growing).  The
+/// CI gate compares lines_per_lookup and lookups_per_s across the 100K/1M
+/// points; a point missing either (or one that silently dropped probes to
+/// misses) would make those ratios lie.
+void check_scale_point(const BenchReport& r, const BenchSeries& s,
+                       const BenchPoint& p, std::vector<std::string>* errors) {
+  static const char* kRequired[] = {"entries",          "build_seconds",
+                                    "lookups_per_s",    "lines_per_lookup",
+                                    "memory_bytes",     "grows"};
+  for (const char* key : kRequired) {
+    if (p.counters.find(key) == p.counters.end()) {
+      errors->push_back(point_id(r, s, p) + ": scale point missing " +
+                        std::string(key) + " counter");
+      return;
+    }
+  }
+  if (p.counters.at("entries") <= 0)
+    errors->push_back(point_id(r, s, p) + ": scale point has no entries");
+  if (p.counters.at("lookups_per_s") <= 0)
+    errors->push_back(point_id(r, s, p) + ": scale point has no probe rate");
+  const auto miss = p.counters.find("lookup_misses");
+  if (miss != p.counters.end() && miss->second != 0)
+    errors->push_back(point_id(r, s, p) + ": scale point lost entries (" +
+                      std::to_string(miss->second) + " probe misses)");
+}
+
+/// Batched flow-mod churn ("churn") point-shape contract: the fig19 worker
+/// discipline (a `threads` counter and one `pps_w<i>` per worker summing to
+/// the aggregate) plus the churn pair — `churn_target` and achieved
+/// `churn_mods_per_s`, the latter positive whenever the target is — and the
+/// latency percentile block on every point, since tail-under-batched-update
+/// load is the figure's claim.  The CI gate divides the 100k-target point's
+/// pps by the 0-target baseline's.
+void check_churn_point(const BenchReport& r, const BenchSeries& s,
+                       const BenchPoint& p, std::vector<std::string>* errors) {
+  const auto threads_it = p.counters.find("threads");
+  if (threads_it == p.counters.end() || threads_it->second < 1) {
+    errors->push_back(point_id(r, s, p) + ": missing threads counter");
+    return;
+  }
+  const int threads = static_cast<int>(threads_it->second);
+  double sum = 0;
+  for (int w = 0; w < threads; ++w) {
+    const auto it = p.counters.find("pps_w" + std::to_string(w));
+    if (it == p.counters.end()) {
+      errors->push_back(point_id(r, s, p) + ": missing pps_w" + std::to_string(w));
+      return;
+    }
+    sum += it->second;
+  }
+  if (p.pps > 0 && (sum < p.pps * 0.98 || sum > p.pps * 1.02))
+    errors->push_back(point_id(r, s, p) + ": per-worker pps sum " +
+                      std::to_string(sum) + " != aggregate " + std::to_string(p.pps));
+  const auto target_it = p.counters.find("churn_target");
+  const auto rate_it = p.counters.find("churn_mods_per_s");
+  if (target_it == p.counters.end() || rate_it == p.counters.end()) {
+    errors->push_back(point_id(r, s, p) +
+                      ": churn point missing churn_target/churn_mods_per_s");
+    return;
+  }
+  if (target_it->second > 0 && rate_it->second <= 0)
+    errors->push_back(point_id(r, s, p) +
+                      ": churn target set but no mods were applied");
+  if (p.latency_ns.empty())
+    errors->push_back(point_id(r, s, p) +
+                      ": churn point carries no latency_ns percentile block");
+}
+
 }  // namespace
 
 std::vector<std::string> validate_report(const BenchReport& report) {
@@ -737,6 +809,8 @@ std::vector<std::string> validate_report(const BenchReport& report) {
         check_trace_point(report, s, p, &errors);
       if (report.figure == "ct") check_ct_point(report, s, p, &errors);
       if (report.figure == "fusion") check_fusion_point(report, s, p, &errors);
+      if (report.figure == "scale") check_scale_point(report, s, p, &errors);
+      if (report.figure == "churn") check_churn_point(report, s, p, &errors);
     }
   }
   return errors;

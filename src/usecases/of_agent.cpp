@@ -255,6 +255,9 @@ uint32_t OfAgent::poll() {
   const uint32_t n = for_each_frame(
       rxbuf_, [this](const uint8_t* frame, size_t len) { dispatch(frame, len); });
   stats_.messages_rx += n;
+  // A run of FLOW_MODs ending the drain lands now — batches never straddle
+  // polls, so between polls the datapath always reflects every received mod.
+  flush_flow_mods();
   return n;
 }
 
@@ -264,7 +267,9 @@ void OfAgent::dispatch(const uint8_t* frame, size_t len) {
     msg = flow::decode_message(frame, len);
   } catch (const CheckError&) {
     // Frame-level garbage: answer BAD_REQUEST; the header length already
-    // advanced the stream past it, so the session survives.
+    // advanced the stream past it, so the session survives.  Pending mods
+    // flush first so the error keeps its wire position after the run.
+    flush_flow_mods();
     const flow::OfHeader h = flow::peek_header(frame, len);
     send_error(h.xid, flow::kErrTypeBadRequest, flow::kErrCodeBadType, frame, len);
     return;
@@ -273,6 +278,13 @@ void OfAgent::dispatch(const uint8_t* frame, size_t len) {
 }
 
 void OfAgent::handle(const flow::OfMsg& msg, const uint8_t* frame, size_t len) {
+  // Batched ingestion keeps barrier semantics: any non-FLOW_MOD message ends
+  // the current run — the whole batch (and its per-mod errors/FLOW_REMOVEDs)
+  // lands before this message is acted on or answered, so a BARRIER_REPLY
+  // still certifies every earlier mod took effect.
+  if (!pending_mods_.empty() && !std::holds_alternative<flow::FlowMod>(msg))
+    flush_flow_mods();
+
   // Session gate: before the controller's HELLO only HELLO and ECHO pass.
   if (!peer_hello_seen_ && !std::holds_alternative<flow::Hello>(msg) &&
       !std::holds_alternative<flow::EchoRequest>(msg)) {
@@ -306,6 +318,17 @@ void OfAgent::handle(const flow::OfMsg& msg, const uint8_t* frame, size_t len) {
       if (m->command == flow::FlowMod::Cmd::kDelete &&
           (m->flags & flow::FlowMod::kFlagSendFlowRem) != 0 && cbs_.on_collect_removed)
         removed = cbs_.on_collect_removed(*m);
+      if (cbs_.on_flow_mod_batch) {
+        // Batch mode: park the mod for the run's single flush.  The error
+        // frame prefix and FLOW_REMOVED set are captured now; whether they go
+        // out is decided by the mod's status at flush time.
+        PendingMod p;
+        p.fm = *m;
+        p.frame_head.assign(frame, frame + std::min<size_t>(len, 64));
+        p.removed = std::move(removed);
+        pending_mods_.push_back(std::move(p));
+        return;
+      }
       cbs_.on_flow_mod(*m);
     } catch (const TableFullError&) {
       // The table is at its configured capacity: refuse with the specific
@@ -350,6 +373,41 @@ void OfAgent::handle(const flow::OfMsg& msg, const uint8_t* frame, size_t len) {
     // FLOW_REMOVED, replies): protocol misuse.
     send_error(flow::peek_header(frame, len).xid, flow::kErrTypeBadRequest,
                flow::kErrCodeBadType, frame, len);
+  }
+}
+
+/// Hands the accumulated FLOW_MOD run to the batch callback and settles each
+/// mod's wire effects in order: an applied delete emits its buffered
+/// FLOW_REMOVEDs, a refused mod gets exactly one ERROR (TABLE_FULL for a
+/// capacity refusal, FLOW_MOD_FAILED/unknown otherwise) while the rest of the
+/// run stands.
+void OfAgent::flush_flow_mods() {
+  if (pending_mods_.empty()) return;
+  std::vector<PendingMod> pending = std::exchange(pending_mods_, {});
+  std::vector<flow::FlowMod> fms;
+  fms.reserve(pending.size());
+  for (const PendingMod& p : pending) fms.push_back(p.fm);
+  const std::vector<core::ModStatus> statuses = cbs_.on_flow_mod_batch(fms);
+  ESW_CHECK_MSG(statuses.size() == pending.size(),
+                "batch callback must report one status per mod");
+  for (size_t i = 0; i < pending.size(); ++i) {
+    PendingMod& p = pending[i];
+    switch (statuses[i]) {
+      case core::ModStatus::kApplied:
+        for (flow::FlowRemoved& r : p.removed) {
+          r.xid = next_xid();
+          if (try_send(flow::encode_flow_removed(r))) ++stats_.flow_removed_sent;
+        }
+        break;
+      case core::ModStatus::kRefusedTableFull:
+        send_error(p.fm.xid, flow::kErrTypeFlowModFailed, flow::kErrCodeTableFull,
+                   p.frame_head.data(), p.frame_head.size());
+        break;
+      case core::ModStatus::kRefusedInvalid:
+        send_error(p.fm.xid, flow::kErrTypeFlowModFailed, flow::kErrCodeFlowModUnknown,
+                   p.frame_head.data(), p.frame_head.size());
+        break;
+    }
   }
 }
 

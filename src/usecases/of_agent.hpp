@@ -11,7 +11,11 @@
 //     with unknown xids.
 //   * barrier semantics: messages are dispatched strictly in arrival order
 //     and applied synchronously, so by the time BARRIER_REQUEST is answered
-//     every earlier flow-mod has taken effect in the datapath.
+//     every earlier flow-mod has taken effect in the datapath.  With a batch
+//     callback, consecutive FLOW_MODs coalesce into one best-effort datapath
+//     batch per run — flushed before any other message type is acted on, so
+//     the barrier guarantee is unchanged while a churn burst costs one
+//     recompile instead of one per mod.
 //
 // The agent is backend-agnostic: it talks to the switch through callbacks.
 // `make_dataplane_callbacks()` wires those callbacks to any `core::Dataplane`
@@ -34,6 +38,14 @@ class OfAgent {
   struct Callbacks {
     /// Applies one flow-mod to the datapath (required).
     std::function<void(const flow::FlowMod&)> on_flow_mod;
+    /// Best-effort batch apply (optional).  When present, the agent
+    /// accumulates consecutive FLOW_MODs within a poll and hands each run
+    /// over in one call — one datapath recompile/fusion/reclaim pass per run
+    /// instead of per mod.  Must return one ModStatus per mod, in order; the
+    /// agent answers each refused mod with its own ERROR while the rest of
+    /// the batch stands.
+    std::function<std::vector<core::ModStatus>(const std::vector<flow::FlowMod>&)>
+        on_flow_mod_batch;
     /// Executes a controller-originated packet (optional).
     std::function<void(const flow::PacketOut&)> on_packet_out;
     /// Serves OFPMP_FLOW (optional; empty reply when absent).
@@ -96,8 +108,18 @@ class OfAgent {
   uint64_t datapath_id() const { return datapath_id_; }
 
  private:
+  /// A FLOW_MOD parked for the next batch flush: the decoded mod, the frame
+  /// prefix an ERROR must echo (spec: first ≤64 bytes), and the FLOW_REMOVED
+  /// notifications collected at enqueue time (sent only if the mod lands).
+  struct PendingMod {
+    flow::FlowMod fm;
+    std::vector<uint8_t> frame_head;
+    std::vector<flow::FlowRemoved> removed;
+  };
+
   void dispatch(const uint8_t* frame, size_t len);
   void handle(const flow::OfMsg& msg, const uint8_t* frame, size_t len);
+  void flush_flow_mods();
   void send(const std::vector<uint8_t>& bytes);
   bool try_send(const std::vector<uint8_t>& bytes);
   void send_error(uint32_t xid, uint16_t type, uint16_t code, const uint8_t* frame,
@@ -119,6 +141,7 @@ class OfAgent {
   uint32_t reconnect_wait_ = 0;     // countdown while channel_down_
   uint32_t xid_ = 1;
   std::vector<uint8_t> rxbuf_;
+  std::vector<PendingMod> pending_mods_;  // current FLOW_MOD run, batch mode only
   SessionStats stats_;
 };
 
@@ -193,6 +216,18 @@ template <core::Dataplane Backend>
 OfAgent::Callbacks make_dataplane_callbacks(Backend& sw) {
   OfAgent::Callbacks cbs;
   cbs.on_flow_mod = [&sw](const flow::FlowMod& fm) { sw.apply(fm); };
+  // Backends exposing a best-effort batch path (Eswitch::apply_batch_partial)
+  // get batched ingestion — one recompile/fusion/reclaim pass per FLOW_MOD
+  // run; the rest fall back to the per-mod path above.
+  if constexpr (requires(const std::vector<flow::FlowMod>& fms) {
+                  {
+                    sw.apply_batch_partial(fms)
+                  } -> std::same_as<std::vector<core::ModStatus>>;
+                }) {
+    cbs.on_flow_mod_batch = [&sw](const std::vector<flow::FlowMod>& fms) {
+      return sw.apply_batch_partial(fms);
+    };
+  }
   cbs.on_flow_stats = [&sw](const flow::FlowStatsRequest& req) {
     std::vector<flow::FlowStatsEntry> out;
     for (const flow::FlowTable& t : sw.pipeline().tables()) {

@@ -375,6 +375,89 @@ TEST(ValidateReport, RejectsMalformedFusionPoint) {
   EXPECT_NE(errs[0].find("throughput"), std::string::npos);
 }
 
+BenchReport scale_report() {
+  BenchReport r;
+  r.figure = "scale";
+  r.title = "cuckoo";
+  r.git_sha = "sha";
+  BenchSeries s;
+  s.name = "BM_Scale_CuckooMillionFlow";
+  BenchPoint p;
+  p.label = "entries:1000000";
+  p.counters = {{"entries", 1e6},       {"build_seconds", 2.5},
+                {"lookups_per_s", 8e6},  {"lines_per_lookup", 2.5},
+                {"lookup_misses", 0},    {"memory_bytes", 9e7},
+                {"grows", 10}};
+  s.points = {p};
+  r.series = {s};
+  return r;
+}
+
+TEST(ValidateReport, RejectsMalformedScalePoint) {
+  EXPECT_TRUE(validate_report(scale_report()).empty());
+  // A point without the probe rate can't feed the 1M/100K ratio gate.
+  BenchReport r = scale_report();
+  r.series[0].points[0].counters.erase("lookups_per_s");
+  auto errs = validate_report(r);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NE(errs[0].find("lookups_per_s"), std::string::npos);
+  // Probe misses mean the table lost entries while growing.
+  r = scale_report();
+  r.series[0].points[0].counters["lookup_misses"] = 3;
+  errs = validate_report(r);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NE(errs[0].find("misses"), std::string::npos);
+  // An empty table measured nothing.
+  r = scale_report();
+  r.series[0].points[0].counters["entries"] = 0;
+  errs = validate_report(r);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NE(errs[0].find("entries"), std::string::npos);
+}
+
+BenchReport churn_report() {
+  BenchReport r;
+  r.figure = "churn";
+  r.title = "flowmods";
+  r.git_sha = "sha";
+  BenchSeries s;
+  s.name = "BM_Churn_BatchedFlowMods";
+  BenchPoint p;
+  p.label = "mods_per_s:100000";
+  p.pps = 10e6;
+  p.counters = {{"threads", 2},
+                {"pps_w0", 5e6},
+                {"pps_w1", 5e6},
+                {"churn_target", 100000},
+                {"churn_mods_per_s", 99000}};
+  p.latency_ns = full_latency_block();
+  s.points = {p};
+  r.series = {s};
+  return r;
+}
+
+TEST(ValidateReport, RejectsMalformedChurnPoint) {
+  EXPECT_TRUE(validate_report(churn_report()).empty());
+  // The fig19 worker discipline applies: every worker's rate must be there.
+  BenchReport r = churn_report();
+  r.series[0].points[0].counters.erase("pps_w1");
+  auto errs = validate_report(r);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NE(errs[0].find("pps_w1"), std::string::npos);
+  // A nonzero target that applied no mods measured the wrong thing.
+  r = churn_report();
+  r.series[0].points[0].counters["churn_mods_per_s"] = 0;
+  errs = validate_report(r);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NE(errs[0].find("no mods"), std::string::npos);
+  // Tail-under-update-load is the claim: the percentile block is mandatory.
+  r = churn_report();
+  r.series[0].points[0].latency_ns.clear();
+  errs = validate_report(r);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NE(errs[0].find("latency_ns"), std::string::npos);
+}
+
 TEST(ValidateReport, RejectsMissingTraceMarker) {
   BenchReport r = sample_report();  // fig10
   r.series[0].points[0].counters["trace"] = 0;

@@ -6,6 +6,7 @@
 #include "proto/checksum.hpp"
 #include "proto/headers.hpp"
 #include "test_util.hpp"
+#include "testing/seed.hpp"
 
 namespace esw {
 namespace {
@@ -233,6 +234,69 @@ TEST(FlowTable, PriorityOrderAndReplace) {
   EXPECT_TRUE(t.remove(e2->match, 200));
   EXPECT_EQ(t.size(), 2u);
   EXPECT_FALSE(t.remove(e2->match, 200));
+}
+
+// The indexed add/remove must keep exactly the semantics of the scan they
+// replaced: priority-descending order, stable within a band (new entries
+// after existing ones), replace-preserves-counters.  Differential check
+// against a naive reference over a randomized same-priority-heavy churn —
+// the band shape that motivated the index.
+TEST(FlowTable, IndexedMutationMatchesNaiveScan) {
+  struct Ref {  // the pre-index implementation, verbatim semantics
+    std::vector<FlowEntry> entries;
+    void add(FlowEntry e) {
+      auto it = entries.begin();
+      while (it != entries.end() && it->priority >= e.priority) {
+        if (it->priority == e.priority && it->match == e.match) {
+          e.n_packets = it->n_packets;
+          *it = std::move(e);
+          return;
+        }
+        ++it;
+      }
+      entries.insert(it, std::move(e));
+    }
+    bool remove(const Match& m, uint16_t priority) {
+      for (auto it = entries.begin(); it != entries.end(); ++it) {
+        if (it->priority == priority && it->match == m) {
+          entries.erase(it);
+          return true;
+        }
+      }
+      return false;
+    }
+  };
+
+  Rng rng(testing::test_seed(0xF10Bu, "flow table index"));
+  FlowTable t(0);
+  Ref ref;
+  for (uint32_t step = 0; step < 4000; ++step) {
+    Match m;
+    m.set(FieldId::kEthDst, 0x0200'0000'0000ULL | rng.below(256));
+    // Three priorities, heavily skewed to one band; half the adds are
+    // replacements of live entries, removes target live and absent alike.
+    const uint16_t prio = rng.chance(3, 4) ? 10 : (rng.chance(1, 2) ? 5 : 20);
+    if (rng.chance(2, 3)) {
+      FlowEntry e;
+      e.match = m;
+      e.priority = prio;
+      e.actions.push_back(Action::output(1 + rng.below(4)));
+      e.n_packets = step;  // sentinel: replace must preserve the old one
+      FlowEntry e2 = e;
+      t.add(std::move(e));
+      ref.add(std::move(e2));
+    } else {
+      EXPECT_EQ(t.remove(m, prio), ref.remove(m, prio)) << "step " << step;
+    }
+    ASSERT_EQ(t.size(), ref.entries.size()) << "step " << step;
+  }
+  for (size_t i = 0; i < ref.entries.size(); ++i) {
+    EXPECT_EQ(t.entries()[i].priority, ref.entries[i].priority) << "slot " << i;
+    EXPECT_TRUE(t.entries()[i].match == ref.entries[i].match) << "slot " << i;
+    EXPECT_EQ(t.entries()[i].n_packets, ref.entries[i].n_packets) << "slot " << i;
+    EXPECT_EQ(t.entries()[i].actions[0].value, ref.entries[i].actions[0].value)
+        << "slot " << i;
+  }
 }
 
 // The paper's Fig. 1 firewall, single-stage variant.

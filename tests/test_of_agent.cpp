@@ -332,6 +332,86 @@ TEST(OfAgent, DrivesOvsBackendThroughSameCallbacks) {
   EXPECT_EQ(replies[0].entries.size(), 1u);
 }
 
+TEST(OfAgent, BatchedModsOneRecompilePerModErrors) {
+  // A run of FLOW_MODs in one poll lands as a single best-effort datapath
+  // batch: one fused-plan republish for the whole run, one TABLE_FULL error
+  // per refused mod, the rest applied — and the barrier still certifies the
+  // batch landed before its reply.
+  core::CompilerConfig cfg;
+  cfg.table_capacity = 3;
+  core::Eswitch sw(cfg);
+  sw.install(Pipeline{});
+  uc::OfAgent agent(uc::make_dataplane_callbacks(sw));
+  uc::OfController ctrl(agent.controller_fd());
+  uc::run_handshake(agent, ctrl);
+
+  const auto republishes_before = sw.update_stats().fusion_republishes;
+  std::vector<uint32_t> xids;
+  for (uint16_t i = 0; i < 5; ++i)
+    xids.push_back(ctrl.send_flow_mod(udp_forward_mod(100 + i, 2)));
+  const uint32_t bxid = ctrl.send_barrier();
+  agent.poll();  // one poll: the whole run is one batch
+  ctrl.poll();
+
+  // One refusal per over-capacity mod (the 4th and 5th), not a batch abort.
+  const auto errors = ctrl.take_errors();
+  ASSERT_EQ(errors.size(), 2u);
+  for (const auto& e : errors) {
+    EXPECT_EQ(e.type, kErrTypeFlowModFailed);
+    EXPECT_EQ(e.code, kErrCodeTableFull);
+  }
+  EXPECT_EQ(errors[0].xid, xids[3]);
+  EXPECT_EQ(errors[1].xid, xids[4]);
+  const auto replies = ctrl.take_barrier_replies();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0], bxid);
+
+  // The applied prefix is live; the refused tail is not; the whole run cost
+  // one recompile + fused republish.
+  EXPECT_EQ(sw.pipeline().find_table(0)->size(), 3u);
+  EXPECT_EQ(sw.update_stats().fusion_republishes, republishes_before + 1);
+  auto hit = test::make_packet(test::udp_spec(1, 2, 9, 102));
+  EXPECT_EQ(sw.process(hit), Verdict::output(2));
+  auto refused = test::make_packet(test::udp_spec(1, 2, 9, 104));
+  EXPECT_EQ(sw.process(refused), Verdict::drop());
+  EXPECT_EQ(agent.stats().flow_mods, 5u);
+  EXPECT_EQ(agent.stats().errors_sent, 2u);
+}
+
+TEST(OfAgent, BatchedDeleteStillEmitsFlowRemoved) {
+  core::Eswitch sw;
+  sw.install(Pipeline{});
+  uc::OfAgent agent(uc::make_dataplane_callbacks(sw));
+  uc::OfController ctrl(agent.controller_fd());
+  uc::run_handshake(agent, ctrl);
+
+  FlowMod add = udp_forward_mod(53, 2);
+  add.cookie = 0xBA7C4;
+  ctrl.send_flow_mod(add);
+  agent.poll();
+
+  // One run: flagged delete + unrelated add + barrier.  The FLOW_REMOVED for
+  // the applied delete must still reach the controller, and the add lands.
+  FlowMod del = add;
+  del.command = FlowMod::Cmd::kDelete;
+  del.flags = FlowMod::kFlagSendFlowRem;
+  del.actions.clear();
+  ctrl.send_flow_mod(del);
+  ctrl.send_flow_mod(udp_forward_mod(54, 3));
+  ctrl.send_barrier();
+  agent.poll();
+  ctrl.poll();
+
+  const auto removed = ctrl.take_flow_removed();
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0].cookie, 0xBA7C4u);
+  EXPECT_EQ(ctrl.take_barrier_replies().size(), 1u);
+  auto gone = test::make_packet(test::udp_spec(1, 2, 9, 53));
+  EXPECT_EQ(sw.process(gone), Verdict::drop());
+  auto live = test::make_packet(test::udp_spec(1, 2, 9, 54));
+  EXPECT_EQ(sw.process(live), Verdict::output(3));
+}
+
 // The acceptance scenario: a reactive learning switch over the full stack —
 // SwitchHost executes verdicts, OfAgent speaks the session, the controller
 // reacts to PACKET_IN with FLOW_MOD + PACKET_OUT, and traffic migrates to the
